@@ -1,0 +1,65 @@
+/// Ablation study of the MFLUSH design choices (DESIGN.md §5) plus the
+/// extension the paper names in §4.1 (MCReg history queues):
+///   * Preventive State on/off (MFLUSH vs MFLUSH-NP)
+///   * MCReg history depth and aggregation (H4 avg / H4 max)
+///   * the response-action spectrum: STALL only, non-speculative FLUSH
+///   * the priority-only baselines BRCOUNT / L1DMISSCOUNT
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "core/factory.h"
+#include "sim/cmp.h"
+#include "sim/experiment.h"
+#include "sim/workloads.h"
+
+int main() {
+  using namespace mflush;
+
+  const Cycle warm = warmup_cycles();
+  const Cycle measure = bench_cycles();
+  std::cout << "== Ablation: MFLUSH design choices on 4-core chips"
+            << "\n   measured " << measure << " cycles after " << warm
+            << " warm-up\n\n";
+
+  const std::vector<PolicySpec> policies = {
+      PolicySpec::icount(),
+      PolicySpec::brcount(),
+      PolicySpec::misscount(),
+      PolicySpec::stall(30),
+      PolicySpec::flush_ns(),
+      PolicySpec::mflush(),
+      PolicySpec::mflush_no_preventive(),
+      PolicySpec::mflush_history(4, PolicySpec::McRegAgg::Avg),
+      PolicySpec::mflush_history(4, PolicySpec::McRegAgg::Max),
+  };
+  const std::vector<Workload> subjects = {*workloads::by_name("8W1"),
+                                          *workloads::by_name("8W3"),
+                                          workloads::bzip2_twolf_special()};
+
+  for (const Workload& w : subjects) {
+    std::cout << "-- " << w.name << " (" << w.describe() << ")\n";
+    Table table({"policy", "IPC", "flushes", "false", "gate-cycles",
+                 "wasted/1k"});
+    for (const PolicySpec& p : policies) {
+      CmpSimulator sim(w, p);
+      sim.run(warm);
+      sim.reset_stats();
+      sim.run(measure);
+      const SimMetrics m = sim.metrics();
+      std::uint64_t false_flushes = 0, gates = 0;
+      for (CoreId c = 0; c < sim.num_cores(); ++c) {
+        const auto pc = sim.core(c).policy().counters();
+        false_flushes += pc.flushes_on_hit;
+        gates += pc.gate_cycles;
+      }
+      table.add_row(
+          {p.label(), Table::num(m.ipc), std::to_string(m.flush_events),
+           std::to_string(false_flushes), std::to_string(gates),
+           Table::num(m.energy.flush_wasted_per_kilo_commit(), 1)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// Figures 9 and 10 — "Energy Consumption" distribution and the
+/// "Energy Consumption Factor" table.
+///
+/// These are the model constants the paper derives from Folegnani &
+/// González's ISCA-28 analysis; this binary prints them and self-checks
+/// their invariants (accumulated = running sum of local; commit = 1 unit).
+#include <cmath>
+#include <iostream>
+
+#include "common/table.h"
+#include "energy/factors.h"
+
+int main() {
+  using namespace mflush;
+
+  std::cout << "== Figure 9(a): energy distribution per resource\n\n";
+  Table dist({"resource", "fraction"});
+  for (const auto& r : energy::kResourceShares)
+    dist.add_row({r.resource, Table::num(r.fraction, 2)});
+  dist.print(std::cout);
+
+  std::cout << "\n== Figure 10: Energy Consumption Factor\n\n";
+  Table table({"pipeline stage", "local", "accumulated"});
+  for (const auto& f : energy::kFactors) {
+    table.add_row({to_string(f.stage), Table::num(f.local, 2),
+                   Table::num(f.accumulated, 2)});
+  }
+  table.print(std::cout);
+
+  // Self-checks (non-zero exit on violation so CI catches drift).
+  double acc = 0.0;
+  for (const auto& f : energy::kFactors) {
+    acc += f.local;
+    if (std::abs(f.accumulated - acc) > 1e-9) {
+      std::cerr << "FAIL: accumulated factor mismatch at "
+                << to_string(f.stage) << "\n";
+      return 1;
+    }
+  }
+  if (std::abs(acc - 1.0) > 1e-9) {
+    std::cerr << "FAIL: committing an instruction must cost 1 unit\n";
+    return 1;
+  }
+  double shares = 0.0;
+  for (const auto& r : energy::kResourceShares) shares += r.fraction;
+  if (std::abs(shares - 1.0) > 1e-9) {
+    std::cerr << "FAIL: resource shares must sum to 1\n";
+    return 1;
+  }
+  std::cout << "\nself-check: OK (accumulated = running sum, commit = 1 unit)\n";
+  return 0;
+}

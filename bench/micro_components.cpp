@@ -1,0 +1,88 @@
+/// Engineering micro-benchmarks (google-benchmark): throughput of the
+/// simulator's hot components and of whole-chip simulation. Not a paper
+/// figure — used to keep the simulator fast enough for the sweeps.
+#include <benchmark/benchmark.h>
+
+#include "branch/perceptron.h"
+#include "core/factory.h"
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+#include "sim/cmp.h"
+#include "sim/workloads.h"
+#include "trace/generator.h"
+#include "trace/spec2000.h"
+
+namespace {
+
+using namespace mflush;
+
+void BM_TraceGeneration(benchmark::State& state) {
+  SyntheticTraceSource src(*spec2000::by_name("gzip"), 1, 4096, 0);
+  SeqNo s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(src.at(s));
+    src.retire_up_to(s > 2048 ? s - 2048 : 0);
+    ++s;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(s));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_CacheAccess(benchmark::State& state) {
+  SetAssocCache cache(CacheGeometry{32 * 1024, 4, 64, 8});
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(a, false));
+    a = (a + 64) & 0xffff;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_PerceptronPredict(benchmark::State& state) {
+  PerceptronPredictor p(256, 4096, 24);
+  Addr pc = 0x1000;
+  for (auto _ : state) {
+    const bool taken = p.predict(0, pc);
+    p.update(0, pc, (pc >> 4) & 1, taken, p.history_checkpoint(0));
+    p.push_history(0, taken);
+    pc += 4;
+    if (pc > 0x2000) pc = 0x1000;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PerceptronPredict);
+
+void BM_HierarchyTick(benchmark::State& state) {
+  SimConfig cfg = SimConfig::paper_default(4);
+  MemoryHierarchy mem(cfg);
+  Cycle now = 0;
+  Addr a = 0;
+  for (auto _ : state) {
+    ++now;
+    if (now % 4 == 0) mem.request_load(now % 4, 0, a += 4096, now);
+    mem.tick(now);
+    for (CoreId c = 0; c < 4; ++c) {
+      mem.completions(c).clear();
+      mem.l2_events(c).clear();
+      mem.l2_miss_events(c).clear();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HierarchyTick);
+
+void BM_FullChipCyclesPerSecond(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  CmpSimulator sim(workloads::of_size(threads).front(),
+                   PolicySpec::mflush());
+  sim.run(5'000);  // warm
+  for (auto _ : state) sim.run(100);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+  state.SetLabel("simulated cycles");
+}
+BENCHMARK(BM_FullChipCyclesPerSecond)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

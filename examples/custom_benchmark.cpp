@@ -1,0 +1,77 @@
+/// Define a custom benchmark profile (instead of the SPEC2000 catalog),
+/// run it through the full CMP simulator, and show the trace-file API for
+/// users who want to bring their own traces.
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "core/factory.h"
+#include "sim/cmp.h"
+#include "sim/report.h"
+#include "trace/generator.h"
+#include "trace/trace_io.h"
+
+int main() {
+  using namespace mflush;
+
+  // A deliberately nasty pointer-chasing workload: 40 % of loads chase the
+  // previous load's result through a 32 MB region — every miss serializes.
+  BenchmarkProfile chaser;
+  chaser.name = "chaser";
+  chaser.f_load = 0.32;
+  chaser.f_store = 0.06;
+  chaser.f_branch = 0.10;
+  chaser.strands = 2;
+  chaser.p_chase = 0.40;
+  chaser.hot_lines = 96;
+  chaser.l2_lines = 6000;
+  chaser.mem_lines = 1 << 19;
+  chaser.p_l2 = 0.10;
+  chaser.p_mem = 0.03;
+  chaser.icache_lines = 80;
+
+  // A well-behaved compute companion.
+  BenchmarkProfile vector_kernel;
+  vector_kernel.name = "vector-kernel";
+  vector_kernel.f_load = 0.25;
+  vector_kernel.f_store = 0.10;
+  vector_kernel.f_branch = 0.06;
+  vector_kernel.f_fp = 0.5;
+  vector_kernel.strands = 6;
+  vector_kernel.p_stream = 0.4;
+  vector_kernel.stream_lines = 1 << 13;
+  vector_kernel.p_l2 = 0.02;
+  vector_kernel.p_mem = 0.001;
+  vector_kernel.icache_lines = 48;
+
+  std::cout << "Custom 2-context SMT core: 'chaser' + 'vector-kernel'\n\n";
+  for (const PolicySpec& policy :
+       {PolicySpec::icount(), PolicySpec::flush_spec(30),
+        PolicySpec::mflush()}) {
+    CmpSimulator sim({chaser, vector_kernel}, policy);
+    sim.run(20'000);
+    sim.reset_stats();
+    sim.run(60'000);
+    const SimMetrics m = sim.metrics();
+    std::cout << policy.label() << ": IPC " << m.ipc << " (chaser "
+              << m.per_thread_ipc[0] << ", vector-kernel "
+              << m.per_thread_ipc[1] << "), " << m.flush_events
+              << " flushes\n";
+  }
+
+  // Trace-file round trip: capture a slice of the synthetic stream in the
+  // portable binary format (users can write this format from their own
+  // tooling and replay it through VectorTraceSource).
+  SyntheticTraceSource source(chaser, /*seed=*/7, /*window=*/4096);
+  std::vector<TraceInstr> slice;
+  for (SeqNo s = 0; s < 10'000; ++s) slice.push_back(source.at(s));
+  const auto path =
+      (std::filesystem::temp_directory_path() / "chaser.mflt").string();
+  write_trace(path, slice);
+  const auto loaded = read_trace(path);
+  std::cout << "\nwrote+reloaded " << loaded.size() << " instructions via "
+            << path << "\n";
+  std::remove(path.c_str());
+  return 0;
+}

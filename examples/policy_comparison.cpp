@@ -1,0 +1,60 @@
+/// Compare IFetch policies on any paper workload (or an ad-hoc one given
+/// as a string of benchmark codes), with the full diagnostic dump.
+///
+///   policy_comparison                 # 8W3, the four Fig. 8 policies
+///   policy_comparison 4W2             # another workload
+///   policy_comparison dlna mflush     # ad-hoc codes, single policy
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "sim/cmp.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace mflush;
+
+  const std::string wl_name = argc > 1 ? argv[1] : "8W3";
+  auto wl = workloads::by_name(wl_name);
+  if (!wl && wl_name.size() % 2 == 0) {
+    // Interpret the argument as a string of Fig. 1 benchmark codes.
+    Workload w;
+    w.name = wl_name;
+    for (const char c : wl_name) w.codes.push_back(c);
+    wl = w;
+  }
+  if (!wl) {
+    std::cerr << "unknown workload: " << wl_name << "\n";
+    return 1;
+  }
+
+  std::vector<PolicySpec> policies;
+  for (int i = 2; i < argc; ++i) {
+    const auto p = PolicySpec::parse(argv[i]);
+    if (!p) {
+      std::cerr << "unknown policy: " << argv[i]
+                << " (try icount, flush-s30, flush-ns, stall-s30, mflush)\n";
+      return 1;
+    }
+    policies.push_back(*p);
+  }
+  if (policies.empty()) {
+    policies = {PolicySpec::icount(), PolicySpec::flush_spec(30),
+                PolicySpec::flush_spec(100), PolicySpec::mflush()};
+  }
+
+  const Cycle warm = warmup_cycles(20'000);
+  const Cycle measure = bench_cycles(60'000);
+  for (const PolicySpec& p : policies) {
+    CmpSimulator sim(*wl, p);
+    sim.run(warm);
+    sim.reset_stats();
+    sim.run(measure);
+    report::print_debug(std::cout, sim);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+/// Quickstart: build a 1-core 2-context SMT chip (the paper's Fig. 2
+/// setting), run the 2W3 workload (mcf + gzip) under ICOUNT and FLUSH-S30,
+/// and print the throughput comparison.
+#include <iostream>
+
+#include "core/factory.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/workloads.h"
+
+int main() {
+  using namespace mflush;
+
+  const auto workload = workloads::by_name("2W3");
+  if (!workload) {
+    std::cerr << "workload table is missing 2W3\n";
+    return 1;
+  }
+  std::cout << "Workload 2W3 = " << workload->describe() << " on "
+            << workload->num_cores() << " core(s)\n\n";
+
+  const Cycle warm = warmup_cycles(10'000);
+  const Cycle measure = bench_cycles(60'000);
+
+  for (const PolicySpec& policy :
+       {PolicySpec::icount(), PolicySpec::flush_spec(30),
+        PolicySpec::mflush()}) {
+    const RunResult r = run_point(*workload, policy, /*seed=*/1, warm, measure);
+    std::cout << report::summarize(r) << '\n';
+  }
+  return 0;
+}

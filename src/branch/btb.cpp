@@ -1,0 +1,53 @@
+#include "branch/btb.h"
+
+#include <bit>
+#include <cassert>
+
+namespace mflush {
+
+Btb::Btb(std::uint32_t entries, std::uint32_t ways)
+    : ways_(std::max(1u, ways)),
+      num_sets_(std::bit_ceil(std::max(1u, entries / std::max(1u, ways)))),
+      entries_(static_cast<std::size_t>(num_sets_) * ways_) {}
+
+std::size_t Btb::set_of(Addr pc) const noexcept {
+  return (pc >> 2) & (num_sets_ - 1);
+}
+
+std::optional<Addr> Btb::lookup(Addr pc) {
+  const std::size_t base = set_of(pc) * ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Entry& e = entries_[base + w];
+    if (e.valid && e.tag == pc) {
+      e.lru = ++tick_;
+      ++hits_;
+      return e.target;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void Btb::update(Addr pc, Addr target) {
+  const std::size_t base = set_of(pc) * ways_;
+  Entry* victim = &entries_[base];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Entry& e = entries_[base + w];
+    if (e.valid && e.tag == pc) {
+      e.target = target;
+      e.lru = ++tick_;
+      return;
+    }
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.lru < victim->lru) victim = &e;
+  }
+  victim->valid = true;
+  victim->tag = pc;
+  victim->target = target;
+  victim->lru = ++tick_;
+}
+
+}  // namespace mflush

@@ -1,0 +1,106 @@
+#include "branch/perceptron.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace mflush {
+namespace {
+
+constexpr std::uint64_t hash_pc(Addr pc) noexcept {
+  std::uint64_t x = pc >> 2;
+  x ^= x >> 17;
+  x *= 0xed5ad4bbull;
+  x ^= x >> 11;
+  return x;
+}
+
+constexpr std::uint32_t kMaxContexts = 64;
+constexpr std::uint32_t kLocalBits = 10;
+
+}  // namespace
+
+PerceptronPredictor::PerceptronPredictor(std::uint32_t num_perceptrons,
+                                         std::uint32_t local_entries,
+                                         std::uint32_t history_bits)
+    : history_bits_(std::min<std::uint32_t>(history_bits, 40)),
+      theta_(static_cast<std::int32_t>(
+          1.93 * (history_bits_ + kLocalBits) + 14.0)),
+      local_bits_(kLocalBits),
+      weights_(std::bit_ceil(std::max(1u, num_perceptrons))),
+      global_history_(kMaxContexts, 0),
+      local_history_(std::bit_ceil(std::max(1u, local_entries)), 0) {
+  for (auto& w : weights_)
+    w.assign(1 + history_bits_ + local_bits_, 0);
+}
+
+std::size_t PerceptronPredictor::table_index(Addr pc) const noexcept {
+  return hash_pc(pc) & (weights_.size() - 1);
+}
+
+std::size_t PerceptronPredictor::local_index(Addr pc) const noexcept {
+  return (pc >> 2) & (local_history_.size() - 1);
+}
+
+std::int32_t PerceptronPredictor::dot(Addr pc, std::uint64_t history) const {
+  const auto& w = weights_[table_index(pc)];
+  std::int32_t y = w[0];
+  for (std::uint32_t i = 0; i < history_bits_; ++i) {
+    const bool bit = (history >> i) & 1;
+    y += bit ? w[1 + i] : -w[1 + i];
+  }
+  const std::uint64_t lh = local_history_[local_index(pc)];
+  for (std::uint32_t i = 0; i < local_bits_; ++i) {
+    const bool bit = (lh >> i) & 1;
+    y += bit ? w[1 + history_bits_ + i] : -w[1 + history_bits_ + i];
+  }
+  return y;
+}
+
+bool PerceptronPredictor::predict(ThreadId tid, Addr pc) const {
+  ++preds_;
+  return dot(pc, global_history_[tid % kMaxContexts]) >= 0;
+}
+
+void PerceptronPredictor::update(ThreadId tid, Addr pc, bool taken,
+                                 bool predicted, std::uint64_t history) {
+  (void)tid;
+  if (predicted != taken) ++mispreds_;
+  const std::int32_t y = dot(pc, history);
+  const std::int32_t magnitude = y >= 0 ? y : -y;
+  if (predicted != taken || magnitude <= theta_) {
+    auto& w = weights_[table_index(pc)];
+    auto adjust = [taken](std::int8_t& wi, bool bit) {
+      const int delta = (bit == taken) ? 1 : -1;
+      const int next = wi + delta;
+      wi = static_cast<std::int8_t>(std::clamp(next, -128, 127));
+    };
+    // Bias correlates with "taken".
+    adjust(w[0], true);
+    for (std::uint32_t i = 0; i < history_bits_; ++i)
+      adjust(w[1 + i], (history >> i) & 1);
+    const std::uint64_t lh = local_history_[local_index(pc)];
+    for (std::uint32_t i = 0; i < local_bits_; ++i)
+      adjust(w[1 + history_bits_ + i], (lh >> i) & 1);
+  }
+  // Local history is updated non-speculatively at resolution.
+  auto& lh = local_history_[local_index(pc)];
+  lh = ((lh << 1) | (taken ? 1 : 0)) & ((1ull << local_bits_) - 1);
+}
+
+void PerceptronPredictor::push_history(ThreadId tid, bool taken) {
+  auto& gh = global_history_[tid % kMaxContexts];
+  gh = (gh << 1) | (taken ? 1 : 0);
+  if (history_bits_ < 64) gh &= (1ull << history_bits_) - 1;
+}
+
+std::uint64_t PerceptronPredictor::history_checkpoint(ThreadId tid) const {
+  return global_history_[tid % kMaxContexts];
+}
+
+void PerceptronPredictor::restore_history(ThreadId tid,
+                                          std::uint64_t checkpoint) {
+  global_history_[tid % kMaxContexts] = checkpoint;
+}
+
+}  // namespace mflush

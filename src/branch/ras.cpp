@@ -1,0 +1,22 @@
+#include "branch/ras.h"
+
+#include <algorithm>
+
+namespace mflush {
+
+Ras::Ras(std::uint32_t entries) : stack_(std::max(1u, entries), 0) {}
+
+void Ras::push(Addr return_pc) noexcept {
+  stack_[top_] = return_pc;
+  top_ = (top_ + 1) % capacity();
+  depth_ = std::min(depth_ + 1, capacity());
+}
+
+Addr Ras::pop() noexcept {
+  if (depth_ == 0) return 0;
+  top_ = (top_ + capacity() - 1) % capacity();
+  --depth_;
+  return stack_[top_];
+}
+
+}  // namespace mflush

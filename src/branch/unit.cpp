@@ -1,0 +1,102 @@
+#include "branch/unit.h"
+
+namespace mflush {
+
+BranchUnit::BranchUnit(const CoreConfig& cfg)
+    : perceptron_(cfg.perceptron_table, cfg.local_history_entries,
+                  cfg.history_bits),
+      btb_(cfg.btb_entries, cfg.btb_ways) {
+  ras_.reserve(cfg.threads_per_core);
+  for (std::uint32_t t = 0; t < cfg.threads_per_core; ++t)
+    ras_.emplace_back(cfg.ras_entries);
+}
+
+BranchPrediction BranchUnit::predict(ThreadId tid, const TraceInstr& ins) {
+  BranchPrediction pred;
+  switch (ins.cls) {
+    case InstrClass::Branch: {
+      pred.taken = perceptron_.predict(tid, ins.pc);
+      if (pred.taken) {
+        if (const auto target = btb_.lookup(ins.pc)) {
+          pred.target = *target;
+        } else {
+          // Predicted taken but no target known: the front-end cannot
+          // redirect, so the effective prediction is fall-through.
+          pred.taken = false;
+        }
+      }
+      if (!pred.taken) pred.target = ins.pc + 4;
+      perceptron_.push_history(tid, pred.taken);
+      break;
+    }
+    case InstrClass::Call: {
+      pred.taken = true;
+      if (const auto target = btb_.lookup(ins.pc)) {
+        pred.target = *target;
+      } else {
+        pred.target = ins.pc + 4;  // unknown target: effectively a mispredict
+        pred.taken = false;
+      }
+      ras_[tid].push(ins.pc + 4);
+      break;
+    }
+    case InstrClass::Return: {
+      pred.taken = true;
+      pred.target = ras_[tid].pop();
+      if (pred.target == 0) {
+        pred.target = ins.pc + 4;
+        pred.taken = false;
+      }
+      break;
+    }
+    default:
+      pred.taken = false;
+      pred.target = ins.pc + 4;
+      break;
+  }
+  return pred;
+}
+
+void BranchUnit::resolve(ThreadId tid, const TraceInstr& ins,
+                         bool predicted_taken, std::uint64_t history) {
+  switch (ins.cls) {
+    case InstrClass::Branch:
+      perceptron_.update(tid, ins.pc, ins.taken, predicted_taken, history);
+      if (ins.taken) btb_.update(ins.pc, ins.target);
+      break;
+    case InstrClass::Call:
+      btb_.update(ins.pc, ins.target);
+      break;
+    case InstrClass::Return:
+      break;  // RAS-predicted; nothing to train
+    default:
+      break;
+  }
+}
+
+void BranchUnit::apply_resolved(ThreadId tid, const TraceInstr& ins) {
+  switch (ins.cls) {
+    case InstrClass::Branch:
+      perceptron_.push_history(tid, ins.taken);
+      break;
+    case InstrClass::Call:
+      ras_[tid].push(ins.pc + 4);
+      break;
+    case InstrClass::Return:
+      (void)ras_[tid].pop();
+      break;
+    default:
+      break;
+  }
+}
+
+BranchUnit::Checkpoint BranchUnit::checkpoint(ThreadId tid) const {
+  return {perceptron_.history_checkpoint(tid), ras_[tid].checkpoint()};
+}
+
+void BranchUnit::restore(ThreadId tid, const Checkpoint& c) {
+  perceptron_.restore_history(tid, c.history);
+  ras_[tid].restore(c.ras);
+}
+
+}  // namespace mflush

@@ -1,0 +1,47 @@
+#include "common/config.h"
+
+#include <bit>
+
+namespace mflush {
+namespace {
+
+[[nodiscard]] bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && std::has_single_bit(v);
+}
+
+}  // namespace
+
+SimConfig SimConfig::paper_default(std::uint32_t num_cores, std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.num_cores = num_cores;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::string SimConfig::validate() const {
+  if (num_cores == 0) return "num_cores must be >= 1";
+  if (core.threads_per_core == 0) return "threads_per_core must be >= 1";
+  if (core.fetch_width == 0) return "fetch_width must be >= 1";
+  if (core.fetch_threads == 0 || core.fetch_threads > core.threads_per_core)
+    return "fetch_threads must be in [1, threads_per_core]";
+  if (core.rob_entries == 0) return "rob_entries must be >= 1";
+  if (core.int_phys_regs < kNumLogicalRegs / 2 * core.threads_per_core)
+    return "int_phys_regs too small to map architectural state";
+  if (core.fp_phys_regs < kNumLogicalRegs / 2 * core.threads_per_core)
+    return "fp_phys_regs too small to map architectural state";
+  if (!is_pow2(mem.line_bytes)) return "line_bytes must be a power of two";
+  if (!is_pow2(mem.page_bytes)) return "page_bytes must be a power of two";
+  if (!is_pow2(mem.l1i_banks) || !is_pow2(mem.l1d_banks) ||
+      !is_pow2(mem.l2_banks))
+    return "bank counts must be powers of two";
+  if (mem.l1i_bytes < mem.line_bytes * mem.l1i_ways)
+    return "l1i smaller than one set";
+  if (mem.l1d_bytes < mem.line_bytes * mem.l1d_ways)
+    return "l1d smaller than one set";
+  if (mem.l2_bytes / mem.l2_banks < mem.line_bytes * mem.l2_ways)
+    return "l2 bank smaller than one set";
+  if (mem.mshr_entries == 0) return "mshr_entries must be >= 1";
+  return {};
+}
+
+}  // namespace mflush

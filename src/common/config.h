@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+/// Simulation configuration.
+///
+/// Defaults reproduce Figure 1 of the paper ("Simulation parameters").
+/// Every knob the evaluation sweeps is a plain data member so experiments can
+/// be expressed as config edits.
+namespace mflush {
+
+/// Out-of-order SMT core parameters (Fig. 1, "Core Parameters").
+struct CoreConfig {
+  std::uint32_t threads_per_core = 2;     ///< hardware contexts per core
+  std::uint32_t fetch_width = 8;          ///< instructions fetched per cycle
+  std::uint32_t fetch_threads = 2;        ///< max threads fetched per cycle (ICOUNT2.8)
+  std::uint32_t decode_width = 8;
+  std::uint32_t rename_width = 8;
+  std::uint32_t issue_width = 8;
+  std::uint32_t commit_width = 8;         ///< per thread, per cycle
+
+  // Front-end stage latencies chosen so the total pipeline is 11 stages deep:
+  // 3 fetch + 2 decode + 2 rename + 1 queue(dispatch) + 1 regread +
+  // 1 execute(min) + 1 regwrite/commit.
+  std::uint32_t fetch_stages = 3;
+  std::uint32_t decode_stages = 2;
+  std::uint32_t rename_stages = 2;
+
+  std::uint32_t int_queue_entries = 64;   ///< shared among contexts
+  std::uint32_t fp_queue_entries = 64;
+  std::uint32_t mem_queue_entries = 64;   ///< load/store queue
+
+  std::uint32_t int_units = 4;
+  std::uint32_t fp_units = 3;
+  std::uint32_t ldst_units = 2;
+
+  std::uint32_t int_phys_regs = 320;      ///< shared among contexts
+  std::uint32_t fp_phys_regs = 320;
+
+  std::uint32_t rob_entries = 256;        ///< replicated per thread (Fig. 1 *)
+  std::uint32_t ras_entries = 100;        ///< replicated per thread (Fig. 1 *)
+
+  // Execution latencies per class.
+  std::uint32_t lat_int_alu = 1;
+  std::uint32_t lat_int_mul = 3;
+  std::uint32_t lat_fp_alu = 4;
+  std::uint32_t lat_fp_mul = 6;
+  std::uint32_t lat_branch = 1;
+
+  // Branch prediction (Fig. 1: perceptron, 4K local, 256 perceptrons; BTB
+  // 256 entries 4-way).
+  std::uint32_t perceptron_table = 256;
+  std::uint32_t local_history_entries = 4096;
+  std::uint32_t history_bits = 24;
+  std::uint32_t btb_entries = 256;
+  std::uint32_t btb_ways = 4;
+
+  bool model_wrong_path = true;  ///< fetch down mispredicted paths (bbdict)
+};
+
+/// Cache hierarchy parameters (Fig. 1, "Cache Hierarchy Parameters").
+struct MemConfig {
+  std::uint32_t line_bytes = 64;
+
+  std::uint32_t l1i_bytes = 64 * 1024;
+  std::uint32_t l1i_ways = 4;
+  std::uint32_t l1i_banks = 8;
+
+  std::uint32_t l1d_bytes = 32 * 1024;
+  std::uint32_t l1d_ways = 4;
+  std::uint32_t l1d_banks = 8;
+
+  std::uint32_t l1_latency = 3;      ///< L1 hit latency (cycles)
+
+  std::uint32_t itlb_entries = 512;  ///< fully associative
+  std::uint32_t dtlb_entries = 512;
+  std::uint32_t tlb_miss_penalty = 300;
+  std::uint32_t page_bytes = 8192;
+
+  std::uint32_t l2_bytes = 4 * 1024 * 1024;
+  std::uint32_t l2_ways = 12;
+  std::uint32_t l2_banks = 4;
+  std::uint32_t l2_bank_latency = 15;  ///< single-ported occupancy per access
+
+  std::uint32_t bus_latency = 4;       ///< L1->L2 request transfer (shared bus)
+
+  std::uint32_t memory_latency = 250;  ///< main memory (pipelined)
+
+  std::uint32_t mshr_entries = 16;     ///< per core, I+D unified
+
+  /// Unloaded L2 hit round trip as seen from load issue:
+  /// l1_latency + bus_latency + l2_bank_latency = 3 + 4 + 15 = 22, matching
+  /// the paper's "L1 lat./miss 3/22".
+  [[nodiscard]] std::uint32_t min_l2_roundtrip() const noexcept {
+    return l1_latency + bus_latency + l2_bank_latency;
+  }
+
+  /// Worst-case (miss) resolution latency excluding queueing: MAX.
+  [[nodiscard]] std::uint32_t max_l2_roundtrip() const noexcept {
+    return min_l2_roundtrip() + memory_latency;
+  }
+
+  /// The paper's Multicore Traffic term:
+  /// MT = (L1_L2_Bus_delay + L2_Bank_Acc_delay) * (Num_Cores - 1).
+  [[nodiscard]] std::uint32_t multicore_traffic(std::uint32_t num_cores) const noexcept {
+    if (num_cores == 0) return 0;
+    return (bus_latency + l2_bank_latency) * (num_cores - 1);
+  }
+};
+
+/// Whole-chip configuration.
+struct SimConfig {
+  std::uint32_t num_cores = 1;
+  CoreConfig core{};
+  MemConfig mem{};
+  std::uint64_t seed = 1;
+
+  /// Pre-install each thread's L2-resident working set into the L2 tags at
+  /// construction. The paper warms structures over 120 M-cycle runs; the
+  /// scaled-down windows here cannot warm a 4 MB L2 naturally.
+  bool prewarm_l2 = true;
+
+  /// Per-run guard: maximum in-flight window the trace source must be able
+  /// to rewind over (ROB + front-end slack).
+  [[nodiscard]] std::uint32_t rewind_window() const noexcept {
+    return core.rob_entries + 4 * core.fetch_width *
+                                  (core.fetch_stages + core.decode_stages +
+                                   core.rename_stages + 2);
+  }
+
+  [[nodiscard]] std::uint32_t total_threads() const noexcept {
+    return num_cores * core.threads_per_core;
+  }
+
+  /// Paper defaults for an n-core CMP+SMT chip.
+  [[nodiscard]] static SimConfig paper_default(std::uint32_t num_cores,
+                                               std::uint64_t seed = 1);
+
+  /// Validate invariants; returns an empty string when OK, else a message.
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace mflush

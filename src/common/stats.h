@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+/// Lightweight statistics containers used by every subsystem.
+namespace mflush {
+
+/// Streaming mean/variance/min/max (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  void reset() noexcept { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width-bin histogram over [0, bin_width * num_bins); values beyond
+/// the last bin land in the overflow bucket. Used for the Fig. 4 L2 hit-time
+/// distribution.
+class Histogram {
+ public:
+  Histogram(double bin_width, std::size_t num_bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] double mean() const noexcept {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+  [[nodiscard]] std::size_t num_bins() const noexcept { return bins_.size(); }
+  [[nodiscard]] double bin_width() const noexcept { return bin_width_; }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const {
+    return bins_.at(i);
+  }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Fraction of samples in [lo, hi) (clipped to histogram resolution).
+  [[nodiscard]] double fraction_between(double lo, double hi) const noexcept;
+
+  /// Approximate p-quantile (q in [0,1]) from bin midpoints.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+  /// Merge another histogram with identical geometry (asserts on mismatch).
+  void merge(const Histogram& other);
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Ratio helper that tolerates zero denominators.
+[[nodiscard]] double safe_ratio(double num, double den) noexcept;
+
+/// Geometric mean of a vector of positive values (0 if empty).
+[[nodiscard]] double geo_mean(const std::vector<double>& xs) noexcept;
+
+/// Arithmetic mean (0 if empty).
+[[nodiscard]] double arith_mean(const std::vector<double>& xs) noexcept;
+
+}  // namespace mflush

@@ -1,0 +1,70 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mflush {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double v, int precision) {
+  std::ostringstream os;
+  os << std::showpos << std::fixed << std::setprecision(precision) << v * 100.0
+     << "%";
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << (c == 0 ? std::left : std::right) << row[c];
+      os << std::right;
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c == 0 ? "" : ",") << row[c];
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace mflush

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// Minimal aligned-table / CSV printer for bench and example output.
+namespace mflush {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must match header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `precision` digits.
+  [[nodiscard]] static std::string num(double v, int precision = 3);
+  [[nodiscard]] static std::string pct(double v, int precision = 1);
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (for downstream plotting).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mflush

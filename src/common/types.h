@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// Fundamental scalar types shared across the simulator.
+///
+/// Everything in the model is expressed in *cycles* of a single global clock;
+/// all identifiers are small dense integers so they can index vectors.
+namespace mflush {
+
+/// Global simulation clock value.
+using Cycle = std::uint64_t;
+
+/// Byte address in the simulated (flat, per-thread-offset) address space.
+using Addr = std::uint64_t;
+
+/// Monotonic per-thread instruction sequence number (trace position).
+using SeqNo = std::uint64_t;
+
+/// Index of a hardware context within one SMT core (0 or 1 for 2-way SMT).
+using ThreadId = std::uint32_t;
+
+/// Index of an SMT core within the CMP.
+using CoreId = std::uint32_t;
+
+/// Index of a physical register within a register file.
+using PhysReg = std::uint16_t;
+
+/// Index of a logical (architectural) register, 0..kNumLogicalRegs-1.
+using LogReg = std::uint8_t;
+
+/// Sentinel for "no register".
+inline constexpr PhysReg kNoPhysReg = 0xffff;
+inline constexpr LogReg kNoLogReg = 0xff;
+
+/// Number of architectural registers visible to a trace (int + fp unified
+/// namespaces of 32 each; see trace/instr.h for the split).
+inline constexpr std::size_t kNumLogicalRegs = 64;
+
+/// Sentinel cycle meaning "never / not yet scheduled".
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+/// Broad instruction classes; the fetch-policy study only needs these.
+enum class InstrClass : std::uint8_t {
+  IntAlu,   ///< 1-cycle integer op
+  IntMul,   ///< 3-cycle integer multiply/divide-like op
+  FpAlu,    ///< 4-cycle floating-point op
+  FpMul,    ///< 6-cycle floating-point multiply/divide-like op
+  Load,     ///< memory read (L1D and below)
+  Store,    ///< memory write (allocates at commit)
+  Branch,   ///< conditional branch
+  Call,     ///< call (pushes RAS)
+  Return,   ///< return (pops RAS)
+};
+
+/// Number of distinct InstrClass values.
+inline constexpr std::size_t kNumInstrClasses = 9;
+
+[[nodiscard]] constexpr bool is_memory(InstrClass c) noexcept {
+  return c == InstrClass::Load || c == InstrClass::Store;
+}
+
+[[nodiscard]] constexpr bool is_control(InstrClass c) noexcept {
+  return c == InstrClass::Branch || c == InstrClass::Call ||
+         c == InstrClass::Return;
+}
+
+[[nodiscard]] constexpr bool is_fp(InstrClass c) noexcept {
+  return c == InstrClass::FpAlu || c == InstrClass::FpMul;
+}
+
+[[nodiscard]] constexpr const char* to_string(InstrClass c) noexcept {
+  switch (c) {
+    case InstrClass::IntAlu: return "IntAlu";
+    case InstrClass::IntMul: return "IntMul";
+    case InstrClass::FpAlu: return "FpAlu";
+    case InstrClass::FpMul: return "FpMul";
+    case InstrClass::Load: return "Load";
+    case InstrClass::Store: return "Store";
+    case InstrClass::Branch: return "Branch";
+    case InstrClass::Call: return "Call";
+    case InstrClass::Return: return "Return";
+  }
+  return "?";
+}
+
+/// Pipeline stages used for occupancy accounting and the Fig. 10 energy
+/// factor table. `Commit` means the instruction retired (cost 1 unit).
+enum class PipeStage : std::uint8_t {
+  Fetch,
+  Decode,
+  Rename,
+  Queue,     ///< waiting in an issue queue (pre-issue)
+  RegRead,
+  Execute,
+  RegWrite,
+  Commit,
+};
+
+inline constexpr std::size_t kNumPipeStages = 8;
+
+[[nodiscard]] constexpr const char* to_string(PipeStage s) noexcept {
+  switch (s) {
+    case PipeStage::Fetch: return "Fetch";
+    case PipeStage::Decode: return "Decode";
+    case PipeStage::Rename: return "Rename";
+    case PipeStage::Queue: return "Queue";
+    case PipeStage::RegRead: return "RegRead";
+    case PipeStage::Execute: return "Execute";
+    case PipeStage::RegWrite: return "RegWrite";
+    case PipeStage::Commit: return "Commit";
+  }
+  return "?";
+}
+
+}  // namespace mflush

@@ -1,0 +1,125 @@
+#include "core/factory.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "core/counts.h"
+#include "core/flush.h"
+#include "core/icount.h"
+#include "core/mflush.h"
+#include "core/stall.h"
+
+namespace mflush {
+
+std::string PolicySpec::label() const {
+  switch (kind) {
+    case Kind::Icount: return "ICOUNT";
+    case Kind::Brcount: return "BRCOUNT";
+    case Kind::MissCount: return "L1DMISSCOUNT";
+    case Kind::FlushSpec: return "FLUSH-S" + std::to_string(trigger);
+    case Kind::FlushNonSpec: return "FLUSH-NS";
+    case Kind::Stall: return "STALL-S" + std::to_string(trigger);
+    case Kind::Mflush: {
+      std::string s = "MFLUSH";
+      if (mcreg_history > 1) {
+        s += "-H" + std::to_string(mcreg_history);
+        if (mcreg_agg == McRegAgg::Max) s += "MAX";
+        if (mcreg_agg == McRegAgg::Avg) s += "AVG";
+      }
+      if (!preventive) s += "-NP";
+      return s;
+    }
+  }
+  return "?";
+}
+
+std::optional<PolicySpec> PolicySpec::parse(std::string_view s) {
+  std::string lower(s);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "icount") return icount();
+  if (lower == "brcount") return brcount();
+  if (lower == "l1dmisscount" || lower == "misscount") return misscount();
+  if (lower == "mflush") return mflush();
+  if (lower == "mflush-np") return mflush_no_preventive();
+  if (lower == "flush-ns") return flush_ns();
+
+  auto parse_number = [](std::string_view tail) -> std::optional<Cycle> {
+    Cycle v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(tail.data(), tail.data() + tail.size(), v);
+    if (ec != std::errc{} || ptr != tail.data() + tail.size() || v == 0)
+      return std::nullopt;
+    return v;
+  };
+
+  if (lower.starts_with("mflush-h")) {
+    std::string_view tail = std::string_view(lower).substr(8);
+    McRegAgg agg = McRegAgg::Avg;
+    if (tail.ends_with("max")) {
+      agg = McRegAgg::Max;
+      tail.remove_suffix(3);
+    } else if (tail.ends_with("avg")) {
+      tail.remove_suffix(3);
+    }
+    if (const auto h = parse_number(tail))
+      return mflush_history(static_cast<std::uint32_t>(*h), agg);
+    return std::nullopt;
+  }
+  if (lower.starts_with("flush-s")) {
+    if (const auto t = parse_number(std::string_view(lower).substr(7)))
+      return flush_spec(*t);
+    return std::nullopt;
+  }
+  if (lower.starts_with("stall-s")) {
+    if (const auto t = parse_number(std::string_view(lower).substr(7)))
+      return stall(*t);
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<FetchPolicy> make_policy(const PolicySpec& spec,
+                                         const SimConfig& cfg) {
+  switch (spec.kind) {
+    case PolicySpec::Kind::Icount:
+      return std::make_unique<IcountPolicy>();
+    case PolicySpec::Kind::Brcount:
+      return std::make_unique<BrcountPolicy>();
+    case PolicySpec::Kind::MissCount:
+      return std::make_unique<L1DMissCountPolicy>();
+    case PolicySpec::Kind::FlushSpec:
+      return std::make_unique<FlushPolicy>(FlushPolicy::DetectionMoment::SpecDelay,
+                                           spec.trigger);
+    case PolicySpec::Kind::FlushNonSpec:
+      return std::make_unique<FlushPolicy>(
+          FlushPolicy::DetectionMoment::NonSpec, 0);
+    case PolicySpec::Kind::Stall:
+      return std::make_unique<StallPolicy>(spec.trigger);
+    case PolicySpec::Kind::Mflush: {
+      MflushConfig mc;
+      mc.min_latency = cfg.mem.min_l2_roundtrip();
+      mc.max_latency = cfg.mem.max_l2_roundtrip();
+      mc.mt = cfg.mem.multicore_traffic(cfg.num_cores);
+      mc.num_banks = cfg.mem.l2_banks;
+      mc.history_len = spec.mcreg_history;
+      switch (spec.mcreg_agg) {
+        case PolicySpec::McRegAgg::Last:
+          mc.aggregate = MflushConfig::Aggregate::Last;
+          break;
+        case PolicySpec::McRegAgg::Max:
+          mc.aggregate = MflushConfig::Aggregate::Max;
+          break;
+        case PolicySpec::McRegAgg::Avg:
+          mc.aggregate = MflushConfig::Aggregate::Avg;
+          break;
+      }
+      mc.enable_preventive = spec.preventive;
+      return std::make_unique<MflushPolicy>(mc);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace mflush

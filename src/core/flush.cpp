@@ -1,0 +1,72 @@
+#include "core/flush.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mflush {
+
+FlushPolicy::FlushPolicy(DetectionMoment dm, Cycle trigger)
+    : dm_(dm), trigger_(trigger) {
+  name_ = dm == DetectionMoment::NonSpec
+              ? "FLUSH-NS"
+              : "FLUSH-S" + std::to_string(trigger);
+}
+
+void FlushPolicy::on_load_issued(ThreadId tid, std::uint64_t token,
+                                 std::uint32_t /*l2_bank*/, Cycle now) {
+  outstanding_.emplace(token, Outstanding{tid, now, false});
+}
+
+void FlushPolicy::on_load_l2_miss(ThreadId /*tid*/, std::uint64_t token,
+                                  std::uint32_t /*bank*/, Cycle /*now*/) {
+  if (const auto it = outstanding_.find(token); it != outstanding_.end())
+    it->second.l2_miss_known = true;
+}
+
+void FlushPolicy::on_load_resolved(ThreadId tid, std::uint64_t token,
+                                   Cycle /*issue*/, Cycle /*now*/,
+                                   bool l2_accessed, bool l2_hit,
+                                   std::uint32_t /*bank*/) {
+  outstanding_.erase(token);
+  if (flush_token_[tid] == token) {
+    flush_token_[tid] = 0;
+    if (!l2_accessed)
+      ++counters_.flushes_on_l1;
+    else if (l2_hit)
+      ++counters_.flushes_on_hit;  // false miss
+    else
+      ++counters_.flushes_on_miss;
+  }
+}
+
+void FlushPolicy::on_cycle(Cycle now, CoreControl& ctrl) {
+  // Collect triggered tokens first: flushing mutates core state that feeds
+  // back into `outstanding_` via callbacks. Oldest offender first — the
+  // response action squashes everything younger than the chosen load.
+  std::vector<std::pair<Cycle, std::uint64_t>> by_age;
+  for (const auto& [token, o] : outstanding_) {
+    if (thread_flushed(o.tid)) continue;
+    const bool triggered = dm_ == DetectionMoment::SpecDelay
+                               ? now >= o.issue + trigger_
+                               : o.l2_miss_known;
+    if (triggered) by_age.emplace_back(o.issue, token);
+  }
+  std::sort(by_age.begin(), by_age.end());
+  std::vector<std::uint64_t> fire;
+  fire.reserve(by_age.size());
+  for (const auto& [issue, token] : by_age) fire.push_back(token);
+  for (const std::uint64_t token : fire) {
+    const auto it = outstanding_.find(token);
+    if (it == outstanding_.end()) continue;
+    const ThreadId tid = it->second.tid;
+    if (thread_flushed(tid)) continue;  // another load already flushed it
+    if (ctrl.flush_after_load(token)) {
+      flush_token_[tid] = token;
+    } else {
+      // The load vanished (completed or squashed by an older flush).
+      outstanding_.erase(token);
+    }
+  }
+}
+
+}  // namespace mflush

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "core/fetch_policy.h"
+
+namespace mflush {
+
+/// FLUSH (Tullsen & Brown, MICRO-34) on top of ICOUNT ordering.
+///
+/// Detection Moment (§3 of the paper):
+///  * SpecDelay (FL-SX): a load is declared an L2 miss once it has been
+///    outstanding more than `trigger` cycles after issuing from the LSQ.
+///  * NonSpec (FL-NS): wait until the L2 bank determines the miss.
+///
+/// Response Action: squash the offending thread's younger instructions,
+/// free its resources, stall its fetch until the load resolves.
+class FlushPolicy final : public FetchPolicy {
+ public:
+  enum class DetectionMoment { SpecDelay, NonSpec };
+
+  FlushPolicy(DetectionMoment dm, Cycle trigger);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return name_.c_str();
+  }
+
+  void on_cycle(Cycle now, CoreControl& ctrl) override;
+  void on_load_issued(ThreadId tid, std::uint64_t token,
+                      std::uint32_t l2_bank, Cycle now) override;
+  void on_load_l2_miss(ThreadId tid, std::uint64_t token, std::uint32_t bank,
+                       Cycle now) override;
+  void on_load_resolved(ThreadId tid, std::uint64_t token, Cycle issue,
+                        Cycle now, bool l2_accessed, bool l2_hit,
+                        std::uint32_t bank) override;
+
+  void fetch_order(const CoreView& view,
+                   std::array<ThreadId, kMaxContexts>& order) override {
+    icount_order(view, order);
+  }
+
+  [[nodiscard]] DetectionMoment detection_moment() const noexcept {
+    return dm_;
+  }
+  [[nodiscard]] Cycle trigger() const noexcept { return trigger_; }
+  [[nodiscard]] Counters counters() const override { return counters_; }
+
+ private:
+  struct Outstanding {
+    ThreadId tid = 0;
+    Cycle issue = 0;
+    bool l2_miss_known = false;  ///< NonSpec trigger armed
+  };
+
+  [[nodiscard]] bool thread_flushed(ThreadId tid) const noexcept {
+    return flush_token_[tid] != 0;
+  }
+
+  DetectionMoment dm_;
+  Cycle trigger_;
+  std::string name_;
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  std::array<std::uint64_t, kMaxContexts> flush_token_{};
+  Counters counters_{};
+};
+
+}  // namespace mflush

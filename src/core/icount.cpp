@@ -1,0 +1,4 @@
+#include "core/icount.h"
+
+// Header-only; this translation unit anchors the target.
+namespace mflush {}

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "core/fetch_policy.h"
+
+namespace mflush {
+
+/// ICOUNT (Tullsen et al., ISCA-23): fetch priority to the thread with the
+/// fewest instructions in the pre-issue stages. No response action — a
+/// thread blocked on an L2 miss keeps its resources (the pathology FLUSH
+/// and MFLUSH address).
+class IcountPolicy final : public FetchPolicy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "ICOUNT"; }
+
+  void fetch_order(const CoreView& view,
+                   std::array<ThreadId, kMaxContexts>& order) override {
+    icount_order(view, order);
+  }
+};
+
+}  // namespace mflush

@@ -1,0 +1,47 @@
+#include "core/stall.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mflush {
+
+StallPolicy::StallPolicy(Cycle trigger)
+    : trigger_(trigger), name_("STALL-S" + std::to_string(trigger)) {}
+
+void StallPolicy::on_load_issued(ThreadId tid, std::uint64_t token,
+                                 std::uint32_t /*l2_bank*/, Cycle now) {
+  outstanding_.emplace(token, Outstanding{tid, now});
+}
+
+void StallPolicy::on_load_resolved(ThreadId tid, std::uint64_t token,
+                                   Cycle /*issue*/, Cycle /*now*/,
+                                   bool /*l2_accessed*/, bool /*l2_hit*/,
+                                   std::uint32_t /*bank*/) {
+  outstanding_.erase(token);
+  if (stall_token_[tid] == token) stall_token_[tid] = 0;
+}
+
+void StallPolicy::on_cycle(Cycle now, CoreControl& ctrl) {
+  std::vector<std::pair<Cycle, std::uint64_t>> by_age;
+  for (const auto& [token, o] : outstanding_) {
+    if (stall_token_[o.tid] != 0) continue;
+    if (now >= o.issue + trigger_) by_age.emplace_back(o.issue, token);
+  }
+  std::sort(by_age.begin(), by_age.end());
+  std::vector<std::uint64_t> fire;
+  fire.reserve(by_age.size());
+  for (const auto& [issue, token] : by_age) fire.push_back(token);
+  for (const std::uint64_t token : fire) {
+    const auto it = outstanding_.find(token);
+    if (it == outstanding_.end()) continue;
+    const ThreadId tid = it->second.tid;
+    if (stall_token_[tid] != 0) continue;
+    if (ctrl.stall_until_load(token)) {
+      stall_token_[tid] = token;
+    } else {
+      outstanding_.erase(token);
+    }
+  }
+}
+
+}  // namespace mflush

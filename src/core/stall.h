@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "core/fetch_policy.h"
+
+namespace mflush {
+
+/// STALL (Tullsen & Brown, MICRO-34): like speculative FLUSH but the
+/// response action only stops fetching for the offending thread — already
+/// fetched instructions keep their resources. Cheaper in energy, weaker at
+/// freeing resources; included as the philosophical ancestor of MFLUSH's
+/// Preventive State and for ablation benches.
+class StallPolicy final : public FetchPolicy {
+ public:
+  explicit StallPolicy(Cycle trigger);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return name_.c_str();
+  }
+
+  void on_cycle(Cycle now, CoreControl& ctrl) override;
+  void on_load_issued(ThreadId tid, std::uint64_t token,
+                      std::uint32_t l2_bank, Cycle now) override;
+  void on_load_resolved(ThreadId tid, std::uint64_t token, Cycle issue,
+                        Cycle now, bool l2_accessed, bool l2_hit,
+                        std::uint32_t bank) override;
+
+  void fetch_order(const CoreView& view,
+                   std::array<ThreadId, kMaxContexts>& order) override {
+    icount_order(view, order);
+  }
+
+  [[nodiscard]] Cycle trigger() const noexcept { return trigger_; }
+
+ private:
+  struct Outstanding {
+    ThreadId tid = 0;
+    Cycle issue = 0;
+  };
+
+  Cycle trigger_;
+  std::string name_;
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  std::array<std::uint64_t, kMaxContexts> stall_token_{};
+};
+
+}  // namespace mflush

@@ -1,0 +1,33 @@
+#include "energy/accounting.h"
+
+#include "energy/factors.h"
+
+namespace mflush::energy {
+
+double wasted_units(const std::array<std::uint64_t, kNumPipeStages>&
+                        squashed_by_stage) noexcept {
+  double units = 0.0;
+  for (std::size_t s = 0; s < kNumPipeStages; ++s) {
+    units += static_cast<double>(squashed_by_stage[s]) *
+             accumulated_factor(static_cast<PipeStage>(s));
+  }
+  return units;
+}
+
+EnergyReport report_for(const CoreStats& stats) noexcept {
+  EnergyReport r;
+  r.committed_units = static_cast<double>(stats.committed_total());
+  r.flush_wasted_units = wasted_units(stats.policy_flushed_by_stage);
+  r.branch_wasted_units = wasted_units(stats.branch_squashed_by_stage);
+  return r;
+}
+
+EnergyReport merge(const EnergyReport& a, const EnergyReport& b) noexcept {
+  EnergyReport r;
+  r.committed_units = a.committed_units + b.committed_units;
+  r.flush_wasted_units = a.flush_wasted_units + b.flush_wasted_units;
+  r.branch_wasted_units = a.branch_wasted_units + b.branch_wasted_units;
+  return r;
+}
+
+}  // namespace mflush::energy

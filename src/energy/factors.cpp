@@ -1,0 +1,4 @@
+#include "energy/factors.h"
+
+// Constexpr tables; this translation unit anchors the target.
+namespace mflush::energy {}

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+
+/// The paper's energy model (Figs. 9 and 10), derived from Folegnani &
+/// González's ISCA-28 analysis: committing one instruction costs 1 energy
+/// unit, spread across the pipeline stages per the Fig. 10 factors. An
+/// instruction flushed at stage S has consumed the *accumulated* factor of
+/// S and must be re-fetched, so that energy is wasted.
+namespace mflush::energy {
+
+struct StageFactor {
+  PipeStage stage;
+  double local;        ///< Fig. 10 "Local"
+  double accumulated;  ///< Fig. 10 "Accumulated"
+};
+
+/// Fig. 10 — Energy Consumption Factor.
+inline constexpr std::array<StageFactor, kNumPipeStages> kFactors{{
+    {PipeStage::Fetch, 0.13, 0.13},
+    {PipeStage::Decode, 0.03, 0.16},
+    {PipeStage::Rename, 0.22, 0.38},
+    {PipeStage::Queue, 0.26, 0.64},
+    {PipeStage::RegRead, 0.05, 0.69},
+    {PipeStage::Execute, 0.13, 0.82},
+    {PipeStage::RegWrite, 0.05, 0.87},
+    {PipeStage::Commit, 0.13, 1.0},
+}};
+
+[[nodiscard]] constexpr double local_factor(PipeStage s) noexcept {
+  return kFactors[static_cast<std::size_t>(s)].local;
+}
+
+[[nodiscard]] constexpr double accumulated_factor(PipeStage s) noexcept {
+  return kFactors[static_cast<std::size_t>(s)].accumulated;
+}
+
+/// Fig. 9(a) — energy distribution per hardware resource of a typical
+/// execution pipeline (the Fig. 10 local factors grouped by resource).
+struct ResourceShare {
+  const char* resource;
+  double fraction;
+};
+
+inline constexpr std::array<ResourceShare, 6> kResourceShares{{
+    {"Fetch/I-cache", 0.13},
+    {"Decode", 0.03},
+    {"Rename", 0.22},
+    {"Issue queues", 0.26},
+    {"Register file", 0.10},  // read 0.05 + write 0.05
+    {"Execute+Commit", 0.26}, // execute 0.13 + commit 0.13
+}};
+
+/// Compile-time consistency checks of the paper's table.
+static_assert(accumulated_factor(PipeStage::Commit) == 1.0);
+
+}  // namespace mflush::energy

@@ -1,0 +1,43 @@
+#include "mem/bus.h"
+
+namespace mflush {
+
+SharedBus::SharedBus(std::uint32_t num_cores, std::uint32_t latency)
+    : latency_(std::max(1u, latency)), per_core_(std::max(1u, num_cores)) {}
+
+void SharedBus::push(CoreId core, std::uint64_t payload, Cycle now) {
+  per_core_[core].push_back({payload, now});
+}
+
+void SharedBus::tick(Cycle now, std::vector<std::uint64_t>& delivered) {
+  // Deliver transfers that have completed.
+  while (!in_flight_.empty() && in_flight_.front().arrives <= now) {
+    delivered.push_back(in_flight_.front().payload);
+    in_flight_.pop_front();
+  }
+  // Grant a new transfer once the bus is free, round-robin over cores.
+  if (now < busy_until_) return;
+  const auto n = static_cast<std::uint32_t>(per_core_.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t c = (rr_next_ + i) % n;
+    auto& q = per_core_[c];
+    if (!q.empty()) {
+      const Queued item = q.front();
+      q.pop_front();
+      in_flight_.push_back({item.payload, now + latency_});
+      busy_until_ = now + latency_;
+      ++transfers_;
+      if (now > item.enqueued) queue_wait_cycles_ += now - item.enqueued;
+      rr_next_ = (c + 1) % n;
+      break;
+    }
+  }
+}
+
+std::size_t SharedBus::queued() const noexcept {
+  std::size_t total = in_flight_.size();
+  for (const auto& q : per_core_) total += q.size();
+  return total;
+}
+
+}  // namespace mflush

@@ -1,0 +1,82 @@
+#include "mem/cache.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace mflush {
+
+SetAssocCache::SetAssocCache(CacheGeometry g) : geom_(g), sets_(g.num_sets()) {
+  if (g.size_bytes == 0 || g.ways == 0 || g.line_bytes == 0)
+    throw std::invalid_argument("cache geometry must be non-zero");
+  if (!std::has_single_bit(g.line_bytes) || !std::has_single_bit(g.banks))
+    throw std::invalid_argument("line size and banks must be powers of two");
+  // Non-power-of-two set counts (e.g. the paper's 4 MB / 12-way L2) use
+  // modulo indexing; a fractional trailing set is dropped.
+  if (sets_ == 0)
+    throw std::invalid_argument("cache smaller than one set");
+  lines_.resize(static_cast<std::size_t>(sets_) * g.ways);
+}
+
+std::size_t SetAssocCache::set_index(Addr addr) const noexcept {
+  return static_cast<std::size_t>((addr / geom_.line_bytes) % sets_);
+}
+
+bool SetAssocCache::access(Addr addr, bool is_write) {
+  const Addr line = line_of(addr);
+  const std::size_t base = set_index(addr) * geom_.ways;
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    Line& l = lines_[base + w];
+    if (l.valid && l.tag == line) {
+      l.lru = ++tick_;
+      if (is_write) l.dirty = true;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  return false;
+}
+
+bool SetAssocCache::probe(Addr addr) const {
+  const Addr line = line_of(addr);
+  const std::size_t base = set_index(addr) * geom_.ways;
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    const Line& l = lines_[base + w];
+    if (l.valid && l.tag == line) return true;
+  }
+  return false;
+}
+
+EvictInfo SetAssocCache::fill(Addr addr, bool dirty) {
+  const Addr line = line_of(addr);
+  const std::size_t base = set_index(addr) * geom_.ways;
+  Line* victim = &lines_[base];
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    Line& l = lines_[base + w];
+    if (l.valid && l.tag == line) {
+      // Already present (e.g. racing fill): refresh.
+      l.lru = ++tick_;
+      l.dirty = l.dirty || dirty;
+      return {};
+    }
+    if (!l.valid) {
+      victim = &l;
+    } else if (victim->valid && l.lru < victim->lru) {
+      victim = &l;
+    }
+  }
+  EvictInfo info;
+  if (victim->valid) {
+    info.evicted = true;
+    info.victim_dirty = victim->dirty;
+    info.victim_line = victim->tag;
+  }
+  victim->valid = true;
+  victim->tag = line;
+  victim->dirty = dirty;
+  victim->lru = ++tick_;
+  return info;
+}
+
+}  // namespace mflush

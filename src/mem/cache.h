@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mflush {
+
+/// Geometry of a set-associative cache (or one bank slice of one).
+struct CacheGeometry {
+  std::uint32_t size_bytes = 0;
+  std::uint32_t ways = 1;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t banks = 1;
+
+  [[nodiscard]] std::uint32_t num_sets() const noexcept {
+    return size_bytes / (ways * line_bytes);
+  }
+};
+
+/// Result of a tag-array fill: identifies the evicted victim, if any.
+struct EvictInfo {
+  bool evicted = false;
+  bool victim_dirty = false;
+  Addr victim_line = 0;  ///< line-aligned byte address
+};
+
+/// Set-associative tag array with true LRU and write-back/write-allocate
+/// semantics. Only tags and dirty bits are modelled (timing simulator: data
+/// values do not exist).
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(CacheGeometry g);
+
+  /// Tag lookup; updates LRU and the dirty bit on a write hit.
+  [[nodiscard]] bool access(Addr addr, bool is_write);
+
+  /// Lookup without any state change.
+  [[nodiscard]] bool probe(Addr addr) const;
+
+  /// Install a line (after a miss completes); returns the victim.
+  EvictInfo fill(Addr addr, bool dirty);
+
+  /// Line-aligned address and bank index helpers.
+  [[nodiscard]] Addr line_of(Addr addr) const noexcept {
+    return addr & ~static_cast<Addr>(geom_.line_bytes - 1);
+  }
+  [[nodiscard]] std::uint32_t bank_of(Addr addr) const noexcept {
+    return static_cast<std::uint32_t>((addr / geom_.line_bytes) &
+                                      (geom_.banks - 1));
+  }
+
+  [[nodiscard]] const CacheGeometry& geometry() const noexcept { return geom_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  void reset_stats() noexcept {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::size_t set_index(Addr addr) const noexcept;
+
+  CacheGeometry geom_;
+  std::uint32_t sets_;
+  std::vector<Line> lines_;  ///< sets * ways row-major
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mflush

@@ -1,0 +1,291 @@
+#include "mem/hierarchy.h"
+
+#include <cassert>
+
+namespace mflush {
+
+MemoryHierarchy::MemoryHierarchy(const SimConfig& cfg)
+    : cfg_(cfg),
+      bus_(cfg.num_cores, cfg.mem.bus_latency),
+      l2_(cfg.mem.l2_bytes, cfg.mem.l2_ways, cfg.mem.line_bytes,
+          cfg.mem.l2_banks, cfg.mem.l2_bank_latency),
+      memory_(cfg.mem.memory_latency) {
+  const std::uint32_t n = cfg.num_cores;
+  l1i_.reserve(n);
+  l1d_.reserve(n);
+  itlb_.reserve(n);
+  dtlb_.reserve(n);
+  mshr_.reserve(n);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    l1i_.emplace_back(CacheGeometry{cfg.mem.l1i_bytes, cfg.mem.l1i_ways,
+                                    cfg.mem.line_bytes, cfg.mem.l1i_banks});
+    l1d_.emplace_back(CacheGeometry{cfg.mem.l1d_bytes, cfg.mem.l1d_ways,
+                                    cfg.mem.line_bytes, cfg.mem.l1d_banks});
+    itlb_.emplace_back(cfg.mem.itlb_entries, cfg.mem.page_bytes);
+    dtlb_.emplace_back(cfg.mem.dtlb_entries, cfg.mem.page_bytes);
+    mshr_.emplace_back(cfg.mem.mshr_entries);
+  }
+  mshr_overflow_.resize(n);
+  completions_.resize(n);
+  l2_events_.resize(n);
+  l2_miss_events_.resize(n);
+}
+
+std::uint64_t MemoryHierarchy::alloc_fetch_slot() {
+  if (!fetch_free_.empty()) {
+    const std::uint64_t idx = fetch_free_.back();
+    fetch_free_.pop_back();
+    return idx;
+  }
+  fetch_pool_.emplace_back();
+  return fetch_pool_.size() - 1;
+}
+
+std::uint64_t MemoryHierarchy::request_load(CoreId core, ThreadId tid,
+                                            Addr addr, Cycle now) {
+  ++stats_.loads;
+  Cycle penalty = 0;
+  if (!dtlb_[core].access(addr)) {
+    ++stats_.dtlb_misses;
+    penalty = cfg_.mem.tlb_miss_penalty;
+  }
+  Req r;
+  r.core = core;
+  r.tid = tid;
+  r.addr = addr;
+  r.kind = MemKind::Load;
+  r.token = next_token_++;
+  r.issue = now;
+  r.ready_at = now + cfg_.mem.l1_latency + penalty;
+  r.order = next_order_++;
+  l1_pipe_.push(r);
+  return r.token;
+}
+
+void MemoryHierarchy::request_store(CoreId core, ThreadId tid, Addr addr,
+                                    Cycle now) {
+  ++stats_.stores;
+  Cycle penalty = 0;
+  if (!dtlb_[core].access(addr)) {
+    ++stats_.dtlb_misses;
+    penalty = cfg_.mem.tlb_miss_penalty;
+  }
+  Req r;
+  r.core = core;
+  r.tid = tid;
+  r.addr = addr;
+  r.kind = MemKind::Store;
+  r.token = 0;  // fire-and-forget
+  r.issue = now;
+  r.ready_at = now + cfg_.mem.l1_latency + penalty;
+  r.order = next_order_++;
+  l1_pipe_.push(r);
+}
+
+std::optional<std::uint64_t> MemoryHierarchy::request_ifetch(CoreId core,
+                                                             ThreadId tid,
+                                                             Addr pc,
+                                                             Cycle now) {
+  ++stats_.ifetches;
+  if (!itlb_[core].access(pc)) {
+    // Page-walk first, then the L1I probe happens when the walk finishes.
+    ++stats_.itlb_misses;
+    Req r;
+    r.core = core;
+    r.tid = tid;
+    r.addr = pc;
+    r.kind = MemKind::IFetch;
+    r.token = next_token_++;
+    r.issue = now;
+    r.ready_at = now + cfg_.mem.tlb_miss_penalty;
+    r.order = next_order_++;
+    l1_pipe_.push(r);
+    return r.token;
+  }
+  // The 3-cycle L1I pipeline is folded into the front-end fetch stages, so
+  // a hit does not add a bubble.
+  if (l1i_[core].access(pc, /*is_write=*/false)) return std::nullopt;
+  Req r;
+  r.core = core;
+  r.tid = tid;
+  r.addr = pc;
+  r.kind = MemKind::IFetch;
+  r.token = next_token_++;
+  r.issue = now;
+  r.ready_at = now;
+  r.order = next_order_++;
+  // Miss handled immediately (no extra pipe delay: the probe already
+  // happened synchronously).
+  start_line_fetch(r, l1i_[core].line_of(pc), now);
+  return r.token;
+}
+
+void MemoryHierarchy::process_l1(const Req& r, Cycle now) {
+  SetAssocCache& cache = r.kind == MemKind::IFetch ? l1i_[r.core] : l1d_[r.core];
+  const bool hit = cache.access(r.addr, r.kind == MemKind::Store);
+  if (hit) {
+    if (r.kind != MemKind::Store) {
+      completions_[r.core].push_back(MemCompletion{
+          r.token, r.tid, r.kind, r.issue, now, false, false, 0});
+    }
+    return;
+  }
+  start_line_fetch(r, cache.line_of(r.addr), now);
+}
+
+void MemoryHierarchy::start_line_fetch(const Req& r, Addr line, Cycle now) {
+  Mshr& mshr = mshr_[r.core];
+  MshrWaiter waiter{r.token, r.tid, r.issue, r.kind};
+
+  if (r.kind == MemKind::Load) {
+    // The moment the access leaves for the L2: MFLUSH reads MCReg here.
+    l2_events_[r.core].push_back(
+        L2PathEvent{r.token, r.tid, l2_.bank_of(line), now});
+  }
+
+  if (const auto slot = mshr.find(line)) {
+    mshr.attach(*slot, waiter);  // secondary miss: coalesce
+    if (r.kind == MemKind::Load && mshr.miss_known(*slot)) {
+      // The line already missed in L2: a non-speculative detector would
+      // flag this load immediately.
+      l2_miss_events_[r.core].push_back(
+          L2PathEvent{r.token, r.tid, l2_.bank_of(line), now});
+    }
+    return;
+  }
+  const auto slot = mshr.allocate(line);
+  if (!slot) {
+    mshr_overflow_[r.core].push_back(r);  // retried every tick
+    return;
+  }
+  mshr.attach(*slot, waiter);
+  const std::uint64_t payload = alloc_fetch_slot();
+  LineFetch& f = fetch_pool_[payload];
+  f.line = line;
+  f.core = r.core;
+  f.mshr_slot = *slot;
+  f.is_writeback = false;
+  f.is_ifetch = r.kind == MemKind::IFetch;
+  f.in_use = true;
+  bus_.push(r.core, payload, now);
+}
+
+void MemoryHierarchy::push_writeback(CoreId core, Addr line, Cycle now) {
+  ++stats_.l1_writebacks;
+  const std::uint64_t payload = alloc_fetch_slot();
+  LineFetch& f = fetch_pool_[payload];
+  f.line = line;
+  f.core = core;
+  f.mshr_slot = 0;
+  f.is_writeback = true;
+  f.is_ifetch = false;
+  f.in_use = true;
+  bus_.push(core, payload, now);
+}
+
+void MemoryHierarchy::complete_line_fetch(std::uint64_t payload, Cycle now,
+                                          bool l2_hit) {
+  LineFetch& f = fetch_pool_[payload];
+  assert(f.in_use);
+  if (!f.is_writeback) {
+    auto waiters = mshr_[f.core].release(f.mshr_slot);
+    bool dirty = false;
+    for (const auto& w : waiters)
+      if (w.kind == MemKind::Store) dirty = true;
+    SetAssocCache& cache = f.is_ifetch ? l1i_[f.core] : l1d_[f.core];
+    const EvictInfo ev = cache.fill(f.line, dirty);
+    if (ev.evicted && ev.victim_dirty) push_writeback(f.core, ev.victim_line, now);
+    const std::uint32_t bank = l2_.bank_of(f.line);
+    for (const auto& w : waiters) {
+      if (w.kind != MemKind::Store) {
+        completions_[f.core].push_back(MemCompletion{
+            w.token, w.tid, w.kind, w.issue_cycle, now, true, l2_hit, bank});
+      }
+      if (w.kind == MemKind::Load) {
+        const auto lat = static_cast<double>(now - w.issue_cycle);
+        if (l2_hit)
+          stats_.l2_load_hit_time.add(lat);
+        else
+          stats_.l2_load_miss_time.add(lat);
+      }
+    }
+  }
+  f.in_use = false;
+  fetch_free_.push_back(payload);
+}
+
+void MemoryHierarchy::tick(Cycle now) {
+  // Stages run upstream-first so a request can hand off L1 -> bus -> bank
+  // within one cycle once its stage latency elapses; the unloaded L2 hit
+  // is then exactly l1 + bus + bank = 22 cycles.
+
+  // 1) memory returns -> L2 fills -> complete as misses
+  scratch_mem_done_.clear();
+  memory_.tick(now, scratch_mem_done_);
+  for (const std::uint64_t payload : scratch_mem_done_) {
+    LineFetch& f = fetch_pool_[payload];
+    const EvictInfo ev = l2_.fill(f.line, /*dirty=*/false);
+    if (ev.evicted && ev.victim_dirty) memory_.start_write();
+    complete_line_fetch(payload, now, /*l2_hit=*/false);
+  }
+
+  // 2) L1 pipeline (loads/stores after their 3-cycle access + TLB walks)
+  while (!l1_pipe_.empty() && l1_pipe_.top().ready_at <= now) {
+    const Req r = l1_pipe_.top();
+    l1_pipe_.pop();
+    process_l1(r, now);
+  }
+
+  // 3) retry accesses that found the MSHR full (slots may have freed above)
+  for (CoreId c = 0; c < mshr_overflow_.size(); ++c) {
+    auto& q = mshr_overflow_[c];
+    while (!q.empty() && !mshr_[c].full()) {
+      const Req r = q.front();
+      q.pop_front();
+      start_line_fetch(r, l1d_[c].line_of(r.addr), now);
+    }
+  }
+
+  // 4) bus transfers arrive at their banks
+  scratch_bus_done_.clear();
+  bus_.tick(now, scratch_bus_done_);
+  for (const std::uint64_t payload : scratch_bus_done_) {
+    const LineFetch& f = fetch_pool_[payload];
+    l2_.enqueue(f.line, payload, f.is_writeback, now);
+  }
+
+  // 5) L2 bank services complete: hits resolve, misses go to memory
+  scratch_l2_done_.clear();
+  l2_.tick(now, scratch_l2_done_);
+  for (const L2ServiceResult& r : scratch_l2_done_) {
+    if (r.hit) {
+      complete_line_fetch(r.payload, now, /*l2_hit=*/true);
+    } else {
+      const LineFetch& f = fetch_pool_[r.payload];
+      // FL-NS detection moment: the miss is now known; tell the core's
+      // policy about every load currently waiting on this line.
+      Mshr& mshr = mshr_[f.core];
+      mshr.set_miss_known(f.mshr_slot);
+      for (const MshrWaiter& w : mshr.waiters(f.mshr_slot)) {
+        if (w.kind == MemKind::Load) {
+          l2_miss_events_[f.core].push_back(
+              L2PathEvent{w.token, w.tid, r.bank, now});
+        }
+      }
+      memory_.start_read(r.payload, now);
+    }
+  }
+}
+
+void MemoryHierarchy::reset_stats() {
+  stats_.reset();
+  for (auto& c : l1i_) c.reset_stats();
+  for (auto& c : l1d_) c.reset_stats();
+  for (auto& t : itlb_) t.reset_stats();
+  for (auto& t : dtlb_) t.reset_stats();
+  l2_.reset_stats();
+  bus_.reset_stats();
+  memory_.reset_stats();
+}
+
+}  // namespace mflush

@@ -1,0 +1,72 @@
+#include "mem/l2.h"
+
+#include <stdexcept>
+
+namespace mflush {
+
+L2Cache::L2Cache(std::uint32_t size_bytes, std::uint32_t ways,
+                 std::uint32_t line_bytes, std::uint32_t banks,
+                 std::uint32_t bank_latency)
+    : line_bytes_(line_bytes), bank_latency_(std::max(1u, bank_latency)) {
+  if (banks == 0 || size_bytes % banks != 0)
+    throw std::invalid_argument("L2 size must divide evenly into banks");
+  slices_.reserve(banks);
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    // Bank interleaving strips the low line-index bits before set selection
+    // inside each slice; the slice itself just sees a smaller cache. Set
+    // aliasing from the shared low bits is immaterial to timing behaviour.
+    slices_.emplace_back(
+        CacheGeometry{size_bytes / banks, ways, line_bytes, 1});
+  }
+  banks_.resize(banks);
+}
+
+void L2Cache::enqueue(Addr addr, std::uint64_t payload, bool is_writeback,
+                      Cycle /*now*/) {
+  banks_[bank_of(addr)].queue.push_back({addr, payload, is_writeback});
+}
+
+void L2Cache::tick(Cycle now, std::vector<L2ServiceResult>& out) {
+  for (std::uint32_t b = 0; b < banks_.size(); ++b) {
+    Bank& bank = banks_[b];
+    if (bank.busy && bank.done_at <= now) {
+      // Service completes: probe/update the slice tags.
+      SetAssocCache& slice = slices_[b];
+      if (bank.current.is_writeback) {
+        // Writeback from an L1: install dirty. A dirty L2 victim goes to
+        // memory; memory writes are fire-and-forget (no occupancy modelled).
+        slice.fill(bank.current.addr, /*dirty=*/true);
+        ++writebacks_;
+      } else {
+        const bool hit = slice.access(bank.current.addr, /*is_write=*/false);
+        if (hit)
+          ++hits_;
+        else
+          ++misses_;
+        out.push_back({bank.current.payload, hit, b});
+      }
+      bank.busy = false;
+    }
+    if (!bank.busy && !bank.queue.empty()) {
+      bank.current = bank.queue.front();
+      bank.queue.pop_front();
+      bank.busy = true;
+      bank.done_at = now + bank_latency_;
+    }
+    if (bank.busy) ++busy_cycles_;
+  }
+}
+
+EvictInfo L2Cache::fill(Addr addr, bool dirty) {
+  return slices_[bank_of(addr)].fill(addr, dirty);
+}
+
+void L2Cache::reset_stats() noexcept {
+  hits_ = 0;
+  misses_ = 0;
+  writebacks_ = 0;
+  busy_cycles_ = 0;
+  for (auto& s : slices_) s.reset_stats();
+}
+
+}  // namespace mflush

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/cache.h"
+
+namespace mflush {
+
+/// Outcome of one L2 bank service.
+struct L2ServiceResult {
+  std::uint64_t payload = 0;  ///< opaque request index
+  bool hit = false;
+  std::uint32_t bank = 0;
+};
+
+/// Shared, multi-banked L2 cache (Fig. 1: 4 MB, 12-way, 4 banks; each bank
+/// single-ported with a 15-cycle access).
+///
+/// Each bank owns an address-interleaved slice of the tag array and serves
+/// one request at a time: a request occupies its bank for `bank_latency`
+/// cycles, so back-to-back requests to the same bank serialize — the paper's
+/// "the 4th consecutive L2 hit to the same bank experiences a 45-cycle
+/// delay" behaviour.
+class L2Cache {
+ public:
+  L2Cache(std::uint32_t size_bytes, std::uint32_t ways,
+          std::uint32_t line_bytes, std::uint32_t banks,
+          std::uint32_t bank_latency);
+
+  [[nodiscard]] std::uint32_t bank_of(Addr addr) const noexcept {
+    return static_cast<std::uint32_t>((addr / line_bytes_) & (banks() - 1));
+  }
+  [[nodiscard]] std::uint32_t banks() const noexcept {
+    return static_cast<std::uint32_t>(slices_.size());
+  }
+
+  /// Queue a request (read lookup or writeback install) at its bank.
+  void enqueue(Addr addr, std::uint64_t payload, bool is_writeback, Cycle now);
+
+  /// Advance one cycle; completed *read* services are appended to `out`
+  /// (writebacks install silently). A read service probes the slice tags:
+  /// hit refreshes LRU; miss does NOT install (the fill happens later via
+  /// `fill()` when memory responds).
+  void tick(Cycle now, std::vector<L2ServiceResult>& out);
+
+  /// Install a line returning from memory; returns eviction info (dirty
+  /// victims are written back to memory by the caller).
+  EvictInfo fill(Addr addr, bool dirty);
+
+  [[nodiscard]] std::uint64_t read_hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t read_misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t writebacks() const noexcept {
+    return writebacks_;
+  }
+  [[nodiscard]] std::uint64_t bank_busy_cycles() const noexcept {
+    return busy_cycles_;
+  }
+  [[nodiscard]] std::size_t queue_depth(std::uint32_t bank) const {
+    return banks_[bank].queue.size();
+  }
+  void reset_stats() noexcept;
+
+ private:
+  struct BankRequest {
+    Addr addr = 0;
+    std::uint64_t payload = 0;
+    bool is_writeback = false;
+  };
+  struct Bank {
+    std::deque<BankRequest> queue;
+    BankRequest current{};
+    Cycle done_at = 0;
+    bool busy = false;
+  };
+
+  std::uint32_t line_bytes_;
+  std::uint32_t bank_latency_;
+  std::vector<SetAssocCache> slices_;  ///< one tag slice per bank
+  std::vector<Bank> banks_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace mflush

@@ -1,0 +1,4 @@
+#include "mem/memory.h"
+
+// MainMemory is header-only; this translation unit anchors the target.
+namespace mflush {}

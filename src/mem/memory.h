@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mflush {
+
+/// Main memory: fixed 250-cycle latency, fully pipelined (Fig. 1).
+class MainMemory {
+ public:
+  explicit MainMemory(std::uint32_t latency) : latency_(latency) {}
+
+  /// Start a read; the payload pops out of `tick` after `latency` cycles.
+  void start_read(std::uint64_t payload, Cycle now) {
+    in_flight_.push(Pending{now + latency_, seq_++, payload});
+    ++reads_;
+  }
+
+  /// Writes are fire-and-forget (dirty L2 victims).
+  void start_write() noexcept { ++writes_; }
+
+  void tick(Cycle now, std::vector<std::uint64_t>& done) {
+    while (!in_flight_.empty() && in_flight_.top().done_at <= now) {
+      done.push_back(in_flight_.top().payload);
+      in_flight_.pop();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return in_flight_.size();
+  }
+  void reset_stats() noexcept {
+    reads_ = 0;
+    writes_ = 0;
+  }
+
+ private:
+  struct Pending {
+    Cycle done_at;
+    std::uint64_t order;  ///< FIFO tie-break for determinism
+    std::uint64_t payload;
+    bool operator>(const Pending& o) const noexcept {
+      return done_at != o.done_at ? done_at > o.done_at : order > o.order;
+    }
+  };
+
+  std::uint32_t latency_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>>
+      in_flight_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace mflush

@@ -1,0 +1,43 @@
+#include "mem/mshr.h"
+
+#include <cassert>
+
+namespace mflush {
+
+Mshr::Mshr(std::uint32_t entries) : entries_(std::max(1u, entries)) {}
+
+std::optional<std::uint32_t> Mshr::find(Addr line) const noexcept {
+  for (std::uint32_t i = 0; i < entries_.size(); ++i)
+    if (entries_[i].valid && entries_[i].line == line) return i;
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> Mshr::allocate(Addr line) {
+  assert(!find(line).has_value() && "line already outstanding");
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].valid) {
+      entries_[i].valid = true;
+      entries_[i].line = line;
+      entries_[i].waiters.clear();
+      entries_[i].miss_known = false;
+      ++live_;
+      return i;
+    }
+  }
+  ++alloc_failures_;
+  return std::nullopt;
+}
+
+void Mshr::attach(std::uint32_t slot, const MshrWaiter& w) {
+  assert(slot < entries_.size() && entries_[slot].valid);
+  entries_[slot].waiters.push_back(w);
+}
+
+std::vector<MshrWaiter> Mshr::release(std::uint32_t slot) {
+  assert(slot < entries_.size() && entries_[slot].valid);
+  entries_[slot].valid = false;
+  --live_;
+  return std::move(entries_[slot].waiters);
+}
+
+}  // namespace mflush

@@ -1,0 +1,64 @@
+#include "mem/tlb.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace mflush {
+
+Tlb::Tlb(std::uint32_t entries, std::uint32_t page_bytes)
+    : capacity_(std::max(1u, entries)),
+      page_shift_(static_cast<std::uint32_t>(std::countr_zero(page_bytes))) {
+  if (!std::has_single_bit(page_bytes))
+    throw std::invalid_argument("page size must be a power of two");
+  nodes_.resize(capacity_);
+  map_.reserve(capacity_ * 2);
+}
+
+void Tlb::detach(std::uint32_t idx) noexcept {
+  Node& n = nodes_[idx];
+  if (n.prev != kNull) nodes_[n.prev].next = n.next;
+  if (n.next != kNull) nodes_[n.next].prev = n.prev;
+  if (head_ == idx) head_ = n.next;
+  if (tail_ == idx) tail_ = n.prev;
+  n.prev = n.next = kNull;
+}
+
+void Tlb::attach_front(std::uint32_t idx) noexcept {
+  Node& n = nodes_[idx];
+  n.prev = kNull;
+  n.next = head_;
+  if (head_ != kNull) nodes_[head_].prev = idx;
+  head_ = idx;
+  if (tail_ == kNull) tail_ = idx;
+}
+
+void Tlb::move_to_front(std::uint32_t idx) noexcept {
+  if (head_ == idx) return;
+  detach(idx);
+  attach_front(idx);
+}
+
+bool Tlb::access(Addr addr) {
+  const Addr page = addr >> page_shift_;
+  if (const auto it = map_.find(page); it != map_.end()) {
+    ++hits_;
+    move_to_front(it->second);
+    return true;
+  }
+  ++misses_;
+  std::uint32_t idx;
+  if (used_ < capacity_) {
+    idx = used_++;
+  } else {
+    idx = tail_;
+    detach(idx);
+    map_.erase(nodes_[idx].page);
+  }
+  nodes_[idx].page = page;
+  map_.emplace(page, idx);
+  attach_front(idx);
+  return false;
+}
+
+}  // namespace mflush

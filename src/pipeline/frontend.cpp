@@ -1,0 +1,4 @@
+#include "pipeline/frontend.h"
+
+// Header-only; this translation unit anchors the target.
+namespace mflush {}

@@ -1,0 +1,4 @@
+#include "pipeline/fu.h"
+
+// FuBudget is header-only; this translation unit anchors the target.
+namespace mflush {}

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace mflush {
+
+/// Per-cycle functional-unit issue budget. All units are fully pipelined
+/// (one new operation per unit per cycle); execution latency is carried by
+/// the issuing uop. Load/store ports are shared between load issue and
+/// commit-time stores.
+class FuBudget {
+ public:
+  explicit FuBudget(const CoreConfig& cfg)
+      : int_cap_(cfg.int_units), fp_cap_(cfg.fp_units),
+        mem_cap_(cfg.ldst_units) {}
+
+  void begin_cycle() noexcept { int_used_ = fp_used_ = mem_used_ = 0; }
+
+  [[nodiscard]] bool try_take(InstrClass cls) noexcept {
+    if (is_memory(cls)) {
+      if (mem_used_ >= mem_cap_) return false;
+      ++mem_used_;
+      return true;
+    }
+    if (is_fp(cls)) {
+      if (fp_used_ >= fp_cap_) return false;
+      ++fp_used_;
+      return true;
+    }
+    if (int_used_ >= int_cap_) return false;
+    ++int_used_;
+    return true;
+  }
+
+  [[nodiscard]] static Cycle latency(const CoreConfig& cfg,
+                                     InstrClass cls) noexcept {
+    switch (cls) {
+      case InstrClass::IntAlu: return cfg.lat_int_alu;
+      case InstrClass::IntMul: return cfg.lat_int_mul;
+      case InstrClass::FpAlu: return cfg.lat_fp_alu;
+      case InstrClass::FpMul: return cfg.lat_fp_mul;
+      case InstrClass::Branch:
+      case InstrClass::Call:
+      case InstrClass::Return: return cfg.lat_branch;
+      case InstrClass::Load:
+      case InstrClass::Store: return 1;  // memory time modelled elsewhere
+    }
+    return 1;
+  }
+
+ private:
+  std::uint32_t int_cap_, fp_cap_, mem_cap_;
+  std::uint32_t int_used_ = 0, fp_used_ = 0, mem_used_ = 0;
+};
+
+}  // namespace mflush

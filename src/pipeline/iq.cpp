@@ -1,0 +1,21 @@
+#include "pipeline/iq.h"
+
+#include <algorithm>
+
+namespace mflush {
+
+bool IssueQueue::remove(UopHandle h) {
+  const auto it = std::find(entries_.begin(), entries_.end(), h);
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::uint32_t IssueQueue::count_for(const UopPool& pool, ThreadId tid) const {
+  std::uint32_t n = 0;
+  for (const UopHandle h : entries_)
+    if (pool[h].tid == tid) ++n;
+  return n;
+}
+
+}  // namespace mflush

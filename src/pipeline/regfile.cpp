@@ -1,0 +1,31 @@
+#include "pipeline/regfile.h"
+
+#include <cassert>
+
+namespace mflush {
+
+PhysRegFile::PhysRegFile(std::uint32_t num_regs)
+    : ready_(num_regs, 0), allocated_(num_regs, 0) {
+  free_.reserve(num_regs);
+  for (std::uint32_t i = num_regs; i > 0; --i)
+    free_.push_back(static_cast<PhysReg>(i - 1));
+}
+
+PhysReg PhysRegFile::alloc() {
+  assert(!free_.empty());
+  const PhysReg r = free_.back();
+  free_.pop_back();
+  assert(!allocated_[r] && "double allocation");
+  allocated_[r] = 1;
+  ready_[r] = 0;
+  return r;
+}
+
+void PhysRegFile::release(PhysReg r) {
+  assert(r < allocated_.size());
+  assert(allocated_[r] && "double free");
+  allocated_[r] = 0;
+  free_.push_back(r);
+}
+
+}  // namespace mflush

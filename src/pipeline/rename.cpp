@@ -1,0 +1,39 @@
+#include "pipeline/rename.h"
+
+#include <cassert>
+
+namespace mflush {
+
+RenameMap::RenameMap(PhysRegFile& int_regs, PhysRegFile& fp_regs)
+    : int_(int_regs), fp_(fp_regs) {
+  for (std::size_t r = 0; r < kNumLogicalRegs; ++r) {
+    PhysRegFile& f = file_for(static_cast<LogReg>(r));
+    const PhysReg p = f.alloc();
+    f.set_ready(p);
+    map_[r] = p;
+  }
+}
+
+bool RenameMap::can_rename(LogReg dst) const noexcept {
+  return (is_fp_reg(dst) ? fp_ : int_).has_free();
+}
+
+RenameMap::Renamed RenameMap::rename_dst(LogReg dst) {
+  PhysRegFile& f = file_for(dst);
+  const PhysReg fresh = f.alloc();
+  const PhysReg previous = map_[dst];
+  map_[dst] = fresh;
+  return {fresh, previous};
+}
+
+void RenameMap::unwind(LogReg dst, PhysReg fresh, PhysReg previous) {
+  assert(map_[dst] == fresh && "unwind out of order");
+  map_[dst] = previous;
+  file_for(dst).release(fresh);
+}
+
+void RenameMap::commit_release(LogReg dst, PhysReg previous) {
+  file_for(dst).release(previous);
+}
+
+}  // namespace mflush

@@ -1,0 +1,32 @@
+#include "pipeline/rob.h"
+
+#include <cassert>
+
+namespace mflush {
+
+Rob::Rob(std::uint32_t capacity)
+    : buf_(std::max(1u, capacity), kNoUop), cap_(std::max(1u, capacity)) {}
+
+void Rob::push_back(UopHandle h) {
+  assert(!full());
+  buf_[(head_ + size_) % cap_] = h;
+  ++size_;
+}
+
+void Rob::pop_front() noexcept {
+  assert(!empty());
+  head_ = (head_ + 1) % cap_;
+  --size_;
+}
+
+UopHandle Rob::back() const noexcept {
+  assert(!empty());
+  return buf_[(head_ + size_ - 1) % cap_];
+}
+
+void Rob::pop_back() noexcept {
+  assert(!empty());
+  --size_;
+}
+
+}  // namespace mflush

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "branch/unit.h"
+#include "common/config.h"
+#include "common/types.h"
+#include "core/fetch_policy.h"
+#include "mem/hierarchy.h"
+#include "pipeline/frontend.h"
+#include "pipeline/fu.h"
+#include "pipeline/iq.h"
+#include "pipeline/regfile.h"
+#include "pipeline/rename.h"
+#include "pipeline/rob.h"
+#include "pipeline/uop.h"
+#include "trace/bbdict.h"
+#include "trace/instr.h"
+
+namespace mflush {
+
+/// Why a set of instructions was squashed (separate energy ledgers).
+enum class SquashCause : std::uint8_t { BranchMispredict, PolicyFlush };
+
+/// Per-core statistics.
+struct CoreStats {
+  Cycle cycles = 0;
+  std::array<std::uint64_t, kMaxContexts> committed{};
+  std::uint64_t fetched = 0;
+  std::uint64_t fetched_wrong_path = 0;
+  std::uint64_t branches_resolved = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t loads_issued = 0;
+  std::uint64_t policy_flush_events = 0;
+  /// Instructions squashed by the FLUSH mechanism, per pipeline stage
+  /// reached — the Fig. 10/11 energy input.
+  std::array<std::uint64_t, kNumPipeStages> policy_flushed_by_stage{};
+  std::array<std::uint64_t, kNumPipeStages> branch_squashed_by_stage{};
+
+  /// Dispatch head-of-line blocker events (diagnosis).
+  std::uint64_t dispatch_blocked_young = 0;
+  std::uint64_t dispatch_blocked_rob = 0;
+  std::uint64_t dispatch_blocked_iq_int = 0;
+  std::uint64_t dispatch_blocked_iq_fp = 0;
+  std::uint64_t dispatch_blocked_iq_mem = 0;
+  std::uint64_t dispatch_blocked_regs = 0;
+  std::uint64_t instructions_issued = 0;
+
+  [[nodiscard]] std::uint64_t committed_total() const noexcept {
+    std::uint64_t s = 0;
+    for (const auto c : committed) s += c;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t policy_flushed_total() const noexcept {
+    std::uint64_t s = 0;
+    for (const auto c : policy_flushed_by_stage) s += c;
+    return s;
+  }
+};
+
+/// One out-of-order SMT core (Fig. 1 core parameters), tied to the shared
+/// memory hierarchy and driven cycle-by-cycle by the CMP simulator.
+///
+/// Stage order within one tick (backwards through the pipe so each
+/// instruction moves at most one stage per cycle):
+///   memory completions → commit → writeback/branch-resolve → issue →
+///   dispatch(rename) → policy.on_cycle → fetch.
+class SmtCore final : public CoreControl {
+ public:
+  SmtCore(CoreId id, const SimConfig& cfg, MemoryHierarchy& mem,
+          std::unique_ptr<FetchPolicy> policy,
+          std::vector<TraceSource*> traces);
+
+  void tick(Cycle now);
+
+  // CoreControl (policy response actions)
+  bool flush_after_load(std::uint64_t mem_token) override;
+  bool stall_until_load(std::uint64_t mem_token) override;
+  void set_fetch_gate(ThreadId tid, bool gated) override;
+
+  [[nodiscard]] const CoreStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CoreStats{}; }
+  [[nodiscard]] const FetchPolicy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] std::uint32_t num_threads() const noexcept {
+    return static_cast<std::uint32_t>(traces_.size());
+  }
+  [[nodiscard]] CoreId id() const noexcept { return id_; }
+
+  // Introspection for tests.
+  [[nodiscard]] const UopPool& pool() const noexcept { return pool_; }
+  [[nodiscard]] const BranchUnit& branch_unit() const noexcept {
+    return branch_;
+  }
+  [[nodiscard]] std::uint32_t preissue_count(ThreadId t) const noexcept {
+    return static_cast<std::uint32_t>(frontend_[t].size()) + preissue_[t];
+  }
+  [[nodiscard]] const Rob& rob(ThreadId t) const noexcept { return rob_[t]; }
+  [[nodiscard]] const IssueQueue& iq_int() const noexcept { return iq_int_; }
+  [[nodiscard]] const IssueQueue& iq_fp() const noexcept { return iq_fp_; }
+  [[nodiscard]] const IssueQueue& iq_mem() const noexcept { return iq_mem_; }
+  [[nodiscard]] std::uint32_t free_int_regs() const noexcept {
+    return int_regs_.free_count();
+  }
+  [[nodiscard]] std::uint32_t free_fp_regs() const noexcept {
+    return fp_regs_.free_count();
+  }
+  [[nodiscard]] bool fetch_blocked(ThreadId t) const noexcept {
+    return fstate_[t].hard_blocked();
+  }
+  [[nodiscard]] bool fetch_gated(ThreadId t) const noexcept {
+    return fstate_[t].gated;
+  }
+
+ private:
+  void do_memory_completions(Cycle now);
+  void do_commit(Cycle now);
+  void do_writeback(Cycle now);
+  void do_issue(Cycle now);
+  void do_dispatch(Cycle now);
+  void do_fetch(Cycle now);
+
+  /// Fetch up to `budget` instructions for thread `t`; returns count.
+  std::uint32_t fetch_thread(ThreadId t, std::uint32_t budget, Cycle now);
+
+  /// Squash everything of `t` strictly younger than `older_order`.
+  void squash_younger_than(ThreadId t, std::uint64_t older_order,
+                           SquashCause cause);
+  void remove_squashed_uop(UopHandle h, SquashCause cause, Cycle now);
+  [[nodiscard]] PipeStage occupancy_stage(const MicroOp& u, Cycle now) const;
+  [[nodiscard]] IssueQueue& queue_for(InstrClass cls) noexcept;
+
+  CoreId id_;
+  SimConfig cfg_;
+  std::uint32_t fe_depth_;  ///< fetch+decode+rename stage count
+  MemoryHierarchy& mem_;
+  std::unique_ptr<FetchPolicy> policy_;
+  std::vector<TraceSource*> traces_;
+
+  BranchUnit branch_;
+  BasicBlockDictionary bbdict_;
+  UopPool pool_;
+  PhysRegFile int_regs_;
+  PhysRegFile fp_regs_;
+  std::vector<RenameMap> rename_;
+  std::vector<Rob> rob_;
+  IssueQueue iq_int_;
+  IssueQueue iq_fp_;
+  IssueQueue iq_mem_;
+  FuBudget fu_;
+
+  std::vector<FrontEndQueue> frontend_;
+  std::vector<ThreadFetchState> fstate_;
+  std::vector<std::uint32_t> preissue_;  ///< in-IQ, not yet issued, per thread
+  std::vector<std::uint32_t> inflight_ctrl_;   ///< BRCOUNT metric
+  std::vector<std::uint32_t> inflight_dmiss_;  ///< L1DMISSCOUNT metric
+
+  std::vector<UopHandle> exec_list_;  ///< issued, completing at ready_at
+  std::unordered_map<std::uint64_t, UopHandle> load_by_token_;
+
+  std::vector<UopHandle> scratch_ready_;
+  std::vector<UopHandle> scratch_issue_;
+
+  Cycle now_ = 0;
+  CoreStats stats_;
+};
+
+}  // namespace mflush

@@ -1,0 +1,141 @@
+#include "sim/cmp.h"
+
+#include <stdexcept>
+
+#include "trace/spec2000.h"
+
+namespace mflush {
+
+void CmpSimulator::build(const std::vector<BenchmarkProfile>& profiles) {
+  if (const std::string err = cfg_.validate(); !err.empty())
+    throw std::invalid_argument("invalid SimConfig: " + err);
+  if (profiles.size() != cfg_.num_cores * cfg_.core.threads_per_core) {
+    throw std::invalid_argument(
+        "workload thread count does not match the chip: " + workload_.name);
+  }
+
+  const std::uint32_t tpc = cfg_.core.threads_per_core;
+  sources_.reserve(profiles.size());
+  cores_.reserve(cfg_.num_cores);
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    std::vector<TraceSource*> traces;
+    traces.reserve(tpc);
+    for (std::uint32_t t = 0; t < tpc; ++t) {
+      const std::uint32_t global_tid = c * tpc + t;
+      sources_.push_back(std::make_unique<SyntheticTraceSource>(
+          profiles[global_tid], cfg_.seed, cfg_.rewind_window(), global_tid));
+      traces.push_back(sources_.back().get());
+    }
+    cores_.push_back(std::make_unique<SmtCore>(
+        c, cfg_, mem_, make_policy(policy_, cfg_), std::move(traces)));
+  }
+
+  if (cfg_.prewarm_l2) {
+    for (const auto& src : sources_) {
+      const auto r = src->regions();
+      for (std::uint32_t i = 0; i < r.hot_lines; ++i)
+        mem_.prewarm_l2_line(r.hot_base + static_cast<Addr>(i) * 64);
+      for (std::uint32_t i = 0; i < r.l2_lines; ++i)
+        mem_.prewarm_l2_line(r.l2_base + static_cast<Addr>(i) * 64);
+      for (std::uint32_t i = 0; i < r.code_lines; ++i)
+        mem_.prewarm_l2_line(r.code_base + static_cast<Addr>(i) * 64);
+    }
+  }
+}
+
+namespace {
+
+std::vector<BenchmarkProfile> resolve_codes(const Workload& workload) {
+  std::vector<BenchmarkProfile> profiles;
+  profiles.reserve(workload.codes.size());
+  for (const char code : workload.codes) {
+    const auto p = spec2000::by_code(code);
+    if (!p) {
+      throw std::invalid_argument(std::string("unknown benchmark code '") +
+                                  code + "' in workload " + workload.name);
+    }
+    profiles.push_back(*p);
+  }
+  return profiles;
+}
+
+}  // namespace
+
+CmpSimulator::CmpSimulator(const SimConfig& cfg, const Workload& workload,
+                           const PolicySpec& policy)
+    : cfg_(cfg), workload_(workload), policy_(policy), mem_(cfg) {
+  build(resolve_codes(workload_));
+}
+
+CmpSimulator::CmpSimulator(const Workload& workload, const PolicySpec& policy,
+                           std::uint64_t seed)
+    : CmpSimulator(
+          [&] {
+            SimConfig cfg = SimConfig::paper_default(workload.num_cores());
+            cfg.seed = seed;
+            return cfg;
+          }(),
+          workload, policy) {}
+
+CmpSimulator::CmpSimulator(const std::vector<BenchmarkProfile>& profiles,
+                           const PolicySpec& policy, std::uint64_t seed)
+    : cfg_([&] {
+        SimConfig cfg = SimConfig::paper_default(
+            static_cast<std::uint32_t>(profiles.size()) / 2);
+        cfg.seed = seed;
+        return cfg;
+      }()),
+      policy_(policy),
+      mem_(cfg_) {
+  workload_.name = "custom";
+  for (const auto& p : profiles)
+    workload_.codes.push_back(p.code == '?' ? 'a' : p.code);
+  build(profiles);
+}
+
+void CmpSimulator::run(Cycle cycles) {
+  const Cycle end = now_ + cycles;
+  while (now_ < end) {
+    ++now_;
+    mem_.tick(now_);
+    for (auto& core : cores_) core->tick(now_);
+  }
+}
+
+void CmpSimulator::reset_stats() {
+  mem_.reset_stats();
+  for (auto& core : cores_) core->reset_stats();
+}
+
+SimMetrics CmpSimulator::metrics() const {
+  SimMetrics m;
+  m.cycles = cores_.empty() ? 0 : cores_[0]->stats().cycles;
+  for (const auto& core : cores_) {
+    const CoreStats& s = core->stats();
+    m.committed += s.committed_total();
+    for (std::uint32_t t = 0; t < core->num_threads(); ++t) {
+      m.per_thread_ipc.push_back(
+          m.cycles ? static_cast<double>(s.committed[t]) /
+                         static_cast<double>(m.cycles)
+                   : 0.0);
+    }
+    m.flush_events += s.policy_flush_events;
+    m.flushed_instructions += s.policy_flushed_total();
+    m.branches_resolved += s.branches_resolved;
+    m.mispredicts += s.mispredicts;
+    m.energy = energy::merge(m.energy, energy::report_for(s));
+  }
+  m.ipc = m.cycles ? static_cast<double>(m.committed) /
+                         static_cast<double>(m.cycles)
+                   : 0.0;
+
+  const MemStats& ms = mem_.stats();
+  m.l2_hit_time_mean = ms.l2_load_hit_time.mean();
+  m.l2_hit_time_p50 = ms.l2_load_hit_time.quantile(0.5);
+  m.l2_hit_time_p90 = ms.l2_load_hit_time.quantile(0.9);
+  m.l2_hits_observed = ms.l2_load_hit_time.count();
+  m.l2_misses_observed = ms.l2_load_miss_time.count();
+  return m;
+}
+
+}  // namespace mflush

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "core/factory.h"
+#include "mem/hierarchy.h"
+#include "pipeline/smt_core.h"
+#include "sim/metrics.h"
+#include "sim/workloads.h"
+#include "trace/generator.h"
+
+namespace mflush {
+
+/// The full chip: N two-context SMT cores around one shared banked L2,
+/// each core running the same IFetch policy — the paper's experimental
+/// vehicle.
+///
+/// Typical use:
+///   SimConfig cfg = SimConfig::paper_default(4);
+///   CmpSimulator sim(cfg, *workloads::by_name("8W3"), PolicySpec::mflush());
+///   sim.run(20'000);            // warm caches/predictors
+///   sim.reset_stats();          // start the measured interval
+///   sim.run(120'000);
+///   SimMetrics m = sim.metrics();
+class CmpSimulator {
+ public:
+  /// `cfg.num_cores` must equal `workload.num_cores()` (each workload size
+  /// maps to a fixed chip per Fig. 1); throws std::invalid_argument
+  /// otherwise, or when the config fails validation.
+  CmpSimulator(const SimConfig& cfg, const Workload& workload,
+               const PolicySpec& policy);
+
+  /// Convenience: derive the chip size from the workload.
+  CmpSimulator(const Workload& workload, const PolicySpec& policy,
+               std::uint64_t seed = 1);
+
+  /// Run custom benchmark profiles (one per hardware context, in core
+  /// order) instead of the SPEC2000 catalog. The chip size is derived from
+  /// the profile count.
+  CmpSimulator(const std::vector<BenchmarkProfile>& profiles,
+               const PolicySpec& policy, std::uint64_t seed = 1);
+
+  /// Advance `cycles` cycles.
+  void run(Cycle cycles);
+
+  /// Zero all statistics (start of a measured interval).
+  void reset_stats();
+
+  [[nodiscard]] SimMetrics metrics() const;
+
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const Workload& workload() const noexcept { return workload_; }
+  [[nodiscard]] const PolicySpec& policy() const noexcept { return policy_; }
+  [[nodiscard]] const MemoryHierarchy& memory() const noexcept { return mem_; }
+  [[nodiscard]] const SmtCore& core(CoreId c) const { return *cores_.at(c); }
+  [[nodiscard]] std::uint32_t num_cores() const noexcept {
+    return static_cast<std::uint32_t>(cores_.size());
+  }
+
+ private:
+  void build(const std::vector<BenchmarkProfile>& profiles);
+
+  SimConfig cfg_;
+  Workload workload_;
+  PolicySpec policy_;
+  MemoryHierarchy mem_;
+  std::vector<std::unique_ptr<SyntheticTraceSource>> sources_;
+  std::vector<std::unique_ptr<SmtCore>> cores_;
+  Cycle now_ = 0;
+};
+
+}  // namespace mflush

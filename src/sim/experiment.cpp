@@ -1,0 +1,51 @@
+#include "sim/experiment.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <string_view>
+
+namespace mflush {
+namespace {
+
+Cycle env_cycles(const char* var, Cycle fallback) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr) return fallback;
+  const std::string_view s(raw);
+  Cycle v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || v == 0)
+    return fallback;
+  return v;
+}
+
+}  // namespace
+
+Cycle bench_cycles(Cycle fallback) {
+  return env_cycles("MFLUSH_BENCH_CYCLES", fallback);
+}
+
+Cycle warmup_cycles(Cycle fallback) {
+  return env_cycles("MFLUSH_WARMUP_CYCLES", fallback);
+}
+
+RunResult run_point(const Workload& workload, const PolicySpec& policy,
+                    std::uint64_t seed, Cycle warmup, Cycle measure) {
+  CmpSimulator sim(workload, policy, seed);
+  sim.run(warmup);
+  sim.reset_stats();
+  sim.run(measure);
+  return RunResult{workload.name, policy.label(), sim.metrics()};
+}
+
+std::vector<RunResult> run_sweep(const Workload& workload,
+                                 const std::vector<PolicySpec>& policies,
+                                 std::uint64_t seed, Cycle warmup,
+                                 Cycle measure) {
+  std::vector<RunResult> out;
+  out.reserve(policies.size());
+  for (const PolicySpec& p : policies)
+    out.push_back(run_point(workload, p, seed, warmup, measure));
+  return out;
+}
+
+}  // namespace mflush

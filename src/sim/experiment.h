@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "sim/cmp.h"
+#include "sim/metrics.h"
+#include "sim/workloads.h"
+
+/// Experiment-running conventions shared by every bench binary.
+///
+/// The paper simulates a fixed interval of 120 M cycles per run; the bench
+/// default is a laptop-scale 1000× reduction (120 k measured cycles after a
+/// 30 k warm-up), overridable via MFLUSH_BENCH_CYCLES / MFLUSH_WARMUP_CYCLES.
+namespace mflush {
+
+struct RunResult {
+  std::string workload;
+  std::string policy;
+  SimMetrics metrics;
+};
+
+/// Measured-interval length (env MFLUSH_BENCH_CYCLES or `fallback`).
+[[nodiscard]] Cycle bench_cycles(Cycle fallback = 120'000);
+
+/// Warm-up length (env MFLUSH_WARMUP_CYCLES or `fallback`).
+[[nodiscard]] Cycle warmup_cycles(Cycle fallback = 30'000);
+
+/// Run one (workload, policy) point: warm up, reset, measure.
+[[nodiscard]] RunResult run_point(const Workload& workload,
+                                  const PolicySpec& policy,
+                                  std::uint64_t seed, Cycle warmup,
+                                  Cycle measure);
+
+/// Sweep a workload across several policies (shared seed/interval).
+[[nodiscard]] std::vector<RunResult> run_sweep(
+    const Workload& workload, const std::vector<PolicySpec>& policies,
+    std::uint64_t seed, Cycle warmup, Cycle measure);
+
+}  // namespace mflush

@@ -1,0 +1,4 @@
+#include "sim/metrics.h"
+
+// SimMetrics is a plain aggregate; this translation unit anchors the target.
+namespace mflush {}

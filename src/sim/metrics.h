@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "energy/accounting.h"
+
+namespace mflush {
+
+/// Chip-level metrics of one measured interval.
+struct SimMetrics {
+  Cycle cycles = 0;
+  std::uint64_t committed = 0;
+  double ipc = 0.0;  ///< system throughput: committed instrs / cycle
+
+  std::vector<double> per_thread_ipc;  ///< global thread order
+
+  // FLUSH machinery.
+  std::uint64_t flush_events = 0;
+  std::uint64_t flushed_instructions = 0;
+
+  // Branch behaviour.
+  std::uint64_t branches_resolved = 0;
+  std::uint64_t mispredicts = 0;
+  [[nodiscard]] double mispredict_rate() const noexcept {
+    return branches_resolved
+               ? static_cast<double>(mispredicts) /
+                     static_cast<double>(branches_resolved)
+               : 0.0;
+  }
+
+  // Memory behaviour (Fig. 4 inputs).
+  double l2_hit_time_mean = 0.0;
+  double l2_hit_time_p50 = 0.0;
+  double l2_hit_time_p90 = 0.0;
+  std::uint64_t l2_hits_observed = 0;
+  std::uint64_t l2_misses_observed = 0;
+
+  // Energy (Fig. 11 inputs).
+  energy::EnergyReport energy{};
+};
+
+}  // namespace mflush

@@ -1,0 +1,142 @@
+#include "sim/report.h"
+
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace mflush::report {
+namespace {
+
+std::vector<std::string> policy_headers(
+    const std::vector<std::vector<RunResult>>& by_workload) {
+  std::vector<std::string> headers{"workload"};
+  if (!by_workload.empty())
+    for (const RunResult& r : by_workload.front()) headers.push_back(r.policy);
+  return headers;
+}
+
+}  // namespace
+
+void print_throughput(std::ostream& os,
+                      const std::vector<std::vector<RunResult>>& by_workload) {
+  Table table(policy_headers(by_workload));
+  std::vector<double> sums(by_workload.empty() ? 0 : by_workload[0].size(),
+                           0.0);
+  for (const auto& row : by_workload) {
+    std::vector<std::string> cells{row.front().workload};
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      cells.push_back(Table::num(row[i].metrics.ipc));
+      sums[i] += row[i].metrics.ipc;
+    }
+    table.add_row(std::move(cells));
+  }
+  if (!by_workload.empty()) {
+    std::vector<std::string> avg{"average"};
+    for (const double s : sums)
+      avg.push_back(Table::num(s / static_cast<double>(by_workload.size())));
+    table.add_row(std::move(avg));
+  }
+  table.print(os);
+}
+
+void print_wasted_energy(
+    std::ostream& os, const std::vector<std::vector<RunResult>>& by_workload) {
+  Table table(policy_headers(by_workload));
+  std::vector<double> sums(by_workload.empty() ? 0 : by_workload[0].size(),
+                           0.0);
+  for (const auto& row : by_workload) {
+    std::vector<std::string> cells{row.front().workload};
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const double w = row[i].metrics.energy.flush_wasted_per_kilo_commit();
+      cells.push_back(Table::num(w, 1));
+      sums[i] += w;
+    }
+    table.add_row(std::move(cells));
+  }
+  if (!by_workload.empty()) {
+    std::vector<std::string> avg{"average"};
+    for (const double s : sums)
+      avg.push_back(
+          Table::num(s / static_cast<double>(by_workload.size()), 1));
+    table.add_row(std::move(avg));
+  }
+  table.print(os);
+}
+
+void print_debug(std::ostream& os, const CmpSimulator& sim) {
+  const SimMetrics m = sim.metrics();
+  os << "=== " << sim.workload().name << " (" << sim.workload().describe()
+     << ") under " << sim.policy().label() << " ===\n";
+  os << "cycles " << m.cycles << "  committed " << m.committed << "  IPC "
+     << Table::num(m.ipc) << "\n";
+  for (CoreId c = 0; c < sim.num_cores(); ++c) {
+    const SmtCore& core = sim.core(c);
+    const CoreStats& s = core.stats();
+    os << "core " << c << ": fetched " << s.fetched << " (wrong-path "
+       << s.fetched_wrong_path << "), commits";
+    for (std::uint32_t t = 0; t < core.num_threads(); ++t)
+      os << ' ' << s.committed[t];
+    os << ", branches " << s.branches_resolved << " mispred " << s.mispredicts
+       << " (" << Table::pct(safe_ratio(static_cast<double>(s.mispredicts),
+                                        static_cast<double>(
+                                            s.branches_resolved)))
+       << "), loads " << s.loads_issued << ", flushes "
+       << s.policy_flush_events << " squashing " << s.policy_flushed_total()
+       << "\n";
+    const auto pc = core.policy().counters();
+    os << "  policy: flush on miss/hit/l1 " << pc.flushes_on_miss << '/'
+       << pc.flushes_on_hit << '/' << pc.flushes_on_l1 << ", gate-cycles "
+       << pc.gate_cycles << "\n";
+    const auto& l1d = sim.memory().l1d(c);
+    const auto& l1i = sim.memory().l1i(c);
+    os << "  l1d " << l1d.hits() << "/" << l1d.hits() + l1d.misses()
+       << " hits, l1i " << l1i.hits() << "/" << l1i.hits() + l1i.misses()
+       << " hits, mshr live " << sim.memory().mshr(c).live() << "\n";
+    os << "  issued " << s.instructions_issued << "; dispatch blocks:"
+       << " young " << s.dispatch_blocked_young << " rob "
+       << s.dispatch_blocked_rob << " iq-int " << s.dispatch_blocked_iq_int
+       << " iq-fp " << s.dispatch_blocked_iq_fp << " iq-mem "
+       << s.dispatch_blocked_iq_mem << " regs " << s.dispatch_blocked_regs
+       << "\n";
+    os << "  live now: rob";
+    for (std::uint32_t t = 0; t < core.num_threads(); ++t)
+      os << ' ' << core.rob(t).size();
+    os << ", iq int/fp/mem " << core.iq_int().size() << '/'
+       << core.iq_fp().size() << '/' << core.iq_mem().size()
+       << ", free regs int/fp " << core.free_int_regs() << '/'
+       << core.free_fp_regs() << ", preissue";
+    for (std::uint32_t t = 0; t < core.num_threads(); ++t)
+      os << ' ' << core.preissue_count(t);
+    os << "\n";
+  }
+  const MemStats& ms = sim.memory().stats();
+  const L2Cache& l2 = sim.memory().l2();
+  os << "l2: " << l2.read_hits() << " hits, " << l2.read_misses()
+     << " misses, " << l2.writebacks() << " writebacks; load-hit time mean "
+     << Table::num(m.l2_hit_time_mean, 1) << " p50 "
+     << Table::num(m.l2_hit_time_p50, 1) << " p90 "
+     << Table::num(m.l2_hit_time_p90, 1) << "\n";
+  os << "tlb: d-miss " << ms.dtlb_misses << " i-miss " << ms.itlb_misses
+     << "; bus transfers " << sim.memory().bus().transfers()
+     << " queue-wait " << sim.memory().bus().queue_wait_cycles() << "\n";
+  os << "energy: committed " << Table::num(m.energy.committed_units, 0)
+     << " wasted(flush) " << Table::num(m.energy.flush_wasted_units, 1)
+     << " wasted(branch) " << Table::num(m.energy.branch_wasted_units, 1)
+     << "\n";
+}
+
+std::string summarize(const RunResult& r) {
+  std::ostringstream os;
+  os << r.workload << " under " << r.policy << ": IPC "
+     << Table::num(r.metrics.ipc) << ", " << r.metrics.flush_events
+     << " flushes, wasted energy "
+     << Table::num(r.metrics.energy.flush_wasted_units, 1) << " units ("
+     << Table::num(r.metrics.energy.flush_wasted_per_kilo_commit(), 1)
+     << " per 1k commits)";
+  return os.str();
+}
+
+}  // namespace mflush::report

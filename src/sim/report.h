@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/cmp.h"
+#include "sim/experiment.h"
+
+/// Bench-output helpers: paper-style tables over RunResults.
+namespace mflush::report {
+
+/// Detailed component dump of a finished simulation (caches, predictor,
+/// queues, per-thread commit) — the debugging view.
+void print_debug(std::ostream& os, const CmpSimulator& sim);
+
+/// Throughput table: one row per workload, one column per policy, plus a
+/// final average row (arithmetic mean of IPCs, as the paper's "average"
+/// bars).
+void print_throughput(std::ostream& os,
+                      const std::vector<std::vector<RunResult>>& by_workload);
+
+/// Wasted-energy table (Fig. 11): wasted units per 1000 committed
+/// instructions, per workload × policy, plus averages.
+void print_wasted_energy(
+    std::ostream& os, const std::vector<std::vector<RunResult>>& by_workload);
+
+/// One-line run summary (examples/quickstart).
+[[nodiscard]] std::string summarize(const RunResult& r);
+
+}  // namespace mflush::report

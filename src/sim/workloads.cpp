@@ -1,0 +1,79 @@
+#include "sim/workloads.h"
+
+#include "trace/spec2000.h"
+
+namespace mflush {
+
+std::string Workload::describe() const {
+  std::string out;
+  for (const char c : codes) {
+    if (!out.empty()) out += '+';
+    if (const auto p = spec2000::by_code(c))
+      out += p->name;
+    else
+      out += c;
+  }
+  return out;
+}
+
+namespace workloads {
+namespace {
+
+Workload make(std::string name, std::initializer_list<char> codes) {
+  Workload w;
+  w.name = std::move(name);
+  w.codes.assign(codes);
+  return w;
+}
+
+const std::vector<Workload>& catalog() {
+  // Fig. 1, bottom table. x threads run on x/2 two-context cores.
+  static const std::vector<Workload> v = {
+      make("2W1", {'b', 'j'}),
+      make("2W2", {'n', 'e'}),
+      make("2W3", {'d', 'a'}),
+      make("2W4", {'g', 'f'}),
+      make("2W5", {'r', 'p'}),
+      make("4W1", {'b', 'q', 't', 'j'}),
+      make("4W2", {'l', 'n', 'p', 'e'}),
+      make("4W3", {'d', 's', 'r', 'a'}),
+      make("4W4", {'g', 'b', 'm', 'f'}),
+      make("4W5", {'r', 'j', 'f', 'p'}),
+      make("6W1", {'l', 'b', 'q', 'f', 't', 'j'}),
+      make("6W2", {'g', 'l', 'n', 'p', 'e', 'a'}),
+      make("6W3", {'d', 'l', 's', 'w', 'r', 'a'}),
+      make("6W4", {'r', 'g', 'b', 'm', 'h', 'f'}),
+      make("6W5", {'h', 'l', 'e', 'r', 'm', 'd'}),
+      make("8W1", {'d', 'l', 'b', 'g', 'i', 'j', 'c', 'f'}),
+      make("8W2", {'b', 'g', 'm', 'n', 'a', 'h', 'o', 'p'}),
+      make("8W3", {'m', 'n', 'r', 'q', 'i', 'j', 'e', 'h'}),
+      make("8W4", {'l', 'b', 'g', 'm', 'n', 'r', 'f', 's'}),
+      make("8W5", {'q', 'b', 'c', 'k', 'e', 'a', 'o', 't'}),
+  };
+  return v;
+}
+
+}  // namespace
+
+std::span<const Workload> all() { return catalog(); }
+
+std::optional<Workload> by_name(std::string_view name) {
+  for (const auto& w : catalog())
+    if (w.name == name) return w;
+  if (name == "bzip2-twolf") return bzip2_twolf_special();
+  return std::nullopt;
+}
+
+std::vector<Workload> of_size(std::uint32_t num_threads) {
+  std::vector<Workload> out;
+  for (const auto& w : catalog())
+    if (w.num_threads() == num_threads) out.push_back(w);
+  return out;
+}
+
+Workload bzip2_twolf_special() {
+  return make("8Wbt", {'k', 'k', 'l', 'l', 'k', 'k', 'l', 'l'});
+}
+
+}  // namespace workloads
+}  // namespace mflush

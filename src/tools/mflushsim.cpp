@@ -1,0 +1,121 @@
+/// mflushsim — command-line driver for the simulator.
+///
+///   mflushsim [options]
+///     --workload NAME|CODES   paper workload (8W3) or code string (dlna)
+///     --policy SPEC           icount | brcount | l1dmisscount | flush-sN |
+///                             flush-ns | stall-sN | mflush[-np|-hN[max]]
+///     --cycles N              measured cycles            (default 120000)
+///     --warmup N              warm-up cycles             (default 30000)
+///     --seed N                simulation seed            (default 1)
+///     --csv                   machine-readable one-line output
+///     --debug                 full component dump after the run
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/factory.h"
+#include "sim/cmp.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/workloads.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--workload NAME|CODES] [--policy SPEC] [--cycles N]\n"
+         "       [--warmup N] [--seed N] [--csv] [--debug]\n\n"
+         "workloads: 2W1..8W5 (Fig. 1), bzip2-twolf, or a string of\n"
+         "benchmark codes (a=gzip .. z=mgrid), two per core.\n"
+         "policies: icount, brcount, l1dmisscount, flush-s<N>, flush-ns,\n"
+         "          stall-s<N>, mflush, mflush-np, mflush-h<N>[max|avg]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mflush;
+
+  std::string workload_arg = "8W3";
+  std::string policy_arg = "mflush";
+  Cycle cycles = 120'000;
+  Cycle warmup = 30'000;
+  std::uint64_t seed = 1;
+  bool csv = false;
+  bool debug = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload_arg = value();
+    } else if (arg == "--policy") {
+      policy_arg = value();
+    } else if (arg == "--cycles") {
+      cycles = static_cast<Cycle>(std::strtoull(value(), nullptr, 10));
+    } else if (arg == "--warmup") {
+      warmup = static_cast<Cycle>(std::strtoull(value(), nullptr, 10));
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--debug") {
+      debug = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  auto wl = workloads::by_name(workload_arg);
+  if (!wl && workload_arg.size() % 2 == 0 && !workload_arg.empty()) {
+    Workload w;
+    w.name = workload_arg;
+    for (const char c : workload_arg) w.codes.push_back(c);
+    wl = w;
+  }
+  if (!wl) {
+    std::cerr << "unknown workload: " << workload_arg << '\n';
+    return 2;
+  }
+  const auto policy = PolicySpec::parse(policy_arg);
+  if (!policy) {
+    std::cerr << "unknown policy: " << policy_arg << '\n';
+    return 2;
+  }
+
+  try {
+    CmpSimulator sim(*wl, *policy, seed);
+    sim.run(warmup);
+    sim.reset_stats();
+    sim.run(cycles);
+    const SimMetrics m = sim.metrics();
+    if (csv) {
+      std::cout << "workload,policy,cycles,committed,ipc,flushes,"
+                   "flushed_instrs,wasted_units,l2_hit_mean\n"
+                << wl->name << ',' << policy->label() << ',' << m.cycles
+                << ',' << m.committed << ',' << m.ipc << ','
+                << m.flush_events << ',' << m.flushed_instructions << ','
+                << m.energy.flush_wasted_units << ',' << m.l2_hit_time_mean
+                << '\n';
+    } else if (debug) {
+      report::print_debug(std::cout, sim);
+    } else {
+      std::cout << report::summarize(
+                       RunResult{wl->name, policy->label(), m})
+                << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

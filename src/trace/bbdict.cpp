@@ -1,0 +1,55 @@
+#include "trace/bbdict.h"
+
+namespace mflush {
+namespace {
+
+constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+TraceInstr BasicBlockDictionary::instr(Addr wrong_target,
+                                       std::uint64_t k) const noexcept {
+  TraceInstr ins;
+  // Wrong-path pcs walk sequentially from the (bogus) target so that the
+  // same redirect pollutes the same I-cache lines every time.
+  ins.pc = (wrong_target & ~Addr{3}) + 4 * k;
+  const std::uint64_t h = mix(ins.pc ^ seed_);
+
+  const auto sel = h % 100;
+  if (sel < 55) {
+    ins.cls = InstrClass::IntAlu;
+    ins.dst = static_cast<LogReg>((h >> 8) & 31);
+    ins.src[0] = static_cast<LogReg>((h >> 16) & 31);
+    ins.src[1] = static_cast<LogReg>((h >> 24) & 31);
+  } else if (sel < 70) {
+    ins.cls = InstrClass::Load;
+    ins.dst = static_cast<LogReg>((h >> 8) & 31);
+    ins.src[0] = static_cast<LogReg>((h >> 16) & 31);
+    ins.eff_addr = 0;  // wrong-path loads never reach the hierarchy
+  } else if (sel < 80) {
+    ins.cls = InstrClass::Store;
+    ins.src[0] = static_cast<LogReg>((h >> 8) & 31);
+    ins.src[1] = static_cast<LogReg>((h >> 16) & 31);
+  } else if (sel < 90) {
+    ins.cls = InstrClass::FpAlu;
+    ins.dst = static_cast<LogReg>(32 + ((h >> 8) & 31));
+    ins.src[0] = static_cast<LogReg>(32 + ((h >> 16) & 31));
+  } else {
+    ins.cls = InstrClass::Branch;
+    ins.src[0] = static_cast<LogReg>((h >> 8) & 31);
+    // Direction irrelevant: the wrong path is squashed at resolution; mark
+    // not-taken so the front-end keeps walking sequential bogus pcs.
+    ins.taken = false;
+    ins.target = ins.pc + 4;
+  }
+  return ins;
+}
+
+}  // namespace mflush

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "trace/instr.h"
+
+namespace mflush {
+
+/// Wrong-path instruction supplier ("basic block dictionary").
+///
+/// The paper's simulator models the impact of wrong-path execution on the
+/// branch predictor and the instruction cache via a dictionary of all static
+/// instructions. We reproduce exactly that modelled scope: after a fetch
+/// redirect onto a mispredicted target, the front-end fetches deterministic
+/// pseudo-instructions from this dictionary. They occupy front-end bandwidth
+/// and touch the I-cache (their pcs are stable per (redirect pc, k)), but
+/// wrong-path loads never issue to the data-memory hierarchy.
+class BasicBlockDictionary {
+ public:
+  explicit BasicBlockDictionary(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// k-th instruction of the wrong path entered at `wrong_target`.
+  [[nodiscard]] TraceInstr instr(Addr wrong_target, std::uint64_t k) const noexcept;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace mflush

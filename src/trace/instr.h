@@ -1,0 +1,55 @@
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+
+namespace mflush {
+
+/// One dynamic instruction of the correct (architectural) path.
+///
+/// This is the unit produced by trace sources and consumed by the core
+/// front-end. Register identifiers are *logical*; renaming happens in the
+/// pipeline. Memory addresses are effective byte addresses in the thread's
+/// private address space.
+struct TraceInstr {
+  Addr pc = 0;
+  Addr eff_addr = 0;  ///< loads/stores: effective address
+  Addr target = 0;    ///< control: actual (architectural) target
+  InstrClass cls = InstrClass::IntAlu;
+  LogReg dst = kNoLogReg;
+  std::array<LogReg, 2> src{kNoLogReg, kNoLogReg};
+  bool taken = false;  ///< control: actual direction
+
+  [[nodiscard]] bool has_dst() const noexcept { return dst != kNoLogReg; }
+  [[nodiscard]] bool is_memory() const noexcept {
+    return mflush::is_memory(cls);
+  }
+  [[nodiscard]] bool is_control() const noexcept {
+    return mflush::is_control(cls);
+  }
+};
+
+/// Abstract rewindable instruction stream for one thread.
+///
+/// The consumer addresses instructions by monotonic sequence number. A call
+/// to `retire_up_to(s)` promises that no sequence number `< s` will ever be
+/// requested again, allowing bounded buffering. FLUSH re-fetch is expressed
+/// by the consumer simply re-reading sequence numbers it has already seen —
+/// sources must keep at least `window` instructions of history beyond the
+/// retire point.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Random access within [retire_point, retire_point + window).
+  [[nodiscard]] virtual const TraceInstr& at(SeqNo seq) = 0;
+
+  /// Slide the history window: sequence numbers below `seq` are dead.
+  virtual void retire_up_to(SeqNo seq) = 0;
+
+  /// Human-readable identity (benchmark name).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+}  // namespace mflush

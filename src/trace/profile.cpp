@@ -1,0 +1,51 @@
+#include "trace/profile.h"
+
+#include <algorithm>
+
+namespace mflush {
+namespace {
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+BenchmarkProfile BenchmarkProfile::normalized() const {
+  BenchmarkProfile p = *this;
+  p.f_load = clamp01(p.f_load);
+  p.f_store = clamp01(p.f_store);
+  p.f_branch = clamp01(p.f_branch);
+  p.f_call_ret = clamp01(p.f_call_ret);
+  const double mix = p.f_load + p.f_store + p.f_branch + p.f_call_ret;
+  if (mix > 0.95) {
+    const double scale = 0.95 / mix;
+    p.f_load *= scale;
+    p.f_store *= scale;
+    p.f_branch *= scale;
+    p.f_call_ret *= scale;
+  }
+  p.f_fp = clamp01(p.f_fp);
+  p.f_mul = clamp01(p.f_mul);
+  p.strands = std::clamp(p.strands, 1u, 8u);
+  p.dep_mean = std::max(1.0, p.dep_mean);
+  p.p_chase = clamp01(p.p_chase);
+  p.predictability = clamp01(p.predictability);
+  p.taken_bias = clamp01(p.taken_bias);
+  p.pattern_period = std::max(2u, p.pattern_period);
+  p.hot_lines = std::max(1u, p.hot_lines);
+  p.l2_lines = std::max(1u, p.l2_lines);
+  p.mem_lines = std::max(1u, p.mem_lines);
+  p.p_l2 = clamp01(p.p_l2);
+  p.p_mem = clamp01(p.p_mem);
+  if (p.p_l2 + p.p_mem > 1.0) {
+    const double scale = 1.0 / (p.p_l2 + p.p_mem);
+    p.p_l2 *= scale;
+    p.p_mem *= scale;
+  }
+  p.p_stream = clamp01(p.p_stream);
+  p.stream_lines = std::max(1u, p.stream_lines);
+  p.icache_lines = std::max(1u, p.icache_lines);
+  p.mean_bb_len = std::max(2u, p.mean_bb_len);
+  return p;
+}
+
+}  // namespace mflush

@@ -1,0 +1,311 @@
+#include "trace/spec2000.h"
+
+#include <array>
+#include <vector>
+
+namespace mflush::spec2000 {
+namespace {
+
+/// Shorthand builder: start from defaults and mutate.
+BenchmarkProfile make(const char* name, char code) {
+  BenchmarkProfile p;
+  p.name = name;
+  p.code = code;
+  return p;
+}
+
+// Calibration targets (measured against the Fig. 1 hierarchy):
+//  * L1D load miss rate: ILP set 2-5%, moderate 5-10%, memory-bound 15-30%.
+//  * Two threads share the 512-line L1D, so per-thread hot sets stay
+//    <= ~160 lines.
+//  * p_mem controls true L2 misses (the long-latency loads FLUSH targets);
+//    p_l2 controls L2 *hit* traffic (the bank/bus contention MFLUSH
+//    adapts to).
+
+std::vector<BenchmarkProfile> build_catalog() {
+  std::vector<BenchmarkProfile> v;
+  v.reserve(26);
+
+  {  // a: gzip — int compression; streaming buffers, cache friendly, good ILP
+    auto p = make("gzip", 'a');
+    p.f_load = 0.22; p.f_store = 0.10; p.f_branch = 0.13; p.f_call_ret = 0.008;
+    p.strands = 5; p.dep_mean = 6.0; p.predictability = 0.93; p.taken_bias = 0.62;
+    p.hot_lines = 144; p.l2_lines = 3000; p.mem_lines = 1 << 17;
+    p.p_l2 = 0.02; p.p_mem = 0.0008; p.p_stream = 0.25;
+    p.stream_lines = 4096; p.icache_lines = 160;
+    v.push_back(p.normalized());
+  }
+  {  // b: vpr — int place&route; scattered accesses, branchy
+    auto p = make("vpr", 'b');
+    p.f_load = 0.26; p.f_store = 0.11; p.f_branch = 0.13; p.f_call_ret = 0.012;
+    p.strands = 4; p.dep_mean = 4.5; p.p_chase = 0.05;
+    p.predictability = 0.88; p.taken_bias = 0.55; p.pattern_period = 6;
+    p.hot_lines = 160; p.l2_lines = 5000; p.mem_lines = 1 << 18;
+    p.p_l2 = 0.06; p.p_mem = 0.004; p.p_stream = 0.08;
+    p.icache_lines = 420;
+    v.push_back(p.normalized());
+  }
+  {  // c: gcc — int compiler; large code footprint, medium data
+    auto p = make("gcc", 'c');
+    p.f_load = 0.25; p.f_store = 0.13; p.f_branch = 0.14; p.f_call_ret = 0.02;
+    p.strands = 4; p.dep_mean = 5.0; p.predictability = 0.90; p.taken_bias = 0.6;
+    p.hot_lines = 160; p.l2_lines = 4500; p.mem_lines = 1 << 18;
+    p.p_l2 = 0.05; p.p_mem = 0.002; p.p_stream = 0.10;
+    p.icache_lines = 2500; p.mean_bb_len = 6;
+    v.push_back(p.normalized());
+  }
+  {  // d: mcf — int network simplex; pointer chasing over a huge graph.
+     //    The canonical long-latency-load hound of the paper.
+    auto p = make("mcf", 'd');
+    p.f_load = 0.31; p.f_store = 0.09; p.f_branch = 0.12; p.f_call_ret = 0.004;
+    p.strands = 2; p.dep_mean = 3.5; p.p_chase = 0.45;
+    p.predictability = 0.90; p.taken_bias = 0.65;
+    p.hot_lines = 112; p.l2_lines = 7000; p.mem_lines = 1 << 20;
+    p.p_l2 = 0.14; p.p_mem = 0.05; p.p_stream = 0.02;
+    p.icache_lines = 96;
+    v.push_back(p.normalized());
+  }
+  {  // e: crafty — chess; cache resident, high ILP, lots of logic ops
+    auto p = make("crafty", 'e');
+    p.f_load = 0.27; p.f_store = 0.07; p.f_branch = 0.12; p.f_call_ret = 0.015;
+    p.strands = 6; p.dep_mean = 6.5; p.predictability = 0.91; p.taken_bias = 0.58;
+    p.hot_lines = 144; p.l2_lines = 2200; p.mem_lines = 1 << 16;
+    p.p_l2 = 0.02; p.p_mem = 0.0004; p.p_stream = 0.05;
+    p.icache_lines = 1200;
+    v.push_back(p.normalized());
+  }
+  {  // f: perlbmk — interpreter; big code, indirect control
+    auto p = make("perlbmk", 'f');
+    p.f_load = 0.26; p.f_store = 0.13; p.f_branch = 0.13; p.f_call_ret = 0.025;
+    p.strands = 4; p.dep_mean = 5.0; p.predictability = 0.88; p.taken_bias = 0.6;
+    p.hot_lines = 144; p.l2_lines = 4000; p.mem_lines = 1 << 17;
+    p.p_l2 = 0.03; p.p_mem = 0.001; p.p_stream = 0.08;
+    p.icache_lines = 2200; p.mean_bb_len = 6;
+    v.push_back(p.normalized());
+  }
+  {  // g: parser — NL parser; dictionary pointer walks, medium WS
+    auto p = make("parser", 'g');
+    p.f_load = 0.25; p.f_store = 0.10; p.f_branch = 0.13; p.f_call_ret = 0.015;
+    p.strands = 3; p.dep_mean = 4.5; p.p_chase = 0.15;
+    p.predictability = 0.89; p.taken_bias = 0.6;
+    p.hot_lines = 144; p.l2_lines = 4500; p.mem_lines = 1 << 18;
+    p.p_l2 = 0.055; p.p_mem = 0.003; p.p_stream = 0.06;
+    p.icache_lines = 520;
+    v.push_back(p.normalized());
+  }
+  {  // h: eon — C++ ray tracer; fp-heavy, cache resident, high ILP
+    auto p = make("eon", 'h');
+    p.f_load = 0.24; p.f_store = 0.14; p.f_branch = 0.10; p.f_call_ret = 0.02;
+    p.f_fp = 0.35; p.strands = 6; p.dep_mean = 7.5;
+    p.predictability = 0.94; p.taken_bias = 0.6;
+    p.hot_lines = 144; p.l2_lines = 1800; p.mem_lines = 1 << 16;
+    p.p_l2 = 0.015; p.p_mem = 0.0004; p.p_stream = 0.05;
+    p.icache_lines = 900;
+    v.push_back(p.normalized());
+  }
+  {  // i: gap — group theory; moderate memory pressure
+    auto p = make("gap", 'i');
+    p.f_load = 0.24; p.f_store = 0.12; p.f_branch = 0.12; p.f_call_ret = 0.012;
+    p.strands = 5; p.dep_mean = 5.5; p.predictability = 0.92; p.taken_bias = 0.6;
+    p.hot_lines = 144; p.l2_lines = 4500; p.mem_lines = 1 << 17;
+    p.p_l2 = 0.04; p.p_mem = 0.0015; p.p_stream = 0.12;
+    p.icache_lines = 640;
+    v.push_back(p.normalized());
+  }
+  {  // j: vortex — OO database; large code, decent locality
+    auto p = make("vortex", 'j');
+    p.f_load = 0.27; p.f_store = 0.15; p.f_branch = 0.11; p.f_call_ret = 0.025;
+    p.strands = 5; p.dep_mean = 5.5; p.predictability = 0.95; p.taken_bias = 0.62;
+    p.hot_lines = 160; p.l2_lines = 4500; p.mem_lines = 1 << 17;
+    p.p_l2 = 0.04; p.p_mem = 0.0015; p.p_stream = 0.08;
+    p.icache_lines = 3000; p.mean_bb_len = 7;
+    v.push_back(p.normalized());
+  }
+  {  // k: bzip2 — compression; like gzip with a larger working set
+    auto p = make("bzip2", 'k');
+    p.f_load = 0.24; p.f_store = 0.11; p.f_branch = 0.12; p.f_call_ret = 0.006;
+    p.strands = 5; p.dep_mean = 5.5; p.predictability = 0.91; p.taken_bias = 0.6;
+    p.hot_lines = 144; p.l2_lines = 5000; p.mem_lines = 1 << 17;
+    p.p_l2 = 0.055; p.p_mem = 0.0012; p.p_stream = 0.30;
+    p.stream_lines = 1 << 13; p.icache_lines = 180;
+    v.push_back(p.normalized());
+  }
+  {  // l: twolf — place&route; scattered medium WS, weak branches.
+     //    Paired with bzip2 in the paper's Fig. 5(b) special workload.
+    auto p = make("twolf", 'l');
+    p.f_load = 0.27; p.f_store = 0.09; p.f_branch = 0.14; p.f_call_ret = 0.01;
+    p.strands = 3; p.dep_mean = 4.0; p.p_chase = 0.08;
+    p.predictability = 0.86; p.taken_bias = 0.55; p.pattern_period = 5;
+    p.hot_lines = 160; p.l2_lines = 5500; p.mem_lines = 1 << 18;
+    p.p_l2 = 0.075; p.p_mem = 0.0035; p.p_stream = 0.04;
+    p.icache_lines = 400;
+    v.push_back(p.normalized());
+  }
+  {  // m: art — neural-net image recognition; tiny code, giant arrays,
+     //    extremely memory bound with exploitable ILP
+    auto p = make("art", 'm');
+    p.f_load = 0.32; p.f_store = 0.08; p.f_branch = 0.11; p.f_call_ret = 0.003;
+    p.f_fp = 0.50; p.strands = 6; p.dep_mean = 5.5;
+    p.predictability = 0.95; p.taken_bias = 0.8; p.pattern_period = 16;
+    p.hot_lines = 96; p.l2_lines = 8000; p.mem_lines = 1 << 19;
+    p.p_l2 = 0.12; p.p_mem = 0.030; p.p_stream = 0.30;
+    p.stream_lines = 1 << 17; p.icache_lines = 64;
+    v.push_back(p.normalized());
+  }
+  {  // n: swim — shallow-water stencil; pure streaming, bandwidth bound
+    auto p = make("swim", 'n');
+    p.f_load = 0.30; p.f_store = 0.16; p.f_branch = 0.06; p.f_call_ret = 0.002;
+    p.f_fp = 0.55; p.strands = 8; p.dep_mean = 8.5;
+    p.predictability = 0.97; p.taken_bias = 0.9; p.pattern_period = 32;
+    p.hot_lines = 96; p.l2_lines = 5000; p.mem_lines = 1 << 19;
+    p.p_l2 = 0.03; p.p_mem = 0.010; p.p_stream = 0.60;
+    p.stream_lines = 1 << 18; p.icache_lines = 48; p.mean_bb_len = 14;
+    v.push_back(p.normalized());
+  }
+  {  // o: apsi — pollutant distribution; moderate fp workload
+    auto p = make("apsi", 'o');
+    p.f_load = 0.26; p.f_store = 0.12; p.f_branch = 0.08; p.f_call_ret = 0.008;
+    p.f_fp = 0.45; p.strands = 5; p.dep_mean = 6.5;
+    p.predictability = 0.94; p.taken_bias = 0.75; p.pattern_period = 12;
+    p.hot_lines = 128; p.l2_lines = 4500; p.mem_lines = 1 << 17;
+    p.p_l2 = 0.035; p.p_mem = 0.0018; p.p_stream = 0.30;
+    p.stream_lines = 1 << 14; p.icache_lines = 320; p.mean_bb_len = 10;
+    v.push_back(p.normalized());
+  }
+  {  // p: wupwise — quantum chromodynamics; regular, L2-resident streams
+    auto p = make("wupwise", 'p');
+    p.f_load = 0.25; p.f_store = 0.11; p.f_branch = 0.06; p.f_call_ret = 0.012;
+    p.f_fp = 0.50; p.strands = 6; p.dep_mean = 8.0;
+    p.predictability = 0.96; p.taken_bias = 0.85; p.pattern_period = 24;
+    p.hot_lines = 112; p.l2_lines = 4500; p.mem_lines = 1 << 17;
+    p.p_l2 = 0.04; p.p_mem = 0.0012; p.p_stream = 0.30;
+    p.stream_lines = 1 << 15; p.icache_lines = 120; p.mean_bb_len = 12;
+    v.push_back(p.normalized());
+  }
+  {  // q: equake — earthquake FEM; sparse matrix, memory sensitive
+    auto p = make("equake", 'q');
+    p.f_load = 0.29; p.f_store = 0.09; p.f_branch = 0.09; p.f_call_ret = 0.005;
+    p.f_fp = 0.40; p.strands = 3; p.dep_mean = 4.8; p.p_chase = 0.20;
+    p.predictability = 0.93; p.taken_bias = 0.8; p.pattern_period = 10;
+    p.hot_lines = 112; p.l2_lines = 7000; p.mem_lines = 1 << 19;
+    p.p_l2 = 0.08; p.p_mem = 0.012; p.p_stream = 0.15;
+    p.stream_lines = 1 << 16; p.icache_lines = 96;
+    v.push_back(p.normalized());
+  }
+  {  // r: lucas — Lucas-Lehmer FFT; long strided sweeps over big arrays
+    auto p = make("lucas", 'r');
+    p.f_load = 0.27; p.f_store = 0.13; p.f_branch = 0.05; p.f_call_ret = 0.002;
+    p.f_fp = 0.50; p.strands = 6; p.dep_mean = 7.5;
+    p.predictability = 0.97; p.taken_bias = 0.9; p.pattern_period = 32;
+    p.hot_lines = 96; p.l2_lines = 5000; p.mem_lines = 1 << 18;
+    p.p_l2 = 0.035; p.p_mem = 0.008; p.p_stream = 0.45;
+    p.stream_lines = 1 << 17; p.icache_lines = 56; p.mean_bb_len = 14;
+    v.push_back(p.normalized());
+  }
+  {  // s: mesa — software 3D; cache resident, predictable
+    auto p = make("mesa", 's');
+    p.f_load = 0.23; p.f_store = 0.14; p.f_branch = 0.09; p.f_call_ret = 0.02;
+    p.f_fp = 0.40; p.strands = 6; p.dep_mean = 7.0;
+    p.predictability = 0.93; p.taken_bias = 0.65;
+    p.hot_lines = 144; p.l2_lines = 2600; p.mem_lines = 1 << 16;
+    p.p_l2 = 0.02; p.p_mem = 0.0006; p.p_stream = 0.20;
+    p.stream_lines = 1 << 13; p.icache_lines = 760;
+    v.push_back(p.normalized());
+  }
+  {  // t: fma3d — crash simulation; mixed locality fp
+    auto p = make("fma3d", 't');
+    p.f_load = 0.26; p.f_store = 0.13; p.f_branch = 0.08; p.f_call_ret = 0.015;
+    p.f_fp = 0.50; p.strands = 5; p.dep_mean = 6.0;
+    p.predictability = 0.93; p.taken_bias = 0.75; p.pattern_period = 10;
+    p.hot_lines = 128; p.l2_lines = 5000; p.mem_lines = 1 << 18;
+    p.p_l2 = 0.05; p.p_mem = 0.0025; p.p_stream = 0.20;
+    p.stream_lines = 1 << 15; p.icache_lines = 1400;
+    v.push_back(p.normalized());
+  }
+  {  // u: sixtrack — particle tracking; tight fp loops, cache resident
+    auto p = make("sixtrack", 'u');
+    p.f_load = 0.22; p.f_store = 0.09; p.f_branch = 0.06; p.f_call_ret = 0.006;
+    p.f_fp = 0.55; p.strands = 7; p.dep_mean = 8.5;
+    p.predictability = 0.97; p.taken_bias = 0.85; p.pattern_period = 20;
+    p.hot_lines = 128; p.l2_lines = 2000; p.mem_lines = 1 << 15;
+    p.p_l2 = 0.012; p.p_mem = 0.0004; p.p_stream = 0.15;
+    p.stream_lines = 1 << 12; p.icache_lines = 420; p.mean_bb_len = 12;
+    v.push_back(p.normalized());
+  }
+  {  // v: facerec — face recognition; medium streams
+    auto p = make("facerec", 'v');
+    p.f_load = 0.25; p.f_store = 0.10; p.f_branch = 0.07; p.f_call_ret = 0.008;
+    p.f_fp = 0.45; p.strands = 5; p.dep_mean = 7.0;
+    p.predictability = 0.95; p.taken_bias = 0.8; p.pattern_period = 16;
+    p.hot_lines = 112; p.l2_lines = 4500; p.mem_lines = 1 << 17;
+    p.p_l2 = 0.04; p.p_mem = 0.0035; p.p_stream = 0.35;
+    p.stream_lines = 1 << 16; p.icache_lines = 200; p.mean_bb_len = 12;
+    v.push_back(p.normalized());
+  }
+  {  // w: applu — PDE stencil; streaming over large grids
+    auto p = make("applu", 'w');
+    p.f_load = 0.28; p.f_store = 0.14; p.f_branch = 0.05; p.f_call_ret = 0.003;
+    p.f_fp = 0.55; p.strands = 6; p.dep_mean = 8.0;
+    p.predictability = 0.97; p.taken_bias = 0.9; p.pattern_period = 28;
+    p.hot_lines = 96; p.l2_lines = 5000; p.mem_lines = 1 << 18;
+    p.p_l2 = 0.035; p.p_mem = 0.006; p.p_stream = 0.45;
+    p.stream_lines = 1 << 17; p.icache_lines = 72; p.mean_bb_len = 14;
+    v.push_back(p.normalized());
+  }
+  {  // x: galgel — fluid dynamics; mostly L2-resident blocked loops
+    auto p = make("galgel", 'x');
+    p.f_load = 0.27; p.f_store = 0.10; p.f_branch = 0.06; p.f_call_ret = 0.004;
+    p.f_fp = 0.50; p.strands = 6; p.dep_mean = 7.5;
+    p.predictability = 0.96; p.taken_bias = 0.85; p.pattern_period = 20;
+    p.hot_lines = 128; p.l2_lines = 6000; p.mem_lines = 1 << 16;
+    p.p_l2 = 0.065; p.p_mem = 0.0008; p.p_stream = 0.25;
+    p.stream_lines = 1 << 14; p.icache_lines = 120; p.mean_bb_len = 12;
+    v.push_back(p.normalized());
+  }
+  {  // y: ammp — molecular dynamics; neighbor-list pointer chasing
+    auto p = make("ammp", 'y');
+    p.f_load = 0.29; p.f_store = 0.10; p.f_branch = 0.08; p.f_call_ret = 0.006;
+    p.f_fp = 0.45; p.strands = 3; p.dep_mean = 4.0; p.p_chase = 0.30;
+    p.predictability = 0.93; p.taken_bias = 0.8; p.pattern_period = 12;
+    p.hot_lines = 112; p.l2_lines = 6500; p.mem_lines = 1 << 19;
+    p.p_l2 = 0.08; p.p_mem = 0.015; p.p_stream = 0.10;
+    p.icache_lines = 140;
+    v.push_back(p.normalized());
+  }
+  {  // z: mgrid — multigrid stencil; streaming, predictable
+    auto p = make("mgrid", 'z');
+    p.f_load = 0.30; p.f_store = 0.11; p.f_branch = 0.04; p.f_call_ret = 0.002;
+    p.f_fp = 0.55; p.strands = 6; p.dep_mean = 7.5;
+    p.predictability = 0.98; p.taken_bias = 0.92; p.pattern_period = 40;
+    p.hot_lines = 96; p.l2_lines = 4500; p.mem_lines = 1 << 18;
+    p.p_l2 = 0.03; p.p_mem = 0.005; p.p_stream = 0.55;
+    p.stream_lines = 1 << 17; p.icache_lines = 40; p.mean_bb_len = 16;
+    v.push_back(p.normalized());
+  }
+
+  return v;
+}
+
+const std::vector<BenchmarkProfile>& catalog() {
+  static const std::vector<BenchmarkProfile> c = build_catalog();
+  return c;
+}
+
+}  // namespace
+
+std::span<const BenchmarkProfile> all() { return catalog(); }
+
+std::optional<BenchmarkProfile> by_code(char code) {
+  if (code < 'a' || code > 'z') return std::nullopt;
+  const auto idx = static_cast<std::size_t>(code - 'a');
+  if (idx >= catalog().size()) return std::nullopt;
+  return catalog()[idx];
+}
+
+std::optional<BenchmarkProfile> by_name(std::string_view name) {
+  for (const auto& p : catalog())
+    if (p.name == name) return p;
+  return std::nullopt;
+}
+
+}  // namespace mflush::spec2000

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "trace/profile.h"
+
+/// Catalog of the 26 SPEC2000 benchmarks used by the paper (Fig. 1), keyed
+/// by the single-letter workload codes `a`..`z`.
+///
+/// Profile values are qualitative calibrations (see DESIGN.md §2): the
+/// memory-bound set (mcf, art, swim, lucas, ammp, equake, vpr, twolf, ...)
+/// is given large working sets and/or pointer chasing; the ILP set (gzip,
+/// crafty, eon, mesa, sixtrack, ...) is cache-resident.
+namespace mflush::spec2000 {
+
+/// All 26 profiles in code order 'a'..'z'.
+[[nodiscard]] std::span<const BenchmarkProfile> all();
+
+/// Lookup by Fig. 1 code letter; nullopt when out of range.
+[[nodiscard]] std::optional<BenchmarkProfile> by_code(char code);
+
+/// Lookup by benchmark name (e.g. "mcf").
+[[nodiscard]] std::optional<BenchmarkProfile> by_name(std::string_view name);
+
+}  // namespace mflush::spec2000

@@ -1,0 +1,92 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace mflush {
+namespace {
+
+struct Record {
+  std::uint64_t pc;
+  std::uint64_t eff_addr;
+  std::uint64_t target;
+  std::uint8_t cls;
+  std::uint8_t dst;
+  std::uint8_t src0;
+  std::uint8_t src1;
+  std::uint8_t taken;
+  std::uint8_t pad[3];
+};
+static_assert(sizeof(Record) == 32, "trace record layout");
+
+}  // namespace
+
+void write_trace(const std::string& path, std::span<const TraceInstr> instrs) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open trace for write: " + path);
+  const std::uint32_t magic = kTraceMagic;
+  const std::uint32_t version = kTraceVersion;
+  const std::uint64_t count = instrs.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const auto& ins : instrs) {
+    Record r{};
+    r.pc = ins.pc;
+    r.eff_addr = ins.eff_addr;
+    r.target = ins.target;
+    r.cls = static_cast<std::uint8_t>(ins.cls);
+    r.dst = ins.dst;
+    r.src0 = ins.src[0];
+    r.src1 = ins.src[1];
+    r.taken = ins.taken ? 1 : 0;
+    out.write(reinterpret_cast<const char*>(&r), sizeof r);
+  }
+  if (!out) throw std::runtime_error("trace write failed: " + path);
+}
+
+std::vector<TraceInstr> read_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace for read: " + path);
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in || magic != kTraceMagic)
+    throw std::runtime_error("bad trace magic: " + path);
+  if (version != kTraceVersion)
+    throw std::runtime_error("unsupported trace version: " + path);
+  std::vector<TraceInstr> v;
+  v.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Record r{};
+    in.read(reinterpret_cast<char*>(&r), sizeof r);
+    if (!in) throw std::runtime_error("truncated trace: " + path);
+    TraceInstr ins;
+    ins.pc = r.pc;
+    ins.eff_addr = r.eff_addr;
+    ins.target = r.target;
+    ins.cls = static_cast<InstrClass>(r.cls);
+    ins.dst = r.dst;
+    ins.src[0] = r.src0;
+    ins.src[1] = r.src1;
+    ins.taken = r.taken != 0;
+    v.push_back(ins);
+  }
+  return v;
+}
+
+VectorTraceSource::VectorTraceSource(std::vector<TraceInstr> instrs,
+                                     std::string name)
+    : instrs_(std::move(instrs)), name_(std::move(name)) {
+  if (instrs_.empty())
+    throw std::invalid_argument("VectorTraceSource: empty trace");
+}
+
+const TraceInstr& VectorTraceSource::at(SeqNo seq) {
+  return instrs_[seq % instrs_.size()];
+}
+
+}  // namespace mflush

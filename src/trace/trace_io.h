@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/instr.h"
+
+/// Binary trace file format, so downstream users can bring their own traces
+/// (e.g. converted from real workload captures) instead of the synthetic
+/// generator.
+///
+/// Layout (little-endian):
+///   u32 magic 'MFLT' (0x544C464D), u32 version (=1), u64 count,
+///   then `count` fixed 32-byte records:
+///     u64 pc, u64 eff_addr, u64 target,
+///     u8 cls, u8 dst, u8 src0, u8 src1, u8 taken, u8 pad[3]
+namespace mflush {
+
+inline constexpr std::uint32_t kTraceMagic = 0x544C464D;  // "MFLT"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Write a trace; throws std::runtime_error on I/O failure.
+void write_trace(const std::string& path, std::span<const TraceInstr> instrs);
+
+/// Read a trace; throws std::runtime_error on I/O or format failure.
+[[nodiscard]] std::vector<TraceInstr> read_trace(const std::string& path);
+
+/// TraceSource over an in-memory instruction vector. Finite traces wrap
+/// around (the simulator runs for a fixed cycle budget, as in the paper).
+class VectorTraceSource final : public TraceSource {
+ public:
+  VectorTraceSource(std::vector<TraceInstr> instrs, std::string name);
+
+  [[nodiscard]] const TraceInstr& at(SeqNo seq) override;
+  void retire_up_to(SeqNo /*seq*/) override {}
+  [[nodiscard]] const char* name() const noexcept override {
+    return name_.c_str();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return instrs_.size(); }
+
+ private:
+  std::vector<TraceInstr> instrs_;
+  std::string name_;
+};
+
+}  // namespace mflush

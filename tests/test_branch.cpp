@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "branch/btb.h"
+#include "branch/perceptron.h"
+#include "branch/ras.h"
+#include "branch/unit.h"
+#include "common/config.h"
+
+namespace mflush {
+namespace {
+
+// ---------------------------------------------------------------- perceptron
+
+TEST(Perceptron, LearnsAlwaysTaken) {
+  PerceptronPredictor p(64, 1024, 16);
+  const Addr pc = 0x1000;
+  for (int i = 0; i < 200; ++i) {
+    const bool pred = p.predict(0, pc);
+    p.update(0, pc, true, pred, p.history_checkpoint(0));
+    p.push_history(0, true);
+  }
+  EXPECT_TRUE(p.predict(0, pc));
+}
+
+TEST(Perceptron, LearnsAlwaysNotTaken) {
+  PerceptronPredictor p(64, 1024, 16);
+  const Addr pc = 0x2000;
+  for (int i = 0; i < 200; ++i) {
+    const bool pred = p.predict(0, pc);
+    p.update(0, pc, false, pred, p.history_checkpoint(0));
+    p.push_history(0, false);
+  }
+  EXPECT_FALSE(p.predict(0, pc));
+}
+
+TEST(Perceptron, LearnsAlternatingPattern) {
+  PerceptronPredictor p(64, 1024, 16);
+  const Addr pc = 0x3000;
+  bool outcome = false;
+  // Train on strict alternation; history correlation makes it learnable.
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t hist = p.history_checkpoint(0);
+    const bool pred = p.predict(0, pc);
+    p.update(0, pc, outcome, pred, hist);
+    p.push_history(0, outcome);
+    outcome = !outcome;
+  }
+  int correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t hist = p.history_checkpoint(0);
+    const bool pred = p.predict(0, pc);
+    if (pred == outcome) ++correct;
+    p.update(0, pc, outcome, pred, hist);
+    p.push_history(0, outcome);
+    outcome = !outcome;
+  }
+  EXPECT_GT(correct, 90);
+}
+
+TEST(Perceptron, HistoryCheckpointRestore) {
+  PerceptronPredictor p(64, 1024, 16);
+  p.push_history(0, true);
+  p.push_history(0, false);
+  const auto cp = p.history_checkpoint(0);
+  p.push_history(0, true);
+  p.push_history(0, true);
+  p.restore_history(0, cp);
+  EXPECT_EQ(p.history_checkpoint(0), cp);
+}
+
+TEST(Perceptron, PerContextHistories) {
+  PerceptronPredictor p(64, 1024, 16);
+  p.push_history(0, true);
+  EXPECT_NE(p.history_checkpoint(0), p.history_checkpoint(1));
+}
+
+TEST(Perceptron, CountsMispredictions) {
+  PerceptronPredictor p(16, 256, 8);
+  const Addr pc = 0x4000;
+  const bool pred = p.predict(0, pc);
+  p.update(0, pc, !pred, pred, p.history_checkpoint(0));
+  EXPECT_EQ(p.mispredictions(), 1u);
+  EXPECT_GE(p.predictions(), 1u);
+}
+
+// ----------------------------------------------------------------------- BTB
+
+TEST(Btb, MissThenHitAfterUpdate) {
+  Btb btb(256, 4);
+  EXPECT_FALSE(btb.lookup(0x100).has_value());
+  btb.update(0x100, 0x500);
+  const auto t = btb.lookup(0x100);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 0x500u);
+}
+
+TEST(Btb, UpdateOverwritesTarget) {
+  Btb btb(256, 4);
+  btb.update(0x100, 0x500);
+  btb.update(0x100, 0x900);
+  EXPECT_EQ(*btb.lookup(0x100), 0x900u);
+}
+
+TEST(Btb, LruEvictionWithinSet) {
+  Btb btb(16, 2);  // 8 sets, 2 ways
+  // Three pcs mapping to the same set (set index = (pc>>2) & 7).
+  const Addr a = 0x000, b = 0x080, c = 0x100;  // all set 0
+  btb.update(a, 1);
+  btb.update(b, 2);
+  (void)btb.lookup(a);  // make a MRU
+  btb.update(c, 3);     // evicts b (LRU)
+  EXPECT_TRUE(btb.lookup(a).has_value());
+  EXPECT_FALSE(btb.lookup(b).has_value());
+  EXPECT_TRUE(btb.lookup(c).has_value());
+}
+
+TEST(Btb, CountsHitsAndMisses) {
+  Btb btb(64, 4);
+  (void)btb.lookup(0x40);
+  btb.update(0x40, 0x80);
+  (void)btb.lookup(0x40);
+  EXPECT_EQ(btb.misses(), 1u);
+  EXPECT_EQ(btb.hits(), 1u);
+}
+
+// ----------------------------------------------------------------------- RAS
+
+TEST(Ras, PushPopLifo) {
+  Ras ras(8);
+  ras.push(0x10);
+  ras.push(0x20);
+  EXPECT_EQ(ras.pop(), 0x20u);
+  EXPECT_EQ(ras.pop(), 0x10u);
+}
+
+TEST(Ras, EmptyPopReturnsZero) {
+  Ras ras(4);
+  EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, OverflowWrapsOldestEntries) {
+  Ras ras(4);
+  for (Addr a = 1; a <= 6; ++a) ras.push(a * 0x10);
+  // Capacity 4: entries 3,4,5,6 survive.
+  EXPECT_EQ(ras.pop(), 0x60u);
+  EXPECT_EQ(ras.pop(), 0x50u);
+  EXPECT_EQ(ras.pop(), 0x40u);
+  EXPECT_EQ(ras.pop(), 0x30u);
+  EXPECT_EQ(ras.depth(), 0u);
+}
+
+TEST(Ras, CheckpointRestore) {
+  Ras ras(8);
+  ras.push(0x10);
+  const auto cp = ras.checkpoint();
+  ras.push(0x20);
+  ras.push(0x30);
+  ras.restore(cp);
+  EXPECT_EQ(ras.pop(), 0x10u);
+}
+
+TEST(Ras, PaperCapacity) {
+  Ras ras(100);
+  EXPECT_EQ(ras.capacity(), 100u);
+}
+
+// --------------------------------------------------------------- BranchUnit
+
+BranchUnit make_unit() { return BranchUnit(CoreConfig{}); }
+
+TraceInstr branch_at(Addr pc, bool taken, Addr target) {
+  TraceInstr i;
+  i.pc = pc;
+  i.cls = InstrClass::Branch;
+  i.taken = taken;
+  i.target = taken ? target : pc + 4;
+  return i;
+}
+
+TEST(BranchUnit, ColdTakenBranchIsEffectivelyNotTaken) {
+  auto bu = make_unit();
+  const auto ins = branch_at(0x1000, true, 0x2000);
+  const auto pred = bu.predict(0, ins);
+  // Even if direction says taken, the BTB has no target: fall-through.
+  EXPECT_FALSE(pred.taken);
+}
+
+TEST(BranchUnit, LearnsLoopBranch) {
+  auto bu = make_unit();
+  const auto ins = branch_at(0x1000, true, 0x0800);
+  for (int i = 0; i < 100; ++i) {
+    const auto cp = bu.checkpoint(0);
+    (void)bu.predict(0, ins);
+    bu.resolve(0, ins, /*predicted_taken=*/false, cp.history);
+  }
+  const auto pred = bu.predict(0, ins);
+  EXPECT_TRUE(pred.taken);
+  EXPECT_EQ(pred.target, 0x0800u);
+}
+
+TEST(BranchUnit, CallPushesReturnPops) {
+  auto bu = make_unit();
+  TraceInstr call;
+  call.pc = 0x100;
+  call.cls = InstrClass::Call;
+  call.taken = true;
+  call.target = 0x4000;
+  // Warm the BTB so the call target predicts.
+  const auto cp = bu.checkpoint(0);
+  (void)bu.predict(0, call);
+  bu.resolve(0, call, true, cp.history);
+  const auto pred_call = bu.predict(0, call);
+  EXPECT_TRUE(pred_call.taken);
+  EXPECT_EQ(pred_call.target, 0x4000u);
+
+  TraceInstr ret;
+  ret.pc = 0x4100;
+  ret.cls = InstrClass::Return;
+  ret.taken = true;
+  ret.target = 0x104;  // call pc + 4
+  const auto pred_ret = bu.predict(0, ret);
+  EXPECT_TRUE(pred_ret.taken);
+  EXPECT_EQ(pred_ret.target, 0x104u);
+}
+
+TEST(BranchUnit, CheckpointRestoreUndoesSpeculation) {
+  auto bu = make_unit();
+  const auto cp = bu.checkpoint(0);
+  TraceInstr call;
+  call.pc = 0x100;
+  call.cls = InstrClass::Call;
+  call.target = 0x4000;
+  call.taken = true;
+  (void)bu.predict(0, call);  // pushes RAS speculatively
+  bu.restore(0, cp);
+  TraceInstr ret;
+  ret.pc = 0x200;
+  ret.cls = InstrClass::Return;
+  const auto pred = bu.predict(0, ret);
+  // RAS is empty again: the return cannot predict.
+  EXPECT_FALSE(pred.taken);
+}
+
+TEST(BranchUnit, ApplyResolvedRepairsRas) {
+  auto bu = make_unit();
+  TraceInstr call;
+  call.pc = 0x100;
+  call.cls = InstrClass::Call;
+  call.target = 0x4000;
+  call.taken = true;
+  const auto cp = bu.checkpoint(0);
+  (void)bu.predict(0, call);
+  bu.restore(0, cp);
+  bu.apply_resolved(0, call);  // architectural effect re-applied
+  TraceInstr ret;
+  ret.pc = 0x4100;
+  ret.cls = InstrClass::Return;
+  const auto pred = bu.predict(0, ret);
+  EXPECT_TRUE(pred.taken);
+  EXPECT_EQ(pred.target, 0x104u);
+}
+
+TEST(BranchUnit, NonControlPredictsFallThrough) {
+  auto bu = make_unit();
+  TraceInstr alu;
+  alu.pc = 0x500;
+  alu.cls = InstrClass::IntAlu;
+  const auto pred = bu.predict(0, alu);
+  EXPECT_FALSE(pred.taken);
+  EXPECT_EQ(pred.target, 0x504u);
+}
+
+}  // namespace
+}  // namespace mflush

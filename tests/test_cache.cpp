@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+#include "mem/tlb.h"
+
+namespace mflush {
+namespace {
+
+CacheGeometry small_geom() {
+  return CacheGeometry{4 * 1024, 2, 64, 1};  // 32 sets, 2 ways
+}
+
+TEST(Cache, GeometrySets) {
+  SetAssocCache c(small_geom());
+  EXPECT_EQ(c.geometry().num_sets(), 32u);
+}
+
+TEST(Cache, PaperL1Geometries) {
+  SetAssocCache l1i(CacheGeometry{64 * 1024, 4, 64, 8});
+  SetAssocCache l1d(CacheGeometry{32 * 1024, 4, 64, 8});
+  EXPECT_EQ(l1i.geometry().num_sets(), 256u);
+  EXPECT_EQ(l1d.geometry().num_sets(), 128u);
+}
+
+TEST(Cache, NonPowerOfTwoSetsSupported) {
+  // One bank slice of the paper's L2: 1 MB, 12-way -> 1365 sets.
+  SetAssocCache slice(CacheGeometry{1024 * 1024, 12, 64, 1});
+  EXPECT_EQ(slice.geometry().num_sets(), 1365u);
+  EXPECT_FALSE(slice.access(0x1000, false));
+  (void)slice.fill(0x1000, false);
+  EXPECT_TRUE(slice.access(0x1000, false));
+}
+
+TEST(Cache, MissThenFillThenHit) {
+  SetAssocCache c(small_geom());
+  EXPECT_FALSE(c.access(0x100, false));
+  (void)c.fill(0x100, false);
+  EXPECT_TRUE(c.access(0x100, false));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit) {
+  SetAssocCache c(small_geom());
+  (void)c.fill(0x1000, false);
+  EXPECT_TRUE(c.access(0x1000, false));
+  EXPECT_TRUE(c.access(0x103F, false));
+  EXPECT_FALSE(c.access(0x1040, false));  // next line
+}
+
+TEST(Cache, ProbeDoesNotMutate) {
+  SetAssocCache c(small_geom());
+  EXPECT_FALSE(c.probe(0x100));
+  EXPECT_EQ(c.hits() + c.misses(), 0u);  // probe does not count
+  (void)c.fill(0x100, false);
+  EXPECT_TRUE(c.probe(0x100));
+}
+
+TEST(Cache, WriteSetsDirtyAndVictimReportsIt) {
+  SetAssocCache c(small_geom());
+  (void)c.fill(0x100, false);
+  EXPECT_TRUE(c.access(0x100, /*is_write=*/true));  // dirties the line
+  // Fill two more lines in the same set (set width 2) to evict 0x100.
+  const Addr same_set1 = 0x100 + 32 * 64;
+  const Addr same_set2 = 0x100 + 64 * 64;
+  (void)c.fill(same_set1, false);
+  const EvictInfo ev = c.fill(same_set2, false);
+  EXPECT_TRUE(ev.evicted);
+  EXPECT_TRUE(ev.victim_dirty);
+  EXPECT_EQ(ev.victim_line, 0x100u);
+}
+
+TEST(Cache, LruEviction) {
+  SetAssocCache c(small_geom());
+  const Addr a = 0x100, b = a + 32 * 64, d = a + 64 * 64;  // one set
+  (void)c.fill(a, false);
+  (void)c.fill(b, false);
+  EXPECT_TRUE(c.access(a, false));       // refresh a
+  const EvictInfo ev = c.fill(d, false); // must evict b
+  EXPECT_TRUE(ev.evicted);
+  EXPECT_EQ(ev.victim_line, b);
+}
+
+TEST(Cache, FillOfPresentLineIsIdempotent) {
+  SetAssocCache c(small_geom());
+  (void)c.fill(0x100, false);
+  const EvictInfo ev = c.fill(0x100, true);
+  EXPECT_FALSE(ev.evicted);
+  // Dirty bit merged: evicting it now reports dirty.
+  (void)c.fill(0x100 + 32 * 64, false);
+  const EvictInfo ev2 = c.fill(0x100 + 64 * 64, false);
+  EXPECT_TRUE(ev2.victim_dirty);
+}
+
+TEST(Cache, LineOfMasksOffset) {
+  SetAssocCache c(small_geom());
+  EXPECT_EQ(c.line_of(0x12345), 0x12340u);
+}
+
+TEST(Cache, BankOfInterleavesByLine) {
+  SetAssocCache c(CacheGeometry{32 * 1024, 4, 64, 8});
+  EXPECT_EQ(c.bank_of(0 * 64), 0u);
+  EXPECT_EQ(c.bank_of(1 * 64), 1u);
+  EXPECT_EQ(c.bank_of(8 * 64), 0u);
+}
+
+TEST(Cache, ResetStats) {
+  SetAssocCache c(small_geom());
+  (void)c.access(0x0, false);
+  c.reset_stats();
+  EXPECT_EQ(c.hits() + c.misses(), 0u);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache(CacheGeometry{0, 1, 64, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(SetAssocCache(CacheGeometry{1024, 1, 48, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(SetAssocCache(CacheGeometry{64, 4, 64, 1}),
+               std::invalid_argument);  // smaller than one set
+}
+
+// ----------------------------------------------------------------------- TLB
+
+TEST(Tlb, HitAfterInstall) {
+  Tlb tlb(4, 8192);
+  EXPECT_FALSE(tlb.access(0x0000));
+  EXPECT_TRUE(tlb.access(0x1000));  // same 8 KB page
+  EXPECT_FALSE(tlb.access(0x2000)); // next page
+  EXPECT_EQ(tlb.misses(), 2u);
+  EXPECT_EQ(tlb.hits(), 1u);
+}
+
+TEST(Tlb, LruEvictionAtCapacity) {
+  Tlb tlb(2, 8192);
+  (void)tlb.access(0x0000);   // page 0
+  (void)tlb.access(0x2000);   // page 1
+  (void)tlb.access(0x0000);   // touch page 0 (MRU)
+  (void)tlb.access(0x4000);   // page 2 evicts page 1
+  EXPECT_TRUE(tlb.access(0x0000));
+  EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, FullAssociativityNoConflicts) {
+  Tlb tlb(512, 8192);
+  // 512 pages with wildly different addresses all fit.
+  for (Addr p = 0; p < 512; ++p) (void)tlb.access(p * 0x2000 * 977);
+  for (Addr p = 0; p < 512; ++p)
+    EXPECT_TRUE(tlb.access(p * 0x2000 * 977)) << p;
+}
+
+TEST(Tlb, RejectsNonPow2Page) {
+  EXPECT_THROW(Tlb(16, 3000), std::invalid_argument);
+}
+
+TEST(Tlb, ResetStats) {
+  Tlb tlb(4, 8192);
+  (void)tlb.access(0);
+  tlb.reset_stats();
+  EXPECT_EQ(tlb.hits() + tlb.misses(), 0u);
+}
+
+}  // namespace
+}  // namespace mflush

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "sim/cmp.h"
+#include "sim/experiment.h"
+#include "sim/workloads.h"
+
+namespace mflush {
+namespace {
+
+Workload wl(const char* name) { return *workloads::by_name(name); }
+
+TEST(Cmp, ConstructsFromWorkload) {
+  CmpSimulator sim(wl("2W1"), PolicySpec::icount());
+  EXPECT_EQ(sim.num_cores(), 1u);
+  CmpSimulator sim4(wl("8W1"), PolicySpec::icount());
+  EXPECT_EQ(sim4.num_cores(), 4u);
+}
+
+TEST(Cmp, RejectsMismatchedChip) {
+  SimConfig cfg = SimConfig::paper_default(2);  // 4 contexts
+  EXPECT_THROW(CmpSimulator(cfg, wl("2W1"), PolicySpec::icount()),
+               std::invalid_argument);
+}
+
+TEST(Cmp, RejectsUnknownBenchmarkCode) {
+  Workload bad;
+  bad.name = "bad";
+  bad.codes = {'a', '!'};
+  EXPECT_THROW(CmpSimulator(bad, PolicySpec::icount()),
+               std::invalid_argument);
+}
+
+TEST(Cmp, RejectsInvalidConfig) {
+  SimConfig cfg = SimConfig::paper_default(1);
+  cfg.core.fetch_threads = 9;
+  EXPECT_THROW(CmpSimulator(cfg, wl("2W1"), PolicySpec::icount()),
+               std::invalid_argument);
+}
+
+TEST(Cmp, RunAdvancesClockAndCommits) {
+  CmpSimulator sim(wl("2W1"), PolicySpec::icount());
+  sim.run(5000);
+  EXPECT_EQ(sim.now(), 5000u);
+  EXPECT_GT(sim.metrics().committed, 0u);
+}
+
+TEST(Cmp, MetricsAreInternallyConsistent) {
+  CmpSimulator sim(wl("4W2"), PolicySpec::flush_spec(30));
+  sim.run(8000);
+  const SimMetrics m = sim.metrics();
+  EXPECT_EQ(m.cycles, 8000u);
+  EXPECT_NEAR(m.ipc,
+              static_cast<double>(m.committed) / static_cast<double>(m.cycles),
+              1e-9);
+  ASSERT_EQ(m.per_thread_ipc.size(), 4u);
+  double sum = 0.0;
+  for (const double v : m.per_thread_ipc) sum += v;
+  EXPECT_NEAR(sum, m.ipc, 1e-6);
+}
+
+TEST(Cmp, DeterministicForSameSeed) {
+  CmpSimulator a(wl("2W2"), PolicySpec::mflush(), 7);
+  CmpSimulator b(wl("2W2"), PolicySpec::mflush(), 7);
+  a.run(6000);
+  b.run(6000);
+  EXPECT_EQ(a.metrics().committed, b.metrics().committed);
+  EXPECT_EQ(a.metrics().flush_events, b.metrics().flush_events);
+  EXPECT_EQ(a.metrics().mispredicts, b.metrics().mispredicts);
+}
+
+TEST(Cmp, SeedsProduceDifferentRuns) {
+  CmpSimulator a(wl("2W2"), PolicySpec::icount(), 1);
+  CmpSimulator b(wl("2W2"), PolicySpec::icount(), 2);
+  a.run(6000);
+  b.run(6000);
+  EXPECT_NE(a.metrics().committed, b.metrics().committed);
+}
+
+TEST(Cmp, ResetStatsStartsMeasuredInterval) {
+  CmpSimulator sim(wl("2W1"), PolicySpec::icount());
+  sim.run(3000);
+  sim.reset_stats();
+  EXPECT_EQ(sim.metrics().committed, 0u);
+  EXPECT_EQ(sim.metrics().cycles, 0u);
+  sim.run(1000);
+  EXPECT_GT(sim.metrics().committed, 0u);
+  EXPECT_EQ(sim.metrics().cycles, 1000u);
+}
+
+TEST(Cmp, PrewarmPopulatesL2) {
+  SimConfig cfg = SimConfig::paper_default(1);
+  cfg.prewarm_l2 = true;
+  CmpSimulator warm(cfg, wl("2W1"), PolicySpec::icount());
+  warm.run(8000);
+  SimConfig cold_cfg = cfg;
+  cold_cfg.prewarm_l2 = false;
+  CmpSimulator cold(cold_cfg, wl("2W1"), PolicySpec::icount());
+  cold.run(8000);
+  // The warm chip sees far more L2 hits early on.
+  EXPECT_GT(warm.memory().l2().read_hits(), cold.memory().l2().read_hits());
+}
+
+TEST(Cmp, IcountNeverFlushes) {
+  CmpSimulator sim(wl("4W3"), PolicySpec::icount());
+  sim.run(8000);
+  EXPECT_EQ(sim.metrics().flush_events, 0u);
+  EXPECT_DOUBLE_EQ(sim.metrics().energy.flush_wasted_units, 0.0);
+}
+
+TEST(Cmp, FlushPolicyFlushesOnMemoryWorkload) {
+  CmpSimulator sim(wl("2W3"), PolicySpec::flush_spec(30));  // mcf+gzip
+  sim.run(12000);
+  EXPECT_GT(sim.metrics().flush_events, 0u);
+  EXPECT_GT(sim.metrics().energy.flush_wasted_units, 0.0);
+}
+
+TEST(Cmp, AccessorsExposeStructure) {
+  CmpSimulator sim(wl("4W1"), PolicySpec::mflush(), 3);
+  EXPECT_EQ(sim.workload().name, "4W1");
+  EXPECT_EQ(sim.policy().label(), "MFLUSH");
+  EXPECT_EQ(sim.config().seed, 3u);
+  EXPECT_EQ(sim.core(0).num_threads(), 2u);
+  EXPECT_STREQ(sim.core(1).policy().name(), "MFLUSH");
+}
+
+// ------------------------------------------------------------- experiment
+
+TEST(Experiment, RunPointWarmsThenMeasures) {
+  const RunResult r =
+      run_point(wl("2W1"), PolicySpec::icount(), 1, 2000, 4000);
+  EXPECT_EQ(r.workload, "2W1");
+  EXPECT_EQ(r.policy, "ICOUNT");
+  EXPECT_EQ(r.metrics.cycles, 4000u);
+  EXPECT_GT(r.metrics.ipc, 0.0);
+}
+
+TEST(Experiment, SweepCoversAllPolicies) {
+  const auto rs = run_sweep(wl("2W1"),
+                            {PolicySpec::icount(), PolicySpec::mflush()}, 1,
+                            1000, 2000);
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[0].policy, "ICOUNT");
+  EXPECT_EQ(rs[1].policy, "MFLUSH");
+}
+
+TEST(Experiment, EnvOverridesCycles) {
+  setenv("MFLUSH_BENCH_CYCLES", "12345", 1);
+  EXPECT_EQ(bench_cycles(999), 12345u);
+  setenv("MFLUSH_BENCH_CYCLES", "garbage", 1);
+  EXPECT_EQ(bench_cycles(999), 999u);
+  unsetenv("MFLUSH_BENCH_CYCLES");
+  EXPECT_EQ(bench_cycles(999), 999u);
+
+  setenv("MFLUSH_WARMUP_CYCLES", "77", 1);
+  EXPECT_EQ(warmup_cycles(5), 77u);
+  unsetenv("MFLUSH_WARMUP_CYCLES");
+}
+
+}  // namespace
+}  // namespace mflush

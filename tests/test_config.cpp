@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+
+namespace mflush {
+namespace {
+
+// Fig. 1 "Simulation parameters" must be the defaults.
+TEST(Config, PaperCoreDefaults) {
+  const CoreConfig c;
+  EXPECT_EQ(c.threads_per_core, 2u);
+  EXPECT_EQ(c.int_queue_entries, 64u);
+  EXPECT_EQ(c.fp_queue_entries, 64u);
+  EXPECT_EQ(c.mem_queue_entries, 64u);
+  EXPECT_EQ(c.int_units, 4u);
+  EXPECT_EQ(c.fp_units, 3u);
+  EXPECT_EQ(c.ldst_units, 2u);
+  EXPECT_EQ(c.int_phys_regs, 320u);
+  EXPECT_EQ(c.rob_entries, 256u);
+  EXPECT_EQ(c.ras_entries, 100u);
+  EXPECT_EQ(c.btb_entries, 256u);
+  EXPECT_EQ(c.btb_ways, 4u);
+  EXPECT_EQ(c.perceptron_table, 256u);
+  EXPECT_EQ(c.local_history_entries, 4096u);
+  // 11-stage pipeline: 3 fetch + 2 decode + 2 rename + queue + regread +
+  // execute + regwrite/commit.
+  EXPECT_EQ(c.fetch_stages + c.decode_stages + c.rename_stages, 7u);
+}
+
+TEST(Config, PaperMemDefaults) {
+  const MemConfig m;
+  EXPECT_EQ(m.l1i_bytes, 64u * 1024);
+  EXPECT_EQ(m.l1i_ways, 4u);
+  EXPECT_EQ(m.l1i_banks, 8u);
+  EXPECT_EQ(m.l1d_bytes, 32u * 1024);
+  EXPECT_EQ(m.l1d_ways, 4u);
+  EXPECT_EQ(m.l1d_banks, 8u);
+  EXPECT_EQ(m.l1_latency, 3u);
+  EXPECT_EQ(m.itlb_entries, 512u);
+  EXPECT_EQ(m.dtlb_entries, 512u);
+  EXPECT_EQ(m.tlb_miss_penalty, 300u);
+  EXPECT_EQ(m.l2_bytes, 4u * 1024 * 1024);
+  EXPECT_EQ(m.l2_ways, 12u);
+  EXPECT_EQ(m.l2_banks, 4u);
+  EXPECT_EQ(m.l2_bank_latency, 15u);
+  EXPECT_EQ(m.memory_latency, 250u);
+  EXPECT_EQ(m.mshr_entries, 16u);
+}
+
+// The latency anatomy of DESIGN.md: unloaded L2 hit = 3 + 4 + 15 = 22,
+// matching the paper's "L1 lat./miss 3/22".
+TEST(Config, MinRoundTripIs22) {
+  const MemConfig m;
+  EXPECT_EQ(m.min_l2_roundtrip(), 22u);
+  EXPECT_EQ(m.max_l2_roundtrip(), 272u);
+}
+
+// MT = (bus + bank) * (cores - 1) — the paper's equation.
+TEST(Config, MulticoreTrafficFormula) {
+  const MemConfig m;
+  EXPECT_EQ(m.multicore_traffic(1), 0u);
+  EXPECT_EQ(m.multicore_traffic(2), 19u);
+  EXPECT_EQ(m.multicore_traffic(3), 38u);
+  EXPECT_EQ(m.multicore_traffic(4), 57u);
+  EXPECT_EQ(m.multicore_traffic(0), 0u);
+}
+
+TEST(Config, PaperDefaultFactory) {
+  const SimConfig cfg = SimConfig::paper_default(3, 99);
+  EXPECT_EQ(cfg.num_cores, 3u);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.total_threads(), 6u);
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(Config, ValidateAcceptsDefaults) {
+  for (std::uint32_t cores : {1u, 2u, 3u, 4u, 8u}) {
+    EXPECT_TRUE(SimConfig::paper_default(cores).validate().empty());
+  }
+}
+
+TEST(Config, ValidateRejectsZeroCores) {
+  SimConfig cfg;
+  cfg.num_cores = 0;
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(Config, ValidateRejectsBadFetchThreads) {
+  SimConfig cfg;
+  cfg.core.fetch_threads = 3;  // > threads_per_core (2)
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(Config, ValidateRejectsTinyRegFile) {
+  SimConfig cfg;
+  cfg.core.int_phys_regs = 16;  // cannot map 2 threads x 32 int regs
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(Config, ValidateRejectsNonPow2Line) {
+  SimConfig cfg;
+  cfg.mem.line_bytes = 48;
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(Config, ValidateRejectsNonPow2Banks) {
+  SimConfig cfg;
+  cfg.mem.l2_banks = 3;
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(Config, ValidateRejectsZeroMshr) {
+  SimConfig cfg;
+  cfg.mem.mshr_entries = 0;
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(Config, RewindWindowCoversRobPlusFrontEnd) {
+  const SimConfig cfg;
+  EXPECT_GE(cfg.rewind_window(),
+            cfg.core.rob_entries +
+                cfg.core.fetch_width * (cfg.core.fetch_stages +
+                                        cfg.core.decode_stages +
+                                        cfg.core.rename_stages + 2));
+}
+
+}  // namespace
+}  // namespace mflush

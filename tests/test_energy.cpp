@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "energy/accounting.h"
+#include "energy/factors.h"
+
+namespace mflush {
+namespace {
+
+// Fig. 10 — the table, verbatim.
+TEST(EnergyFactors, Fig10LocalValues) {
+  using energy::local_factor;
+  EXPECT_DOUBLE_EQ(local_factor(PipeStage::Fetch), 0.13);
+  EXPECT_DOUBLE_EQ(local_factor(PipeStage::Decode), 0.03);
+  EXPECT_DOUBLE_EQ(local_factor(PipeStage::Rename), 0.22);
+  EXPECT_DOUBLE_EQ(local_factor(PipeStage::Queue), 0.26);
+  EXPECT_DOUBLE_EQ(local_factor(PipeStage::RegRead), 0.05);
+  EXPECT_DOUBLE_EQ(local_factor(PipeStage::Execute), 0.13);
+  EXPECT_DOUBLE_EQ(local_factor(PipeStage::RegWrite), 0.05);
+  EXPECT_DOUBLE_EQ(local_factor(PipeStage::Commit), 0.13);
+}
+
+TEST(EnergyFactors, Fig10AccumulatedValues) {
+  using energy::accumulated_factor;
+  EXPECT_DOUBLE_EQ(accumulated_factor(PipeStage::Fetch), 0.13);
+  EXPECT_DOUBLE_EQ(accumulated_factor(PipeStage::Decode), 0.16);
+  EXPECT_DOUBLE_EQ(accumulated_factor(PipeStage::Rename), 0.38);
+  EXPECT_DOUBLE_EQ(accumulated_factor(PipeStage::Queue), 0.64);
+  EXPECT_DOUBLE_EQ(accumulated_factor(PipeStage::RegRead), 0.69);
+  EXPECT_DOUBLE_EQ(accumulated_factor(PipeStage::Execute), 0.82);
+  EXPECT_DOUBLE_EQ(accumulated_factor(PipeStage::RegWrite), 0.87);
+  EXPECT_DOUBLE_EQ(accumulated_factor(PipeStage::Commit), 1.0);
+}
+
+TEST(EnergyFactors, AccumulatedIsRunningSumOfLocal) {
+  double acc = 0.0;
+  for (const auto& f : energy::kFactors) {
+    acc += f.local;
+    EXPECT_NEAR(f.accumulated, acc, 1e-9)
+        << to_string(f.stage);
+  }
+  EXPECT_NEAR(acc, 1.0, 1e-9);  // one unit to commit one instruction
+}
+
+TEST(EnergyFactors, AccumulatedIsMonotonic) {
+  double prev = 0.0;
+  for (const auto& f : energy::kFactors) {
+    EXPECT_GT(f.accumulated, prev);
+    prev = f.accumulated;
+  }
+}
+
+TEST(EnergyFactors, ResourceSharesSumToOne) {
+  double total = 0.0;
+  for (const auto& r : energy::kResourceShares) total += r.fraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(EnergyAccounting, WastedUnitsWeighsByStage) {
+  std::array<std::uint64_t, kNumPipeStages> squashed{};
+  squashed[static_cast<std::size_t>(PipeStage::Fetch)] = 100;
+  squashed[static_cast<std::size_t>(PipeStage::Queue)] = 10;
+  // 100 * 0.13 + 10 * 0.64 = 19.4
+  EXPECT_NEAR(energy::wasted_units(squashed), 19.4, 1e-9);
+}
+
+TEST(EnergyAccounting, EmptyLedgerIsZero) {
+  std::array<std::uint64_t, kNumPipeStages> squashed{};
+  EXPECT_DOUBLE_EQ(energy::wasted_units(squashed), 0.0);
+}
+
+TEST(EnergyAccounting, DeeperStagesWasteMore) {
+  std::array<std::uint64_t, kNumPipeStages> early{}, late{};
+  early[static_cast<std::size_t>(PipeStage::Fetch)] = 100;
+  late[static_cast<std::size_t>(PipeStage::RegWrite)] = 100;
+  EXPECT_LT(energy::wasted_units(early), energy::wasted_units(late));
+}
+
+TEST(EnergyAccounting, ReportForCoreStats) {
+  CoreStats s;
+  s.committed[0] = 1000;
+  s.committed[1] = 500;
+  s.policy_flushed_by_stage[static_cast<std::size_t>(PipeStage::Queue)] = 50;
+  s.branch_squashed_by_stage[static_cast<std::size_t>(PipeStage::Fetch)] = 10;
+  const auto r = energy::report_for(s);
+  EXPECT_DOUBLE_EQ(r.committed_units, 1500.0);
+  EXPECT_NEAR(r.flush_wasted_units, 32.0, 1e-9);   // 50 * 0.64
+  EXPECT_NEAR(r.branch_wasted_units, 1.3, 1e-9);   // 10 * 0.13
+  EXPECT_NEAR(r.flush_wasted_per_kilo_commit(), 32.0 / 1.5, 1e-6);
+}
+
+TEST(EnergyAccounting, MergeSums) {
+  energy::EnergyReport a, b;
+  a.committed_units = 10;
+  a.flush_wasted_units = 1;
+  b.committed_units = 20;
+  b.flush_wasted_units = 2;
+  b.branch_wasted_units = 3;
+  const auto m = energy::merge(a, b);
+  EXPECT_DOUBLE_EQ(m.committed_units, 30.0);
+  EXPECT_DOUBLE_EQ(m.flush_wasted_units, 3.0);
+  EXPECT_DOUBLE_EQ(m.branch_wasted_units, 3.0);
+}
+
+TEST(EnergyAccounting, ZeroCommitGuards) {
+  energy::EnergyReport r;
+  r.flush_wasted_units = 10.0;
+  EXPECT_DOUBLE_EQ(r.flush_wasted_per_kilo_commit(), 0.0);
+}
+
+}  // namespace
+}  // namespace mflush

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "core/counts.h"
+#include "core/factory.h"
+#include "core/mflush.h"
+#include "sim/cmp.h"
+#include "sim/workloads.h"
+
+/// Tests for the §4.1 MCReg-history extension, the preventive-state
+/// ablation knob, and the BRCOUNT / L1DMISSCOUNT baselines.
+namespace mflush {
+namespace {
+
+// ------------------------------------------------ counting fetch policies
+
+CoreView view_with(std::uint32_t br0, std::uint32_t br1, std::uint32_t ms0,
+                   std::uint32_t ms1) {
+  CoreView v;
+  v.num_threads = 2;
+  v.brcount[0] = br0;
+  v.brcount[1] = br1;
+  v.misscount[0] = ms0;
+  v.misscount[1] = ms1;
+  v.icount[0] = 10;
+  v.icount[1] = 10;
+  return v;
+}
+
+TEST(Brcount, FewestUnresolvedBranchesFirst) {
+  BrcountPolicy p;
+  std::array<ThreadId, kMaxContexts> order{};
+  p.fetch_order(view_with(5, 2, 0, 0), order);
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(Brcount, TieFallsBackToIcount) {
+  BrcountPolicy p;
+  auto v = view_with(3, 3, 0, 0);
+  v.icount[0] = 20;
+  v.icount[1] = 5;
+  std::array<ThreadId, kMaxContexts> order{};
+  p.fetch_order(v, order);
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(MissCount, FewestOutstandingMissesFirst) {
+  L1DMissCountPolicy p;
+  std::array<ThreadId, kMaxContexts> order{};
+  p.fetch_order(view_with(0, 0, 4, 1), order);
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(CountPolicies, RunEndToEnd) {
+  for (const auto& spec : {PolicySpec::brcount(), PolicySpec::misscount()}) {
+    CmpSimulator sim(*workloads::by_name("2W2"), spec, 3);
+    sim.run(8'000);
+    EXPECT_GT(sim.metrics().committed, 0u) << spec.label();
+    EXPECT_EQ(sim.metrics().flush_events, 0u) << spec.label();
+  }
+}
+
+// -------------------------------------------------- MCReg history queues
+
+MflushConfig hist_cfg(std::uint32_t len, MflushConfig::Aggregate agg) {
+  MflushConfig c;
+  c.min_latency = 22;
+  c.max_latency = 272;
+  c.mt = 57;
+  c.num_banks = 4;
+  c.history_len = len;
+  c.aggregate = agg;
+  return c;
+}
+
+void observe_hit(MflushPolicy& p, std::uint64_t token, std::uint32_t bank,
+                 Cycle issue, Cycle latency) {
+  p.on_load_issued(0, token, bank, issue);
+  p.on_load_l2_path(0, token, bank, issue + 3);
+  p.on_load_resolved(0, token, issue, issue + latency, true, true, bank);
+}
+
+TEST(McRegHistory, LastReproducesPaperRegister) {
+  MflushPolicy p(hist_cfg(1, MflushConfig::Aggregate::Last));
+  observe_hit(p, 1, 0, 0, 40);
+  observe_hit(p, 2, 0, 100, 70);
+  EXPECT_EQ(p.mcreg(0), 70);
+}
+
+TEST(McRegHistory, AvgSmoothsOutliers) {
+  MflushPolicy p(hist_cfg(4, MflushConfig::Aggregate::Avg));
+  observe_hit(p, 1, 0, 0, 40);
+  observe_hit(p, 2, 0, 100, 40);
+  observe_hit(p, 3, 0, 200, 200);  // one outlier
+  // History: {22 seed, 40, 40, 200} -> avg 75 (vs Last = 200).
+  EXPECT_LT(p.mcreg(0), 100);
+  EXPECT_GT(p.mcreg(0), 40);
+}
+
+TEST(McRegHistory, MaxIsConservative) {
+  MflushPolicy p(hist_cfg(4, MflushConfig::Aggregate::Max));
+  observe_hit(p, 1, 0, 0, 90);
+  observe_hit(p, 2, 0, 100, 30);
+  EXPECT_EQ(p.mcreg(0), 90);  // remembers the slowest recent hit
+}
+
+TEST(McRegHistory, RingEvictsOldSamples) {
+  MflushPolicy p(hist_cfg(2, MflushConfig::Aggregate::Max));
+  observe_hit(p, 1, 0, 0, 200);
+  observe_hit(p, 2, 0, 100, 30);
+  observe_hit(p, 3, 0, 200, 35);
+  // The 200 sample fell out of the 2-deep ring.
+  EXPECT_EQ(p.mcreg(0), 35);
+}
+
+TEST(McRegHistory, BarrierFollowsAggregate) {
+  MflushPolicy p(hist_cfg(4, MflushConfig::Aggregate::Max));
+  observe_hit(p, 1, 2, 0, 120);
+  EXPECT_EQ(p.barrier_for_bank(2), 120u + 11 + 57);
+}
+
+// ----------------------------------------------- preventive-state ablation
+
+class GateRecorder final : public CoreControl {
+ public:
+  bool flush_after_load(std::uint64_t) override { return true; }
+  bool stall_until_load(std::uint64_t) override { return true; }
+  void set_fetch_gate(ThreadId, bool gated) override {
+    if (gated) ++gate_on;
+  }
+  int gate_on = 0;
+};
+
+TEST(MflushAblation, NoPreventiveNeverGates) {
+  MflushConfig c = hist_cfg(1, MflushConfig::Aggregate::Last);
+  c.enable_preventive = false;
+  MflushPolicy p(c);
+  GateRecorder ctrl;
+  p.on_load_issued(0, 1, 0, 100);
+  p.on_load_l2_path(0, 1, 0, 103);
+  for (Cycle t = 104; t < 185; ++t) p.on_cycle(t, ctrl);
+  EXPECT_EQ(ctrl.gate_on, 0);
+  EXPECT_EQ(p.counters().gate_cycles, 0u);
+}
+
+TEST(MflushAblation, NoPreventiveStillFlushesAtBarrier) {
+  MflushConfig c = hist_cfg(1, MflushConfig::Aggregate::Last);
+  c.enable_preventive = false;
+  MflushPolicy p(c);
+  GateRecorder ctrl;
+  p.on_load_issued(0, 1, 0, 100);
+  p.on_load_l2_path(0, 1, 0, 103);  // barrier deadline = 100 + 90
+  bool flushed = false;
+  for (Cycle t = 104; t <= 195 && !flushed; ++t) {
+    p.on_cycle(t, ctrl);
+    flushed = p.counters().flushes_on_hit + p.counters().flushes_on_miss +
+                  p.counters().flushes_on_l1 >
+              0;
+    // counters only fill at resolution; check via the recorder instead:
+    flushed = false;
+  }
+  // Verified indirectly: run again with a flush-counting recorder.
+  class FlushRecorder final : public CoreControl {
+   public:
+    bool flush_after_load(std::uint64_t) override {
+      ++flushes;
+      return true;
+    }
+    bool stall_until_load(std::uint64_t) override { return true; }
+    void set_fetch_gate(ThreadId, bool) override {}
+    int flushes = 0;
+  };
+  MflushPolicy p2(c);
+  FlushRecorder rec;
+  p2.on_load_issued(0, 1, 0, 100);
+  p2.on_load_l2_path(0, 1, 0, 103);
+  for (Cycle t = 104; t <= 195; ++t) p2.on_cycle(t, rec);
+  EXPECT_EQ(rec.flushes, 1);
+}
+
+// --------------------------------------------------- PolicySpec round trip
+
+TEST(PolicySpecExtensions, LabelsAndParse) {
+  EXPECT_EQ(PolicySpec::brcount().label(), "BRCOUNT");
+  EXPECT_EQ(PolicySpec::misscount().label(), "L1DMISSCOUNT");
+  EXPECT_EQ(PolicySpec::mflush_no_preventive().label(), "MFLUSH-NP");
+  EXPECT_EQ(
+      PolicySpec::mflush_history(4, PolicySpec::McRegAgg::Avg).label(),
+      "MFLUSH-H4AVG");
+  EXPECT_EQ(
+      PolicySpec::mflush_history(8, PolicySpec::McRegAgg::Max).label(),
+      "MFLUSH-H8MAX");
+
+  for (const char* s :
+       {"brcount", "l1dmisscount", "mflush-np", "mflush-h4", "mflush-h4max",
+        "mflush-h8avg"}) {
+    EXPECT_TRUE(PolicySpec::parse(s).has_value()) << s;
+  }
+  EXPECT_EQ(*PolicySpec::parse("mflush-h4max"),
+            PolicySpec::mflush_history(4, PolicySpec::McRegAgg::Max));
+  EXPECT_FALSE(PolicySpec::parse("mflush-h").has_value());
+  EXPECT_FALSE(PolicySpec::parse("mflush-h0").has_value());
+}
+
+TEST(PolicySpecExtensions, FactoryBuildsVariants) {
+  const SimConfig cfg = SimConfig::paper_default(4);
+  EXPECT_STREQ(make_policy(PolicySpec::brcount(), cfg)->name(), "BRCOUNT");
+  EXPECT_STREQ(make_policy(PolicySpec::misscount(), cfg)->name(),
+               "L1DMISSCOUNT");
+  auto p = make_policy(
+      PolicySpec::mflush_history(4, PolicySpec::McRegAgg::Max), cfg);
+  const auto* mf = dynamic_cast<const MflushPolicy*>(p.get());
+  ASSERT_NE(mf, nullptr);
+  EXPECT_EQ(mf->config().history_len, 4u);
+  EXPECT_EQ(mf->config().aggregate, MflushConfig::Aggregate::Max);
+}
+
+TEST(PolicySpecExtensions, VariantsRunEndToEnd) {
+  for (const auto& spec :
+       {PolicySpec::mflush_no_preventive(),
+        PolicySpec::mflush_history(4, PolicySpec::McRegAgg::Avg),
+        PolicySpec::mflush_history(4, PolicySpec::McRegAgg::Max)}) {
+    CmpSimulator sim(*workloads::by_name("4W3"), spec, 5);
+    sim.run(10'000);
+    EXPECT_GT(sim.metrics().committed, 0u) << spec.label();
+  }
+}
+
+}  // namespace
+}  // namespace mflush

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "sim/cmp.h"
+#include "sim/experiment.h"
+#include "sim/workloads.h"
+
+/// End-to-end checks of the paper's headline claims at reduced scale.
+/// These use small simulation windows, so they assert directions and
+/// orderings rather than exact percentages.
+namespace mflush {
+namespace {
+
+constexpr Cycle kWarm = 10'000;
+constexpr Cycle kMeasure = 40'000;
+
+SimMetrics measure(const char* workload, PolicySpec policy) {
+  return run_point(*workloads::by_name(workload), policy, 1, kWarm, kMeasure)
+      .metrics;
+}
+
+// §3.1 / Fig. 2: in a single-core SMT with a memory-bound thread, FLUSH
+// clearly beats ICOUNT.
+TEST(Integration, FlushBeatsIcountOnMemoryWorkloadSingleCore) {
+  const auto icount = measure("2W3", PolicySpec::icount());   // mcf+gzip
+  const auto flush = measure("2W3", PolicySpec::flush_spec(30));
+  EXPECT_GT(flush.ipc, icount.ipc * 1.10);
+}
+
+// Fig. 2's flat cases: ILP pairs gain little from FLUSH.
+TEST(Integration, FlushIsNeutralOnIlpPairs) {
+  const auto icount = measure("2W4", PolicySpec::icount());  // parser+perlbmk
+  const auto flush = measure("2W4", PolicySpec::flush_spec(30));
+  EXPECT_GT(flush.ipc, icount.ipc * 0.85);
+  EXPECT_LT(flush.ipc, icount.ipc * 1.15);
+}
+
+// §3.2 / Fig. 3: the FLUSH-S30 advantage shrinks (here: flips) at 4 cores.
+TEST(Integration, FlushS30AdvantageDecaysWithCores) {
+  const auto ic2 = measure("2W3", PolicySpec::icount());
+  const auto fl2 = measure("2W3", PolicySpec::flush_spec(30));
+  const auto ic8 = measure("8W3", PolicySpec::icount());
+  const auto fl8 = measure("8W3", PolicySpec::flush_spec(30));
+  const double speedup_1core = fl2.ipc / ic2.ipc;
+  const double speedup_4core = fl8.ipc / ic8.ipc;
+  EXPECT_LT(speedup_4core, speedup_1core);
+}
+
+// Fig. 4: L2 hit time inflates and disperses as cores are added.
+TEST(Integration, L2HitTimeGrowsWithCores) {
+  const auto one = measure("2W1", PolicySpec::icount());
+  const auto four = measure("8W1", PolicySpec::icount());
+  ASSERT_GT(one.l2_hits_observed, 0u);
+  ASSERT_GT(four.l2_hits_observed, 0u);
+  EXPECT_GT(four.l2_hit_time_p90, one.l2_hit_time_p90);
+}
+
+// §4.2 / Fig. 8: MFLUSH lands near the best static FLUSH without knowing
+// the trigger.
+TEST(Integration, MflushIsCompetitiveWithTunedFlush) {
+  const auto s100 = measure("8W3", PolicySpec::flush_spec(100));
+  const auto mflush = measure("8W3", PolicySpec::mflush());
+  EXPECT_GT(mflush.ipc, s100.ipc * 0.93);
+}
+
+// §4.3 / Fig. 11: MFLUSH wastes less re-fetch energy than FLUSH-S30.
+TEST(Integration, MflushWastesLessEnergyThanS30) {
+  const auto s30 = measure("8W1", PolicySpec::flush_spec(30));
+  const auto mflush = measure("8W1", PolicySpec::mflush());
+  ASSERT_GT(s30.energy.flush_wasted_units, 0.0);
+  EXPECT_LT(mflush.energy.flush_wasted_per_kilo_commit(),
+            s30.energy.flush_wasted_per_kilo_commit());
+}
+
+// §3.2: at 4 cores, most S30 flushes are false misses (late hits); the
+// false-miss ratio must exceed the 1-core case.
+TEST(Integration, FalseMissesGrowWithCores) {
+  auto count_false = [](const char* w) {
+    CmpSimulator sim(*workloads::by_name(w), PolicySpec::flush_spec(30));
+    sim.run(kWarm);
+    sim.reset_stats();
+    sim.run(kMeasure);
+    std::uint64_t hit = 0, miss = 0;
+    for (CoreId c = 0; c < sim.num_cores(); ++c) {
+      const auto pc = sim.core(c).policy().counters();
+      hit += pc.flushes_on_hit;
+      miss += pc.flushes_on_miss;
+    }
+    return std::pair<std::uint64_t, std::uint64_t>(hit, miss);
+  };
+  const auto [h1, m1] = count_false("2W1");
+  const auto [h4, m4] = count_false("8W1");
+  const double rate1 =
+      m1 + h1 ? static_cast<double>(h1) / static_cast<double>(h1 + m1) : 0.0;
+  const double rate4 =
+      m4 + h4 ? static_cast<double>(h4) / static_cast<double>(h4 + m4) : 0.0;
+  EXPECT_GT(rate4, rate1);
+}
+
+// MFLUSH's Preventive State actually engages on contended chips.
+TEST(Integration, PreventiveStateEngagesAtFourCores) {
+  CmpSimulator sim(*workloads::by_name("8W3"), PolicySpec::mflush());
+  sim.run(kWarm + kMeasure);
+  std::uint64_t gates = 0;
+  for (CoreId c = 0; c < sim.num_cores(); ++c)
+    gates += sim.core(c).policy().counters().gate_cycles;
+  EXPECT_GT(gates, 0u);
+}
+
+// Policies must not change the architectural work done, only its timing:
+// every policy commits from the same traces (no wrong-path commits).
+TEST(Integration, SameSeedSameTraceAcrossPolicies) {
+  // Indirect check: per-thread commit counts are positive under each
+  // policy, and ICOUNT vs MFLUSH runs are individually deterministic.
+  for (const auto& spec : {PolicySpec::icount(), PolicySpec::flush_spec(50),
+                           PolicySpec::mflush()}) {
+    const auto a = measure("4W1", spec);
+    const auto b = measure("4W1", spec);
+    EXPECT_EQ(a.committed, b.committed) << spec.label();
+    for (const double ipc : a.per_thread_ipc) EXPECT_GT(ipc, 0.0);
+  }
+}
+
+// FL-NS exists and behaves: it flushes only genuinely missing loads.
+TEST(Integration, NonSpeculativeFlushHasNoFalseMisses) {
+  CmpSimulator sim(*workloads::by_name("8W3"), PolicySpec::flush_ns());
+  sim.run(kWarm);
+  sim.reset_stats();
+  sim.run(kMeasure);
+  std::uint64_t hit = 0, miss = 0;
+  for (CoreId c = 0; c < sim.num_cores(); ++c) {
+    const auto pc = sim.core(c).policy().counters();
+    hit += pc.flushes_on_hit;
+    miss += pc.flushes_on_miss;
+  }
+  EXPECT_GT(miss, 0u);
+  EXPECT_EQ(hit, 0u);  // by construction: triggered on detected misses
+}
+
+}  // namespace
+}  // namespace mflush

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "mem/bus.h"
+#include "mem/l2.h"
+#include "mem/memory.h"
+#include "mem/mshr.h"
+
+namespace mflush {
+namespace {
+
+// ---------------------------------------------------------------------- MSHR
+
+TEST(Mshr, AllocateFindRelease) {
+  Mshr m(4);
+  const auto slot = m.allocate(0x1000);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(m.find(0x1000), slot);
+  EXPECT_EQ(m.line_of_slot(*slot), 0x1000u);
+  m.attach(*slot, MshrWaiter{7, 0, 10, MemKind::Load});
+  const auto waiters = m.release(*slot);
+  ASSERT_EQ(waiters.size(), 1u);
+  EXPECT_EQ(waiters[0].token, 7u);
+  EXPECT_FALSE(m.find(0x1000).has_value());
+}
+
+TEST(Mshr, FullAllocationFails) {
+  Mshr m(2);
+  ASSERT_TRUE(m.allocate(0x40).has_value());
+  ASSERT_TRUE(m.allocate(0x80).has_value());
+  EXPECT_TRUE(m.full());
+  EXPECT_FALSE(m.allocate(0xC0).has_value());
+  EXPECT_EQ(m.alloc_failures(), 1u);
+}
+
+TEST(Mshr, SlotReuseAfterRelease) {
+  Mshr m(1);
+  const auto s1 = m.allocate(0x40);
+  (void)m.release(*s1);
+  const auto s2 = m.allocate(0x80);
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(m.live(), 1u);
+}
+
+TEST(Mshr, CoalescingMultipleWaiters) {
+  Mshr m(4);
+  const auto slot = *m.allocate(0x1000);
+  for (std::uint64_t t = 1; t <= 5; ++t)
+    m.attach(slot, MshrWaiter{t, 0, t, MemKind::Load});
+  EXPECT_EQ(m.waiters(slot).size(), 5u);
+  EXPECT_EQ(m.release(slot).size(), 5u);
+}
+
+TEST(Mshr, MissKnownFlag) {
+  Mshr m(2);
+  const auto slot = *m.allocate(0x40);
+  EXPECT_FALSE(m.miss_known(slot));
+  m.set_miss_known(slot);
+  EXPECT_TRUE(m.miss_known(slot));
+  (void)m.release(slot);
+  const auto again = *m.allocate(0x40);
+  EXPECT_FALSE(m.miss_known(again));  // reset on reallocation
+}
+
+// ----------------------------------------------------------------------- Bus
+
+TEST(Bus, DeliversAfterLatency) {
+  SharedBus bus(2, 4);
+  std::vector<std::uint64_t> done;
+  bus.push(0, 42, 0);
+  for (Cycle t = 1; t <= 4; ++t) {
+    done.clear();
+    bus.tick(t, done);
+    if (t < 5) { EXPECT_TRUE(done.empty()); }
+  }
+  done.clear();
+  bus.tick(5, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 42u);
+}
+
+TEST(Bus, OccupancySerializesTransfers) {
+  SharedBus bus(1, 4);
+  std::vector<std::uint64_t> done;
+  bus.push(0, 1, 0);
+  bus.push(0, 2, 0);
+  std::vector<Cycle> arrivals;
+  for (Cycle t = 1; t <= 20 && arrivals.size() < 2; ++t) {
+    done.clear();
+    bus.tick(t, done);
+    for (auto p : done) {
+      (void)p;
+      arrivals.push_back(t);
+    }
+  }
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Second transfer starts only after the bus frees: 4 cycles apart.
+  EXPECT_GE(arrivals[1] - arrivals[0], 4u);
+}
+
+TEST(Bus, RoundRobinFairness) {
+  SharedBus bus(2, 1);
+  std::vector<std::uint64_t> done;
+  // Saturate both cores; grants must alternate.
+  for (int i = 0; i < 4; ++i) {
+    bus.push(0, 100 + i, 0);
+    bus.push(1, 200 + i, 0);
+  }
+  std::vector<std::uint64_t> order;
+  for (Cycle t = 1; t <= 20 && order.size() < 8; ++t) {
+    done.clear();
+    bus.tick(t, done);
+    for (auto p : done) order.push_back(p);
+  }
+  ASSERT_EQ(order.size(), 8u);
+  int alternations = 0;
+  for (std::size_t i = 1; i < order.size(); ++i)
+    if ((order[i] / 100) != (order[i - 1] / 100)) ++alternations;
+  EXPECT_GE(alternations, 6);
+}
+
+TEST(Bus, QueueWaitAccounted) {
+  SharedBus bus(1, 4);
+  std::vector<std::uint64_t> done;
+  bus.push(0, 1, 0);
+  bus.push(0, 2, 0);  // waits ~4 cycles for the bus
+  for (Cycle t = 1; t <= 12; ++t) {
+    done.clear();
+    bus.tick(t, done);
+  }
+  EXPECT_GT(bus.queue_wait_cycles(), 0u);
+  EXPECT_EQ(bus.transfers(), 2u);
+}
+
+// -------------------------------------------------------------------- Memory
+
+TEST(Memory, FixedLatency) {
+  MainMemory mem(250);
+  std::vector<std::uint64_t> done;
+  mem.start_read(9, 100);
+  mem.tick(349, done);
+  EXPECT_TRUE(done.empty());
+  mem.tick(350, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 9u);
+}
+
+TEST(Memory, FullyPipelined) {
+  MainMemory mem(250);
+  std::vector<std::uint64_t> done;
+  for (std::uint64_t i = 0; i < 10; ++i) mem.start_read(i, 100 + i);
+  mem.tick(359, done);
+  EXPECT_EQ(done.size(), 10u);  // all ten resolve within consecutive cycles
+  // FIFO order preserved for determinism.
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(done[i], i);
+}
+
+TEST(Memory, CountsReadsAndWrites) {
+  MainMemory mem(10);
+  mem.start_read(1, 0);
+  mem.start_write();
+  mem.start_write();
+  EXPECT_EQ(mem.reads(), 1u);
+  EXPECT_EQ(mem.writes(), 2u);
+}
+
+// ------------------------------------------------------------------ L2 banks
+
+L2Cache paper_l2() { return L2Cache(4 * 1024 * 1024, 12, 64, 4, 15); }
+
+TEST(L2, BankInterleavingByLine) {
+  auto l2 = paper_l2();
+  EXPECT_EQ(l2.bank_of(0 * 64), 0u);
+  EXPECT_EQ(l2.bank_of(1 * 64), 1u);
+  EXPECT_EQ(l2.bank_of(2 * 64), 2u);
+  EXPECT_EQ(l2.bank_of(3 * 64), 3u);
+  EXPECT_EQ(l2.bank_of(4 * 64), 0u);
+}
+
+TEST(L2, MissThenFillThenHit) {
+  auto l2 = paper_l2();
+  std::vector<L2ServiceResult> out;
+  l2.enqueue(0x1000, 1, false, 0);
+  for (Cycle t = 1; t <= 16; ++t) l2.tick(t, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].hit);
+  (void)l2.fill(0x1000, false);
+  out.clear();
+  l2.enqueue(0x1000, 2, false, 20);
+  for (Cycle t = 20; t <= 40; ++t) l2.tick(t, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].hit);
+}
+
+TEST(L2, SingleLatencyIs15Cycles) {
+  auto l2 = paper_l2();
+  std::vector<L2ServiceResult> out;
+  l2.enqueue(0x40, 1, false, 0);
+  Cycle done = 0;
+  for (Cycle t = 1; t <= 30 && done == 0; ++t) {
+    l2.tick(t, out);
+    if (!out.empty()) done = t;
+  }
+  // Service starts at tick 1, completes 15 cycles later.
+  EXPECT_EQ(done, 16u);
+}
+
+// The paper's worked example (§3.2): the 4th consecutive hit to the same
+// bank experiences ~45 extra cycles of queueing.
+TEST(L2, FourthConsecutiveSameBankAccessWaits45Cycles) {
+  auto l2 = paper_l2();
+  for (int i = 0; i < 4; ++i) (void)l2.fill(0x1000 + i * 4 * 64, false);
+  std::vector<L2ServiceResult> out;
+  // Four back-to-back requests to bank 0 (line stride of 4 lines).
+  for (std::uint64_t i = 0; i < 4; ++i)
+    l2.enqueue(0x1000 + i * 4 * 64, i, false, 0);
+  std::vector<Cycle> done(4, 0);
+  for (Cycle t = 1; t <= 100; ++t) {
+    out.clear();
+    l2.tick(t, out);
+    for (const auto& r : out) done[r.payload] = t;
+  }
+  EXPECT_EQ(done[0], 16u);
+  EXPECT_EQ(done[3] - done[0], 45u);  // three additional 15-cycle services
+}
+
+TEST(L2, BanksServeInParallel) {
+  auto l2 = paper_l2();
+  for (std::uint64_t i = 0; i < 4; ++i) (void)l2.fill(i * 64, false);
+  std::vector<L2ServiceResult> out;
+  for (std::uint64_t i = 0; i < 4; ++i) l2.enqueue(i * 64, i, false, 0);
+  std::vector<Cycle> done(4, 0);
+  for (Cycle t = 1; t <= 40; ++t) {
+    out.clear();
+    l2.tick(t, out);
+    for (const auto& r : out) done[r.payload] = t;
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(done[i], 16u) << i;
+}
+
+TEST(L2, WritebackInstallsDirtyWithoutResponse) {
+  auto l2 = paper_l2();
+  std::vector<L2ServiceResult> out;
+  l2.enqueue(0x2000, 99, /*is_writeback=*/true, 0);
+  for (Cycle t = 1; t <= 20; ++t) l2.tick(t, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(l2.writebacks(), 1u);
+  // The line is now present (a subsequent read hits).
+  l2.enqueue(0x2000, 1, false, 30);
+  for (Cycle t = 30; t <= 50; ++t) l2.tick(t, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].hit);
+}
+
+TEST(L2, RejectsIndivisibleBanking) {
+  EXPECT_THROW(L2Cache(1000, 2, 64, 3, 15), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mflush

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/mflush.h"
+
+namespace mflush {
+namespace {
+
+class MockControl final : public CoreControl {
+ public:
+  bool flush_after_load(std::uint64_t token) override {
+    flushed.push_back(token);
+    return true;
+  }
+  bool stall_until_load(std::uint64_t token) override {
+    stalled.push_back(token);
+    return true;
+  }
+  void set_fetch_gate(ThreadId tid, bool gated) override {
+    gate_state[tid] = gated;
+    ++gate_changes;
+  }
+
+  std::vector<std::uint64_t> flushed;
+  std::vector<std::uint64_t> stalled;
+  std::array<bool, kMaxContexts> gate_state{};
+  int gate_changes = 0;
+};
+
+MflushConfig one_core_cfg() {
+  MflushConfig c;
+  c.min_latency = 22;
+  c.max_latency = 272;
+  c.mt = 0;
+  c.num_banks = 4;
+  return c;
+}
+
+MflushConfig four_core_cfg() {
+  MflushConfig c = one_core_cfg();
+  c.mt = 57;  // (4+15)*3
+  return c;
+}
+
+TEST(Mflush, McRegInitializedToMin) {
+  MflushPolicy p(one_core_cfg());
+  for (std::uint32_t b = 0; b < 4; ++b) EXPECT_EQ(p.mcreg(b), 22);
+}
+
+TEST(Mflush, McRegTracksLastHitLatencyPerBank) {
+  MflushPolicy p(one_core_cfg());
+  p.on_load_issued(0, 1, 2, 100);
+  p.on_load_l2_path(0, 1, 2, 103);
+  p.on_load_resolved(0, 1, 100, 155, true, true, 2);  // 55-cycle hit
+  EXPECT_EQ(p.mcreg(2), 55);
+  EXPECT_EQ(p.mcreg(0), 22);  // other banks untouched
+}
+
+TEST(Mflush, McRegIgnoresMisses) {
+  MflushPolicy p(one_core_cfg());
+  p.on_load_issued(0, 1, 1, 100);
+  p.on_load_l2_path(0, 1, 1, 103);
+  p.on_load_resolved(0, 1, 100, 372, true, /*l2_hit=*/false, 1);
+  EXPECT_EQ(p.mcreg(1), 22);
+}
+
+TEST(Mflush, McRegSaturatesAt255) {
+  MflushPolicy p(one_core_cfg());
+  p.on_load_issued(0, 1, 0, 100);
+  p.on_load_l2_path(0, 1, 0, 103);
+  p.on_load_resolved(0, 1, 100, 100 + 400, true, true, 0);
+  EXPECT_EQ(p.mcreg(0), 255);
+}
+
+// BARRIER = MCReg + MIN/2 + MT, clamped to [MIN+MT, MAX+MT] (Fig. 6).
+TEST(Mflush, BarrierFormula) {
+  MflushPolicy p(four_core_cfg());
+  // Initial MCReg = 22: barrier = 22 + 11 + 57 = 90.
+  EXPECT_EQ(p.barrier_for_bank(0), 90u);
+  // Train bank 0 to a 55-cycle hit (the paper's Fig. 7 example value):
+  p.on_load_issued(0, 1, 0, 0);
+  p.on_load_l2_path(0, 1, 0, 3);
+  p.on_load_resolved(0, 1, 0, 55, true, true, 0);
+  EXPECT_EQ(p.barrier_for_bank(0), 55u + 11 + 57);
+}
+
+TEST(Mflush, BarrierClampsLow) {
+  MflushPolicy p(four_core_cfg());
+  p.on_load_issued(0, 1, 0, 0);
+  p.on_load_l2_path(0, 1, 0, 3);
+  p.on_load_resolved(0, 1, 0, 4, true, true, 0);  // absurdly fast "hit"
+  // Raw would be 4 + 11 + 57 = 72 < MIN+MT = 79: clamped up.
+  EXPECT_EQ(p.barrier_for_bank(0), 79u);
+}
+
+TEST(Mflush, BarrierClampsHigh) {
+  MflushConfig c = four_core_cfg();
+  c.max_latency = 200;
+  MflushPolicy p(c);
+  p.on_load_issued(0, 1, 0, 0);
+  p.on_load_l2_path(0, 1, 0, 3);
+  p.on_load_resolved(0, 1, 0, 250, true, true, 0);
+  EXPECT_EQ(p.barrier_for_bank(0), 200u + 57);
+}
+
+TEST(Mflush, PreventiveStateGatesSuspiciousThread) {
+  MflushPolicy p(four_core_cfg());
+  MockControl ctrl;
+  p.on_load_issued(0, 1, 0, 100);
+  p.on_load_l2_path(0, 1, 0, 103);
+  // Below MIN+MT = 79 cycles of age: not suspicious.
+  p.on_cycle(100 + 79, ctrl);
+  EXPECT_FALSE(ctrl.gate_state[0]);
+  // Above: gated.
+  p.on_cycle(100 + 80, ctrl);
+  EXPECT_TRUE(ctrl.gate_state[0]);
+  EXPECT_GT(p.counters().gate_cycles, 0u);
+}
+
+TEST(Mflush, ResolutionBeforeBarrierLiftsGate) {
+  MflushPolicy p(four_core_cfg());
+  MockControl ctrl;
+  p.on_load_issued(0, 1, 0, 100);
+  p.on_load_l2_path(0, 1, 0, 103);
+  p.on_cycle(185, ctrl);  // suspicious
+  ASSERT_TRUE(ctrl.gate_state[0]);
+  p.on_load_resolved(0, 1, 100, 186, true, true, 0);
+  p.on_cycle(187, ctrl);
+  EXPECT_FALSE(ctrl.gate_state[0]);
+  EXPECT_TRUE(ctrl.flushed.empty());  // barrier never crossed
+}
+
+TEST(Mflush, BarrierCrossingTriggersFlush) {
+  MflushPolicy p(four_core_cfg());
+  MockControl ctrl;
+  p.on_load_issued(0, 1, 3, 100);
+  p.on_load_l2_path(0, 1, 3, 103);  // barrier = 100 + 90 = cycle 190
+  p.on_cycle(190, ctrl);
+  EXPECT_TRUE(ctrl.flushed.empty());
+  p.on_cycle(191, ctrl);
+  ASSERT_EQ(ctrl.flushed.size(), 1u);
+  EXPECT_EQ(ctrl.flushed[0], 1u);
+}
+
+TEST(Mflush, LoadsNeverReachingL2DoNotParticipate) {
+  MflushPolicy p(four_core_cfg());
+  MockControl ctrl;
+  p.on_load_issued(0, 1, 0, 100);  // no l2_path event (e.g. TLB walk only)
+  p.on_cycle(1000, ctrl);
+  EXPECT_TRUE(ctrl.flushed.empty());
+  EXPECT_FALSE(ctrl.gate_state[0]);
+}
+
+TEST(Mflush, AdaptsBarrierToObservedCongestion) {
+  // After the bank gets slow, MFLUSH waits longer before flushing —
+  // the adaptivity FLUSH-S30 lacks.
+  MflushPolicy p(four_core_cfg());
+  MockControl ctrl;
+  p.on_load_issued(0, 1, 0, 0);
+  p.on_load_l2_path(0, 1, 0, 3);
+  p.on_load_resolved(0, 1, 0, 140, true, true, 0);  // 140-cycle late hit
+  p.on_load_issued(0, 2, 0, 200);
+  p.on_load_l2_path(0, 2, 0, 203);
+  // Old barrier would be 200+90=290; adapted is 200+140+11+57 = 408.
+  p.on_cycle(300, ctrl);
+  EXPECT_TRUE(ctrl.flushed.empty());
+  p.on_cycle(409, ctrl);
+  EXPECT_EQ(ctrl.flushed.size(), 1u);
+}
+
+TEST(Mflush, PerThreadFlushIsolation) {
+  MflushPolicy p(four_core_cfg());
+  MockControl ctrl;
+  p.on_load_issued(0, 1, 0, 100);
+  p.on_load_l2_path(0, 1, 0, 103);
+  p.on_load_issued(1, 2, 1, 100);
+  p.on_load_l2_path(1, 2, 1, 103);
+  p.on_cycle(300, ctrl);
+  EXPECT_EQ(ctrl.flushed.size(), 2u);  // both threads flushed independently
+}
+
+TEST(Mflush, CountsFalseMisses) {
+  MflushPolicy p(four_core_cfg());
+  MockControl ctrl;
+  p.on_load_issued(0, 1, 0, 100);
+  p.on_load_l2_path(0, 1, 0, 103);
+  p.on_cycle(300, ctrl);  // flush fires
+  p.on_load_resolved(0, 1, 100, 320, true, true, 0);  // ...but it was a hit
+  EXPECT_EQ(p.counters().flushes_on_hit, 1u);
+}
+
+TEST(Mflush, Name) {
+  MflushPolicy p(one_core_cfg());
+  EXPECT_STREQ(p.name(), "MFLUSH");
+}
+
+}  // namespace
+}  // namespace mflush

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/factory.h"
+#include "core/fetch_policy.h"
+#include "core/flush.h"
+#include "core/icount.h"
+#include "core/mflush.h"
+#include "core/stall.h"
+
+namespace mflush {
+namespace {
+
+/// Records the response actions a policy takes.
+class MockControl final : public CoreControl {
+ public:
+  bool flush_after_load(std::uint64_t token) override {
+    flushed.push_back(token);
+    return accept_flush;
+  }
+  bool stall_until_load(std::uint64_t token) override {
+    stalled.push_back(token);
+    return accept_stall;
+  }
+  void set_fetch_gate(ThreadId tid, bool gated) override {
+    gates.emplace_back(tid, gated);
+  }
+
+  std::vector<std::uint64_t> flushed;
+  std::vector<std::uint64_t> stalled;
+  std::vector<std::pair<ThreadId, bool>> gates;
+  bool accept_flush = true;
+  bool accept_stall = true;
+};
+
+CoreView two_thread_view(std::uint32_t c0, std::uint32_t c1) {
+  CoreView v;
+  v.num_threads = 2;
+  v.icount[0] = c0;
+  v.icount[1] = c1;
+  return v;
+}
+
+// -------------------------------------------------------------- icount_order
+
+TEST(IcountOrder, FewestPreIssueFirst) {
+  std::array<ThreadId, kMaxContexts> order{};
+  icount_order(two_thread_view(10, 3), order);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);
+}
+
+TEST(IcountOrder, TieBreaksByThreadId) {
+  std::array<ThreadId, kMaxContexts> order{};
+  icount_order(two_thread_view(5, 5), order);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(IcountPolicy, NeverTriggersActions) {
+  IcountPolicy p;
+  MockControl ctrl;
+  p.on_load_issued(0, 1, 0, 0);
+  for (Cycle t = 0; t < 500; ++t) p.on_cycle(t, ctrl);
+  EXPECT_TRUE(ctrl.flushed.empty());
+  EXPECT_TRUE(ctrl.stalled.empty());
+  EXPECT_TRUE(ctrl.gates.empty());
+}
+
+// -------------------------------------------------------------- FlushPolicy
+
+TEST(FlushSpec, FiresExactlyAtTrigger) {
+  FlushPolicy p(FlushPolicy::DetectionMoment::SpecDelay, 30);
+  MockControl ctrl;
+  p.on_load_issued(0, 7, 2, 100);
+  p.on_cycle(129, ctrl);
+  EXPECT_TRUE(ctrl.flushed.empty());
+  p.on_cycle(130, ctrl);
+  ASSERT_EQ(ctrl.flushed.size(), 1u);
+  EXPECT_EQ(ctrl.flushed[0], 7u);
+}
+
+TEST(FlushSpec, NoRefireWhileThreadFlushed) {
+  FlushPolicy p(FlushPolicy::DetectionMoment::SpecDelay, 30);
+  MockControl ctrl;
+  p.on_load_issued(0, 7, 0, 100);
+  p.on_cycle(200, ctrl);
+  p.on_cycle(201, ctrl);
+  p.on_cycle(250, ctrl);
+  EXPECT_EQ(ctrl.flushed.size(), 1u);
+}
+
+TEST(FlushSpec, ResolveUnblocksNextFlush) {
+  FlushPolicy p(FlushPolicy::DetectionMoment::SpecDelay, 30);
+  MockControl ctrl;
+  p.on_load_issued(0, 7, 0, 100);
+  p.on_cycle(140, ctrl);
+  p.on_load_resolved(0, 7, 100, 400, true, false, 0);
+  p.on_load_issued(0, 8, 0, 400);
+  p.on_cycle(440, ctrl);
+  ASSERT_EQ(ctrl.flushed.size(), 2u);
+  EXPECT_EQ(ctrl.flushed[1], 8u);
+}
+
+TEST(FlushSpec, IndependentThreads) {
+  FlushPolicy p(FlushPolicy::DetectionMoment::SpecDelay, 30);
+  MockControl ctrl;
+  p.on_load_issued(0, 7, 0, 100);
+  p.on_load_issued(1, 8, 0, 100);
+  p.on_cycle(140, ctrl);
+  EXPECT_EQ(ctrl.flushed.size(), 2u);
+}
+
+TEST(FlushSpec, DropsVanishedLoads) {
+  FlushPolicy p(FlushPolicy::DetectionMoment::SpecDelay, 30);
+  MockControl ctrl;
+  ctrl.accept_flush = false;  // core says the load is gone
+  p.on_load_issued(0, 7, 0, 100);
+  p.on_cycle(140, ctrl);
+  ctrl.flushed.clear();
+  p.on_cycle(141, ctrl);
+  EXPECT_TRUE(ctrl.flushed.empty());  // forgotten, not retried forever
+}
+
+TEST(FlushNonSpec, FiresOnlyOnMissDetection) {
+  FlushPolicy p(FlushPolicy::DetectionMoment::NonSpec, 0);
+  MockControl ctrl;
+  p.on_load_issued(0, 7, 1, 100);
+  p.on_cycle(500, ctrl);  // ages alone never trigger FL-NS
+  EXPECT_TRUE(ctrl.flushed.empty());
+  p.on_load_l2_miss(0, 7, 1, 520);
+  p.on_cycle(521, ctrl);
+  ASSERT_EQ(ctrl.flushed.size(), 1u);
+}
+
+TEST(FlushPolicy, FalseMissCounters) {
+  FlushPolicy p(FlushPolicy::DetectionMoment::SpecDelay, 30);
+  MockControl ctrl;
+  p.on_load_issued(0, 7, 0, 100);
+  p.on_cycle(140, ctrl);
+  p.on_load_resolved(0, 7, 100, 160, true, true, 0);  // it was a hit!
+  p.on_load_issued(0, 9, 0, 200);
+  p.on_cycle(240, ctrl);
+  p.on_load_resolved(0, 9, 200, 480, true, false, 0);  // real miss
+  const auto c = p.counters();
+  EXPECT_EQ(c.flushes_on_hit, 1u);
+  EXPECT_EQ(c.flushes_on_miss, 1u);
+}
+
+TEST(FlushPolicy, Names) {
+  EXPECT_STREQ(FlushPolicy(FlushPolicy::DetectionMoment::SpecDelay, 30).name(),
+               "FLUSH-S30");
+  EXPECT_STREQ(FlushPolicy(FlushPolicy::DetectionMoment::NonSpec, 0).name(),
+               "FLUSH-NS");
+}
+
+// -------------------------------------------------------------- StallPolicy
+
+TEST(StallPolicy, StallsInsteadOfFlushing) {
+  StallPolicy p(40);
+  MockControl ctrl;
+  p.on_load_issued(0, 3, 0, 10);
+  p.on_cycle(49, ctrl);
+  EXPECT_TRUE(ctrl.stalled.empty());
+  p.on_cycle(50, ctrl);
+  ASSERT_EQ(ctrl.stalled.size(), 1u);
+  EXPECT_TRUE(ctrl.flushed.empty());
+}
+
+TEST(StallPolicy, OneStallPerThreadUntilResolve) {
+  StallPolicy p(40);
+  MockControl ctrl;
+  p.on_load_issued(0, 3, 0, 10);
+  p.on_load_issued(0, 4, 0, 12);
+  p.on_cycle(60, ctrl);
+  EXPECT_EQ(ctrl.stalled.size(), 1u);
+  p.on_load_resolved(0, 3, 10, 70, true, false, 0);
+  p.on_cycle(71, ctrl);
+  EXPECT_EQ(ctrl.stalled.size(), 2u);  // the second load now stalls
+}
+
+// --------------------------------------------------------------- PolicySpec
+
+TEST(PolicySpec, Labels) {
+  EXPECT_EQ(PolicySpec::icount().label(), "ICOUNT");
+  EXPECT_EQ(PolicySpec::flush_spec(30).label(), "FLUSH-S30");
+  EXPECT_EQ(PolicySpec::flush_spec(100).label(), "FLUSH-S100");
+  EXPECT_EQ(PolicySpec::flush_ns().label(), "FLUSH-NS");
+  EXPECT_EQ(PolicySpec::stall(50).label(), "STALL-S50");
+  EXPECT_EQ(PolicySpec::mflush().label(), "MFLUSH");
+}
+
+TEST(PolicySpec, ParseRoundTrip) {
+  for (const auto& spec :
+       {PolicySpec::icount(), PolicySpec::flush_spec(30),
+        PolicySpec::flush_spec(150), PolicySpec::flush_ns(),
+        PolicySpec::stall(40), PolicySpec::mflush()}) {
+    const auto parsed = PolicySpec::parse(spec.label());
+    ASSERT_TRUE(parsed.has_value()) << spec.label();
+    EXPECT_EQ(*parsed, spec);
+  }
+}
+
+TEST(PolicySpec, ParseIsCaseInsensitive) {
+  EXPECT_EQ(*PolicySpec::parse("IcOuNt"), PolicySpec::icount());
+  EXPECT_EQ(*PolicySpec::parse("flush-s30"), PolicySpec::flush_spec(30));
+}
+
+TEST(PolicySpec, ParseRejectsGarbage) {
+  EXPECT_FALSE(PolicySpec::parse("").has_value());
+  EXPECT_FALSE(PolicySpec::parse("flush").has_value());
+  EXPECT_FALSE(PolicySpec::parse("flush-s").has_value());
+  EXPECT_FALSE(PolicySpec::parse("flush-s0").has_value());
+  EXPECT_FALSE(PolicySpec::parse("flush-sXX").has_value());
+  EXPECT_FALSE(PolicySpec::parse("superpolicy").has_value());
+}
+
+TEST(Factory, BuildsEveryKind) {
+  const SimConfig cfg = SimConfig::paper_default(4);
+  EXPECT_STREQ(make_policy(PolicySpec::icount(), cfg)->name(), "ICOUNT");
+  EXPECT_STREQ(make_policy(PolicySpec::flush_spec(30), cfg)->name(),
+               "FLUSH-S30");
+  EXPECT_STREQ(make_policy(PolicySpec::flush_ns(), cfg)->name(), "FLUSH-NS");
+  EXPECT_STREQ(make_policy(PolicySpec::stall(30), cfg)->name(), "STALL-S30");
+  EXPECT_STREQ(make_policy(PolicySpec::mflush(), cfg)->name(), "MFLUSH");
+}
+
+TEST(Factory, MflushGetsTopologyDerivedMT) {
+  const SimConfig cfg = SimConfig::paper_default(4);
+  auto p = make_policy(PolicySpec::mflush(), cfg);
+  const auto* mf = dynamic_cast<const MflushPolicy*>(p.get());
+  ASSERT_NE(mf, nullptr);
+  EXPECT_EQ(mf->config().mt, 57u);         // (4+15)*(4-1)
+  EXPECT_EQ(mf->config().min_latency, 22u);
+  EXPECT_EQ(mf->config().max_latency, 272u);
+  EXPECT_EQ(mf->config().num_banks, 4u);
+}
+
+}  // namespace
+}  // namespace mflush

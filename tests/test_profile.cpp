@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "trace/profile.h"
+#include "trace/spec2000.h"
+
+namespace mflush {
+namespace {
+
+TEST(Profile, NormalizedClampsFractions) {
+  BenchmarkProfile p;
+  p.f_load = 1.5;
+  p.p_chase = -0.2;
+  p.predictability = 2.0;
+  const auto n = p.normalized();
+  EXPECT_LE(n.f_load, 1.0);
+  EXPECT_GE(n.p_chase, 0.0);
+  EXPECT_LE(n.predictability, 1.0);
+}
+
+TEST(Profile, NormalizedKeepsMixBelow95Percent) {
+  BenchmarkProfile p;
+  p.f_load = 0.5;
+  p.f_store = 0.4;
+  p.f_branch = 0.4;
+  p.f_call_ret = 0.1;
+  const auto n = p.normalized();
+  EXPECT_LE(n.f_load + n.f_store + n.f_branch + n.f_call_ret, 0.9500001);
+}
+
+TEST(Profile, NormalizedRegionProbabilities) {
+  BenchmarkProfile p;
+  p.p_l2 = 0.8;
+  p.p_mem = 0.6;
+  const auto n = p.normalized();
+  EXPECT_LE(n.p_l2 + n.p_mem, 1.0 + 1e-12);
+}
+
+TEST(Profile, NormalizedStrandsBounded) {
+  BenchmarkProfile p;
+  p.strands = 0;
+  EXPECT_EQ(p.normalized().strands, 1u);
+  p.strands = 100;
+  EXPECT_EQ(p.normalized().strands, 8u);
+}
+
+TEST(Profile, NormalizedNonZeroSizes) {
+  BenchmarkProfile p;
+  p.hot_lines = 0;
+  p.icache_lines = 0;
+  p.mean_bb_len = 0;
+  const auto n = p.normalized();
+  EXPECT_GE(n.hot_lines, 1u);
+  EXPECT_GE(n.icache_lines, 1u);
+  EXPECT_GE(n.mean_bb_len, 2u);
+}
+
+TEST(Spec2000, CatalogHas26Benchmarks) {
+  EXPECT_EQ(spec2000::all().size(), 26u);
+}
+
+TEST(Spec2000, CodesAreAtoZInOrder) {
+  const auto all = spec2000::all();
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_EQ(all[i].code, static_cast<char>('a' + i));
+}
+
+// Fig. 1's code table, spot-checked.
+TEST(Spec2000, Fig1CodeAssignments) {
+  EXPECT_EQ(spec2000::by_code('a')->name, "gzip");
+  EXPECT_EQ(spec2000::by_code('d')->name, "mcf");
+  EXPECT_EQ(spec2000::by_code('e')->name, "crafty");
+  EXPECT_EQ(spec2000::by_code('j')->name, "vortex");
+  EXPECT_EQ(spec2000::by_code('k')->name, "bzip2");
+  EXPECT_EQ(spec2000::by_code('l')->name, "twolf");
+  EXPECT_EQ(spec2000::by_code('m')->name, "art");
+  EXPECT_EQ(spec2000::by_code('n')->name, "swim");
+  EXPECT_EQ(spec2000::by_code('u')->name, "sixtrack");
+  EXPECT_EQ(spec2000::by_code('z')->name, "mgrid");
+}
+
+TEST(Spec2000, LookupFailures) {
+  EXPECT_FALSE(spec2000::by_code('A').has_value());
+  EXPECT_FALSE(spec2000::by_code('0').has_value());
+  EXPECT_FALSE(spec2000::by_name("doom").has_value());
+}
+
+TEST(Spec2000, ByNameMatchesByCode) {
+  for (const auto& p : spec2000::all())
+    EXPECT_EQ(spec2000::by_name(p.name)->code, p.code);
+}
+
+// Memory-behaviour calibration invariants the evaluation depends on:
+// the canonical memory hounds must out-miss the ILP set.
+TEST(Spec2000, MemoryBoundOrdering) {
+  const auto mcf = *spec2000::by_name("mcf");
+  const auto art = *spec2000::by_name("art");
+  const auto gzip = *spec2000::by_name("gzip");
+  const auto crafty = *spec2000::by_name("crafty");
+  const auto eon = *spec2000::by_name("eon");
+  EXPECT_GT(mcf.p_mem, 10 * gzip.p_mem);
+  EXPECT_GT(art.p_mem, 10 * crafty.p_mem);
+  EXPECT_GT(mcf.p_l2, eon.p_l2);
+}
+
+TEST(Spec2000, McfIsAPointerChaser) {
+  const auto mcf = *spec2000::by_name("mcf");
+  EXPECT_GT(mcf.p_chase, 0.3);
+  EXPECT_LE(mcf.strands, 3u);
+}
+
+TEST(Spec2000, StreamersStream) {
+  for (const char* name : {"swim", "lucas", "applu", "mgrid"}) {
+    const auto p = *spec2000::by_name(name);
+    EXPECT_GT(p.p_stream, 0.4) << name;
+    EXPECT_GE(p.stream_lines, 1u << 17) << name;
+  }
+}
+
+TEST(Spec2000, BigCodeBenchmarksExceedL1I) {
+  // gcc/perlbmk/vortex have instruction footprints beyond the 1024-line L1I.
+  for (const char* name : {"gcc", "perlbmk", "vortex"}) {
+    EXPECT_GT(spec2000::by_name(name)->icache_lines, 1024u) << name;
+  }
+}
+
+TEST(Spec2000, AllProfilesAreNormalized) {
+  for (const auto& p : spec2000::all()) {
+    EXPECT_LE(p.p_l2 + p.p_mem, 1.0 + 1e-12) << p.name;
+    EXPECT_GE(p.strands, 1u) << p.name;
+    EXPECT_LE(p.strands, 8u) << p.name;
+    EXPECT_GE(p.mean_bb_len, 2u) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace mflush

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/factory.h"
+#include "sim/cmp.h"
+#include "sim/workloads.h"
+
+/// Property-style sweeps: structural invariants that must hold for every
+/// (policy × workload) combination.
+namespace mflush {
+namespace {
+
+using Param = std::tuple<std::string, std::string>;  // workload, policy
+
+class SimProperties : public ::testing::TestWithParam<Param> {
+ protected:
+  static CmpSimulator make(const Param& p) {
+    return CmpSimulator(*workloads::by_name(std::get<0>(p)),
+                        *PolicySpec::parse(std::get<1>(p)), 17);
+  }
+};
+
+TEST_P(SimProperties, ProgressAndConservation) {
+  auto sim = make(GetParam());
+  sim.run(12'000);
+  const SimMetrics m = sim.metrics();
+
+  // Forward progress on every thread.
+  EXPECT_GT(m.committed, 0u);
+  for (const double ipc : m.per_thread_ipc) EXPECT_GT(ipc, 0.0);
+
+  std::uint64_t fetched = 0, squashed = 0;
+  std::size_t live = 0;
+  for (CoreId c = 0; c < sim.num_cores(); ++c) {
+    const CoreStats& s = sim.core(c).stats();
+    fetched += s.fetched;
+    for (const auto v : s.policy_flushed_by_stage) squashed += v;
+    for (const auto v : s.branch_squashed_by_stage) squashed += v;
+    live += sim.core(c).pool().live();
+  }
+  // Conservation: every fetched instruction either committed, was
+  // squashed, or is still in flight.
+  EXPECT_EQ(fetched, m.committed + squashed + live);
+}
+
+TEST_P(SimProperties, Determinism) {
+  auto a = make(GetParam());
+  auto b = make(GetParam());
+  a.run(8'000);
+  b.run(8'000);
+  EXPECT_EQ(a.metrics().committed, b.metrics().committed);
+  EXPECT_EQ(a.metrics().flush_events, b.metrics().flush_events);
+  EXPECT_EQ(a.memory().l2().read_hits(), b.memory().l2().read_hits());
+}
+
+TEST_P(SimProperties, EnergyLedgersAreCoherent) {
+  auto sim = make(GetParam());
+  sim.run(12'000);
+  const SimMetrics m = sim.metrics();
+  // One unit per committed instruction.
+  EXPECT_DOUBLE_EQ(m.energy.committed_units,
+                   static_cast<double>(m.committed));
+  // No flushes => no flush-wasted energy, and vice versa.
+  if (m.flush_events == 0) {
+    EXPECT_DOUBLE_EQ(m.energy.flush_wasted_units, 0.0);
+  } else {
+    EXPECT_GT(m.energy.flush_wasted_units, 0.0);
+  }
+  // A squashed instruction wastes at most 1 unit (never reached commit).
+  EXPECT_LE(m.energy.flush_wasted_units,
+            static_cast<double>(m.flushed_instructions));
+  EXPECT_GE(m.energy.flush_wasted_units,
+            0.13 * static_cast<double>(m.flushed_instructions) - 1e-9);
+}
+
+TEST_P(SimProperties, MemorySystemStaysSane) {
+  auto sim = make(GetParam());
+  sim.run(12'000);
+  const MemStats& ms = sim.memory().stats();
+  EXPECT_GT(ms.loads, 0u);
+  // L2 load latencies are bounded below by the L1 latency (coalesced
+  // secondary misses can complete shortly after attaching).
+  if (ms.l2_load_hit_time.count() > 0) {
+    EXPECT_GE(ms.l2_load_hit_time.quantile(0.01), 2.0);
+  }
+  // MSHRs drained or bounded.
+  for (CoreId c = 0; c < sim.num_cores(); ++c)
+    EXPECT_LE(sim.memory().mshr(c).live(), sim.config().mem.mshr_entries);
+}
+
+TEST_P(SimProperties, FlushEventsMatchPolicyKind) {
+  auto sim = make(GetParam());
+  sim.run(12'000);
+  const auto spec = *PolicySpec::parse(std::get<1>(GetParam()));
+  if (spec.kind == PolicySpec::Kind::Icount ||
+      spec.kind == PolicySpec::Kind::Stall) {
+    EXPECT_EQ(sim.metrics().flush_events, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyWorkloadMatrix, SimProperties,
+    ::testing::Combine(
+        ::testing::Values("2W3", "4W2", "6W5", "8W2"),
+        ::testing::Values("icount", "flush-s30", "flush-s100", "flush-ns",
+                          "stall-s30", "mflush")),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      std::string name = std::get<0>(param_info.param) + "_" +
+                         std::get<1>(param_info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+/// Trigger sweep properties (Fig. 5 machinery).
+class TriggerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TriggerSweep, SpecFlushRunsAtAnyTrigger) {
+  const Cycle trigger = static_cast<Cycle>(GetParam());
+  CmpSimulator sim(*workloads::by_name("4W3"),
+                   PolicySpec::flush_spec(trigger), 5);
+  sim.run(10'000);
+  EXPECT_GT(sim.metrics().committed, 0u);
+  // Low triggers can only flush more often than high triggers get to.
+  EXPECT_LT(sim.metrics().flush_events, 100'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig5Range, TriggerSweep,
+                         ::testing::Values(30, 50, 70, 90, 110, 130, 150));
+
+/// Core-count scaling properties.
+class CoreScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoreScaling, ChipScalesWithWorkloadSize) {
+  const int threads = GetParam();
+  const auto v = workloads::of_size(static_cast<std::uint32_t>(threads));
+  ASSERT_FALSE(v.empty());
+  CmpSimulator sim(v.front(), PolicySpec::mflush(), 3);
+  EXPECT_EQ(sim.num_cores(), static_cast<std::uint32_t>(threads) / 2);
+  sim.run(6'000);
+  EXPECT_GT(sim.metrics().committed, 0u);
+  // MT term grows with the chip.
+  EXPECT_EQ(sim.config().mem.multicore_traffic(sim.num_cores()),
+            19u * (sim.num_cores() - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, CoreScaling, ::testing::Values(2, 4, 6, 8));
+
+}  // namespace
+}  // namespace mflush

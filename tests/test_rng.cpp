@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mflush {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, DoubleMeanNearHalf) {
+  Xoshiro256 r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 r(5);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, NextBelowCoversRange) {
+  Xoshiro256 r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, ChanceExtremes) {
+  Xoshiro256 r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Xoshiro256, ChanceFrequency) {
+  Xoshiro256 r(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (r.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, GeometricMeanApproximates) {
+  Xoshiro256 r(23);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(r.geometric(5.0, 1000));
+  EXPECT_NEAR(sum / n, 5.0, 0.5);
+}
+
+TEST(Xoshiro256, GeometricRespectsCap) {
+  Xoshiro256 r(29);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.geometric(50.0, 8);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 8u);
+  }
+}
+
+TEST(Xoshiro256, GeometricDegenerateMean) {
+  Xoshiro256 r(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.geometric(1.0, 10), 1u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.geometric(0.5, 10), 1u);
+}
+
+TEST(DeriveSeed, DistinctPerDomainAndIndex) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t d = 0; d < 8; ++d)
+    for (std::uint64_t i = 0; i < 8; ++i)
+      seeds.insert(derive_seed(1, d, i));
+  EXPECT_EQ(seeds.size(), 64u);
+}
+
+TEST(DeriveSeed, StableAcrossCalls) {
+  EXPECT_EQ(derive_seed(99, 1, 2), derive_seed(99, 1, 2));
+}
+
+TEST(DeriveSeed, RootSeedMatters) {
+  EXPECT_NE(derive_seed(1, 0, 0), derive_seed(2, 0, 0));
+}
+
+}  // namespace
+}  // namespace mflush

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "trace/generator.h"
+#include "trace/spec2000.h"
+#include "trace/trace_io.h"
+
+namespace mflush {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<TraceInstr> sample_trace(std::size_t n) {
+  SyntheticTraceSource src(*spec2000::by_name("gzip"), 3, 1024, 0);
+  std::vector<TraceInstr> v;
+  for (SeqNo s = 0; s < n; ++s) v.push_back(src.at(s));
+  return v;
+}
+
+TEST(TraceIo, RoundTrip) {
+  const auto path = temp_path("mflush_roundtrip.trc");
+  const auto original = sample_trace(500);
+  write_trace(path, original);
+  const auto back = read_trace(path);
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].pc, original[i].pc);
+    EXPECT_EQ(back[i].eff_addr, original[i].eff_addr);
+    EXPECT_EQ(back[i].target, original[i].target);
+    EXPECT_EQ(back[i].cls, original[i].cls);
+    EXPECT_EQ(back[i].dst, original[i].dst);
+    EXPECT_EQ(back[i].src[0], original[i].src[0]);
+    EXPECT_EQ(back[i].src[1], original[i].src[1]);
+    EXPECT_EQ(back[i].taken, original[i].taken);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  const auto path = temp_path("mflush_empty.trc");
+  write_trace(path, {});
+  EXPECT_TRUE(read_trace(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace("/nonexistent/dir/x.trc"), std::runtime_error);
+}
+
+TEST(TraceIo, BadMagicThrows) {
+  const auto path = temp_path("mflush_badmagic.trc");
+  std::ofstream(path, std::ios::binary) << "NOTATRACEFILE-0123456789";
+  EXPECT_THROW(read_trace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedFileThrows) {
+  const auto path = temp_path("mflush_trunc.trc");
+  write_trace(path, sample_trace(100));
+  // Chop the last record in half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 10);
+  EXPECT_THROW(read_trace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(VectorSource, WrapsAround) {
+  auto instrs = sample_trace(10);
+  VectorTraceSource src(instrs, "wrap");
+  for (SeqNo s = 0; s < 35; ++s)
+    EXPECT_EQ(src.at(s).pc, instrs[s % 10].pc);
+}
+
+TEST(VectorSource, RejectsEmpty) {
+  EXPECT_THROW(VectorTraceSource({}, "empty"), std::invalid_argument);
+}
+
+TEST(VectorSource, Name) {
+  VectorTraceSource src(sample_trace(4), "myname");
+  EXPECT_STREQ(src.name(), "myname");
+  EXPECT_EQ(src.size(), 4u);
+}
+
+}  // namespace
+}  // namespace mflush

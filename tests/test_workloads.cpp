@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "sim/workloads.h"
+
+namespace mflush {
+namespace {
+
+TEST(Workloads, TwentyWorkloadsInCatalog) {
+  EXPECT_EQ(workloads::all().size(), 20u);
+}
+
+TEST(Workloads, FiveWorkloadsPerSize) {
+  for (std::uint32_t n : {2u, 4u, 6u, 8u}) {
+    const auto v = workloads::of_size(n);
+    EXPECT_EQ(v.size(), 5u) << n;
+    for (const auto& w : v) {
+      EXPECT_EQ(w.num_threads(), n);
+      EXPECT_EQ(w.num_cores(), n / 2);
+    }
+  }
+}
+
+// Fig. 1 bottom table, exact rows.
+TEST(Workloads, Fig1Table) {
+  EXPECT_EQ(workloads::by_name("2W1")->codes, (std::vector<char>{'b', 'j'}));
+  EXPECT_EQ(workloads::by_name("2W3")->codes, (std::vector<char>{'d', 'a'}));
+  EXPECT_EQ(workloads::by_name("4W4")->codes,
+            (std::vector<char>{'g', 'b', 'm', 'f'}));
+  EXPECT_EQ(workloads::by_name("6W3")->codes,
+            (std::vector<char>{'d', 'l', 's', 'w', 'r', 'a'}));
+  EXPECT_EQ(workloads::by_name("8W1")->codes,
+            (std::vector<char>{'d', 'l', 'b', 'g', 'i', 'j', 'c', 'f'}));
+  EXPECT_EQ(workloads::by_name("8W5")->codes,
+            (std::vector<char>{'q', 'b', 'c', 'k', 'e', 'a', 'o', 't'}));
+}
+
+TEST(Workloads, NamesFollowXwyScheme) {
+  for (const auto& w : workloads::all()) {
+    ASSERT_EQ(w.name.size(), 3u);
+    EXPECT_EQ(w.name[1], 'W');
+    EXPECT_EQ(static_cast<std::uint32_t>(w.name[0] - '0'), w.num_threads());
+  }
+}
+
+TEST(Workloads, UnknownNameFails) {
+  EXPECT_FALSE(workloads::by_name("9W9").has_value());
+  EXPECT_FALSE(workloads::by_name("").has_value());
+}
+
+TEST(Workloads, DescribeResolvesNames) {
+  EXPECT_EQ(workloads::by_name("2W3")->describe(), "mcf+gzip");
+}
+
+// Fig. 5(b): bzip2/twolf instances never share a core.
+TEST(Workloads, Bzip2TwolfSpecialLayout) {
+  const auto w = workloads::bzip2_twolf_special();
+  EXPECT_EQ(w.num_threads(), 8u);
+  for (std::uint32_t core = 0; core < 4; ++core) {
+    EXPECT_EQ(w.codes[2 * core], w.codes[2 * core + 1])
+        << "core " << core << " mixes applications";
+  }
+  const auto k = static_cast<std::size_t>(
+      std::count(w.codes.begin(), w.codes.end(), 'k'));
+  const auto l = static_cast<std::size_t>(
+      std::count(w.codes.begin(), w.codes.end(), 'l'));
+  EXPECT_EQ(k, 4u);
+  EXPECT_EQ(l, 4u);
+}
+
+TEST(Workloads, SpecialAccessibleByName) {
+  EXPECT_TRUE(workloads::by_name("bzip2-twolf").has_value());
+}
+
+TEST(Workloads, AllCodesAreValidBenchmarks) {
+  for (const auto& w : workloads::all())
+    for (const char c : w.codes) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+}
+
+}  // namespace
+}  // namespace mflush
