@@ -4,13 +4,14 @@
 ///   * MCReg history depth and aggregation (H4 avg / H4 max)
 ///   * the response-action spectrum: STALL only, non-speculative FLUSH
 ///   * the priority-only baselines BRCOUNT / L1DMISSCOUNT
+#include <cstdint>
 #include <iostream>
 #include <vector>
 
 #include "common/table.h"
 #include "core/factory.h"
 #include "sim/cmp.h"
-#include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "sim/workloads.h"
 
 int main() {
@@ -37,26 +38,42 @@ int main() {
                                           *workloads::by_name("8W3"),
                                           workloads::bzip2_twolf_special()};
 
-  for (const Workload& w : subjects) {
+  // 3 subjects x 9 policy variants = 27 independent points, one batch.
+  struct PointStats {
+    SimMetrics m;
+    std::uint64_t false_flushes = 0;
+    std::uint64_t gates = 0;
+  };
+  std::vector<PointStats> stats(subjects.size() * policies.size());
+  ParallelRunner::shared().for_each_index(stats.size(), [&](std::size_t i) {
+    const Workload& w = subjects[i / policies.size()];
+    const PolicySpec& p = policies[i % policies.size()];
+    CmpSimulator sim(w, p);
+    sim.run(warm);
+    sim.reset_stats();
+    sim.run(measure);
+    PointStats& out = stats[i];
+    out.m = sim.metrics();
+    for (CoreId c = 0; c < sim.num_cores(); ++c) {
+      const auto pc = sim.core(c).policy().counters();
+      out.false_flushes += pc.flushes_on_hit;
+      out.gates += pc.gate_cycles;
+    }
+  });
+
+  for (std::size_t s = 0; s < subjects.size(); ++s) {
+    const Workload& w = subjects[s];
     std::cout << "-- " << w.name << " (" << w.describe() << ")\n";
     Table table({"policy", "IPC", "flushes", "false", "gate-cycles",
                  "wasted/1k"});
-    for (const PolicySpec& p : policies) {
-      CmpSimulator sim(w, p);
-      sim.run(warm);
-      sim.reset_stats();
-      sim.run(measure);
-      const SimMetrics m = sim.metrics();
-      std::uint64_t false_flushes = 0, gates = 0;
-      for (CoreId c = 0; c < sim.num_cores(); ++c) {
-        const auto pc = sim.core(c).policy().counters();
-        false_flushes += pc.flushes_on_hit;
-        gates += pc.gate_cycles;
-      }
-      table.add_row(
-          {p.label(), Table::num(m.ipc), std::to_string(m.flush_events),
-           std::to_string(false_flushes), std::to_string(gates),
-           Table::num(m.energy.flush_wasted_per_kilo_commit(), 1)});
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      const PointStats& ps = stats[s * policies.size() + pi];
+      table.add_row({policies[pi].label(), Table::num(ps.m.ipc),
+                     std::to_string(ps.m.flush_events),
+                     std::to_string(ps.false_flushes),
+                     std::to_string(ps.gates),
+                     Table::num(ps.m.energy.flush_wasted_per_kilo_commit(),
+                                1)});
     }
     table.print(std::cout);
     std::cout << '\n';

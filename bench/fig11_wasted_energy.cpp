@@ -10,7 +10,7 @@
 
 #include "common/table.h"
 #include "core/factory.h"
-#include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "sim/report.h"
 #include "sim/workloads.h"
 
@@ -28,11 +28,10 @@ int main() {
                                             PolicySpec::flush_spec(100),
                                             PolicySpec::mflush()};
 
-  std::vector<std::vector<RunResult>> rows;
-  for (const std::uint32_t threads : {4u, 6u, 8u}) {
-    for (const Workload& w : workloads::of_size(threads))
-      rows.push_back(run_sweep(w, policies, 1, warm, measure));
-  }
+  std::vector<Workload> all;
+  for (const std::uint32_t threads : {4u, 6u, 8u})
+    for (const Workload& w : workloads::of_size(threads)) all.push_back(w);
+  const auto rows = run_grid(all, policies, 1, warm, measure);
   report::print_wasted_energy(std::cout, rows);
 
   double s30 = 0.0, s100 = 0.0, mflush_units = 0.0;

@@ -8,7 +8,7 @@
 
 #include "common/table.h"
 #include "core/factory.h"
-#include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "sim/workloads.h"
 
 int main() {
@@ -24,10 +24,13 @@ int main() {
   double sum_speedup = 0.0;
   double max_speedup = 0.0;
   const auto workloads2 = workloads::of_size(2);
-  for (const Workload& w : workloads2) {
-    const auto icount = run_point(w, PolicySpec::icount(), 1, warm, measure);
-    const auto flush =
-        run_point(w, PolicySpec::flush_spec(30), 1, warm, measure);
+  const auto rows = run_grid(workloads2,
+                             {PolicySpec::icount(), PolicySpec::flush_spec(30)},
+                             1, warm, measure);
+  for (std::size_t i = 0; i < workloads2.size(); ++i) {
+    const Workload& w = workloads2[i];
+    const RunResult& icount = rows[i][0];
+    const RunResult& flush = rows[i][1];
     const double speedup = flush.metrics.ipc / icount.metrics.ipc - 1.0;
     sum_speedup += speedup;
     max_speedup = std::max(max_speedup, speedup);

@@ -4,10 +4,11 @@
 /// FLUSH-S30. Paper result: the single-core FLUSH advantage decays with
 /// core count and becomes a ~9 % average slowdown at 4 cores.
 #include <iostream>
+#include <vector>
 
 #include "common/table.h"
 #include "core/factory.h"
-#include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "sim/workloads.h"
 
 int main() {
@@ -19,15 +20,23 @@ int main() {
             << "\n   measured " << measure << " cycles after " << warm
             << " warm-up (paper: 120M)\n\n";
 
+  // One parallel batch over the whole catalog (all 20 xWy workloads x 2
+  // policies); rows come back in workload order.
+  std::vector<Workload> all;
+  for (const std::uint32_t threads : {2u, 4u, 6u, 8u})
+    for (const Workload& w : workloads::of_size(threads)) all.push_back(w);
+  const auto rows = run_grid(
+      all, {PolicySpec::icount(), PolicySpec::flush_spec(30)}, 1, warm,
+      measure);
+
   Table table({"threads", "cores", "ICOUNT", "FLUSH-S30", "FLUSH vs ICOUNT"});
+  std::size_t row = 0;
   for (const std::uint32_t threads : {2u, 4u, 6u, 8u}) {
     double ic_sum = 0.0, fl_sum = 0.0;
     const auto set = workloads::of_size(threads);
-    for (const Workload& w : set) {
-      ic_sum += run_point(w, PolicySpec::icount(), 1, warm, measure)
-                    .metrics.ipc;
-      fl_sum += run_point(w, PolicySpec::flush_spec(30), 1, warm, measure)
-                    .metrics.ipc;
+    for (std::size_t i = 0; i < set.size(); ++i, ++row) {
+      ic_sum += rows[row][0].metrics.ipc;
+      fl_sum += rows[row][1].metrics.ipc;
     }
     const double n = static_cast<double>(set.size());
     table.add_row({std::to_string(threads), std::to_string(threads / 2),

@@ -6,12 +6,13 @@
 /// number of SMT cores; at 4 cores about half the hits spread over
 /// 20-70 cycles, so no single FLUSH trigger fits.
 #include <iostream>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/factory.h"
 #include "sim/cmp.h"
-#include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "sim/workloads.h"
 
 int main() {
@@ -23,17 +24,27 @@ int main() {
             << "\n   ICOUNT policy, measured " << measure
             << " cycles after " << warm << " warm-up\n\n";
 
+  // All 20 workloads simulate concurrently; each point keeps its own
+  // histogram copy so the merge below stays in deterministic index order.
+  std::vector<Workload> all;
+  for (const std::uint32_t threads : {2u, 4u, 6u, 8u})
+    for (const Workload& w : workloads::of_size(threads)) all.push_back(w);
+  std::vector<Histogram> hists(all.size(), Histogram(5.0, 80));
+  ParallelRunner::shared().for_each_index(all.size(), [&](std::size_t i) {
+    CmpSimulator sim(all[i], PolicySpec::icount());
+    sim.run(warm);
+    sim.reset_stats();
+    sim.run(measure);
+    hists[i] = sim.memory().stats().l2_load_hit_time;
+  });
+
   Table table({"threads", "cores", "hits", "mean", "p50", "p90",
                "frac 20-40", "frac 40-70", "frac >70"});
+  std::size_t idx = 0;
   for (const std::uint32_t threads : {2u, 4u, 6u, 8u}) {
     Histogram merged(5.0, 80);
-    for (const Workload& w : workloads::of_size(threads)) {
-      CmpSimulator sim(w, PolicySpec::icount());
-      sim.run(warm);
-      sim.reset_stats();
-      sim.run(measure);
-      merged.merge(sim.memory().stats().l2_load_hit_time);
-    }
+    const std::size_t count = workloads::of_size(threads).size();
+    for (std::size_t k = 0; k < count; ++k) merged.merge(hists[idx++]);
     table.add_row({std::to_string(threads), std::to_string(threads / 2),
                    std::to_string(merged.count()),
                    Table::num(merged.mean(), 1),

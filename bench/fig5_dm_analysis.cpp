@@ -5,12 +5,14 @@
 /// bzip2/twolf mix where instances of the two applications never share a
 /// core. Paper result: the best trigger is workload-dependent (50 for 8W3,
 /// 90 for bzip2/twolf; FL-NS best overall on 8W3) — no static choice wins.
+#include <cstdint>
 #include <iostream>
 #include <vector>
 
 #include "common/table.h"
 #include "core/factory.h"
-#include "sim/experiment.h"
+#include "sim/cmp.h"
+#include "sim/parallel.h"
 #include "sim/workloads.h"
 
 int main() {
@@ -30,27 +32,44 @@ int main() {
     policies.push_back(PolicySpec::flush_spec(trigger));
   policies.push_back(PolicySpec::flush_ns());
 
-  for (const Workload& w : subjects) {
+  // The whole trigger sweep (2 subjects x 8 policies) runs as one parallel
+  // batch; table rendering below consumes the slots in order.
+  struct PointStats {
+    double ipc = 0.0;
+    std::uint64_t flushes = 0;
+    std::uint64_t false_flushes = 0;
+  };
+  std::vector<PointStats> stats(subjects.size() * policies.size());
+  ParallelRunner::shared().for_each_index(stats.size(), [&](std::size_t i) {
+    const Workload& w = subjects[i / policies.size()];
+    const PolicySpec& p = policies[i % policies.size()];
+    CmpSimulator sim(w, p);
+    sim.run(warm);
+    sim.reset_stats();
+    sim.run(measure);
+    const SimMetrics m = sim.metrics();
+    PointStats& out = stats[i];
+    out.ipc = m.ipc;
+    out.flushes = m.flush_events;
+    for (CoreId c = 0; c < sim.num_cores(); ++c)
+      out.false_flushes += sim.core(c).policy().counters().flushes_on_hit;
+  });
+
+  for (std::size_t s = 0; s < subjects.size(); ++s) {
+    const Workload& w = subjects[s];
     std::cout << "-- " << w.name << " (" << w.describe() << ")\n";
     Table table({"policy", "IPC", "flushes", "false-miss flushes"});
     std::string best;
     double best_ipc = 0.0;
-    for (const PolicySpec& p : policies) {
-      CmpSimulator sim(w, p);
-      sim.run(warm);
-      sim.reset_stats();
-      sim.run(measure);
-      const SimMetrics m = sim.metrics();
-      std::uint64_t false_flushes = 0;
-      for (CoreId c = 0; c < sim.num_cores(); ++c)
-        false_flushes += sim.core(c).policy().counters().flushes_on_hit;
-      if (m.ipc > best_ipc) {
-        best_ipc = m.ipc;
-        best = p.label();
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      const PointStats& ps = stats[s * policies.size() + pi];
+      if (ps.ipc > best_ipc) {
+        best_ipc = ps.ipc;
+        best = policies[pi].label();
       }
-      table.add_row({p.label(), Table::num(m.ipc),
-                     std::to_string(m.flush_events),
-                     std::to_string(false_flushes)});
+      table.add_row({policies[pi].label(), Table::num(ps.ipc),
+                     std::to_string(ps.flushes),
+                     std::to_string(ps.false_flushes)});
     }
     table.print(std::cout);
     std::cout << "best: " << best << "\n\n";

@@ -10,7 +10,7 @@
 
 #include "common/table.h"
 #include "core/factory.h"
-#include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "sim/report.h"
 #include "sim/workloads.h"
 
@@ -27,11 +27,12 @@ int main() {
       PolicySpec::icount(), PolicySpec::flush_spec(30),
       PolicySpec::flush_spec(100), PolicySpec::mflush()};
 
-  std::vector<std::vector<RunResult>> rows;
-  for (const std::uint32_t threads : {4u, 6u, 8u}) {
-    for (const Workload& w : workloads::of_size(threads))
-      rows.push_back(run_sweep(w, policies, 1, warm, measure));
-  }
+  // The paper's biggest campaign (15 workloads x 4 policies = 60 points):
+  // one batch on the shared pool.
+  std::vector<Workload> all;
+  for (const std::uint32_t threads : {4u, 6u, 8u})
+    for (const Workload& w : workloads::of_size(threads)) all.push_back(w);
+  const auto rows = run_grid(all, policies, 1, warm, measure);
   report::print_throughput(std::cout, rows);
 
   // The paper's headline comparison: MFLUSH vs the best static FLUSH.

@@ -8,6 +8,7 @@
 #include "mem/cache.h"
 #include "mem/hierarchy.h"
 #include "sim/cmp.h"
+#include "sim/parallel.h"
 #include "sim/workloads.h"
 #include "trace/generator.h"
 #include "trace/spec2000.h"
@@ -82,6 +83,27 @@ void BM_FullChipCyclesPerSecond(benchmark::State& state) {
   state.SetLabel("simulated cycles");
 }
 BENCHMARK(BM_FullChipCyclesPerSecond)->Arg(2)->Arg(8);
+
+void BM_ParallelSweep(benchmark::State& state) {
+  // Whole-sweep throughput through the shared engine: 4 independent
+  // (2W3, policy) points per iteration. With MFLUSH_JOBS=1 this measures
+  // the serial baseline; the default measures the pool speedup.
+  const Workload w = *workloads::by_name("2W3");
+  const std::vector<PolicySpec> policies = {
+      PolicySpec::icount(), PolicySpec::flush_spec(30),
+      PolicySpec::flush_spec(100), PolicySpec::mflush()};
+  std::vector<SweepPoint> points;
+  for (const PolicySpec& p : policies) points.push_back({w, p, 1, 500, 2000});
+  Cycle simulated = 0;
+  for (auto _ : state) {
+    const auto results = ParallelRunner::shared().run(points);
+    for (const RunResult& r : results) simulated += r.simulated_cycles;
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(simulated));
+  state.SetLabel("simulated cycles, all points");
+}
+BENCHMARK(BM_ParallelSweep)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,102 @@
+/// perf_simloop — simulator-throughput benchmark (not a paper figure).
+///
+/// Runs the same 4-point sweep (2W3 under the four Fig. 8 policies) twice:
+/// once serially (1 job) and once on the parallel experiment engine
+/// (MFLUSH_JOBS or all hardware threads), verifies the two are
+/// bit-identical, and reports simulated kilo-cycles per wall-clock second
+/// (KIPS) for both.
+///
+/// The last stdout line is a single JSON object (BENCH_*.json-compatible)
+/// so CI can track the perf trajectory:
+///   {"bench":"perf_simloop","jobs":4,...,"speedup":3.8,"identical":true}
+///
+/// Exit status: 0 on success, 1 when parallel metrics diverge from serial
+/// (a determinism regression — never expected).
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "core/factory.h"
+#include "sim/parallel.h"
+#include "sim/workloads.h"
+
+namespace {
+
+using namespace mflush;
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool same_metrics(const RunResult& a, const RunResult& b) {
+  return a.metrics.cycles == b.metrics.cycles &&
+         a.metrics.committed == b.metrics.committed &&
+         a.metrics.flush_events == b.metrics.flush_events &&
+         a.metrics.flushed_instructions == b.metrics.flushed_instructions &&
+         a.metrics.mispredicts == b.metrics.mispredicts &&
+         a.metrics.l2_hits_observed == b.metrics.l2_hits_observed &&
+         a.metrics.l2_misses_observed == b.metrics.l2_misses_observed;
+}
+
+}  // namespace
+
+int main() {
+  const Cycle warm = warmup_cycles(10'000);
+  const Cycle measure = bench_cycles(60'000);
+
+  std::vector<SweepPoint> points;
+  for (const PolicySpec& p :
+       {PolicySpec::icount(), PolicySpec::flush_spec(30),
+        PolicySpec::flush_spec(100), PolicySpec::mflush()})
+    points.push_back({*workloads::by_name("2W3"), p, 1, warm, measure});
+
+  const auto total_cycles =
+      static_cast<double>((warm + measure) * points.size());
+
+  std::cout << "== perf_simloop: simulated-cycles-per-second, serial vs "
+               "parallel\n   4-point sweep (2W3 x 4 policies), "
+            << warm + measure << " cycles per point\n\n";
+
+  ParallelRunner serial(1);
+  std::vector<RunResult> serial_results;
+  // One untimed warm pass so both timed passes see hot caches/allocators.
+  (void)serial.run(points);
+  const double serial_s =
+      seconds_of([&] { serial_results = serial.run(points); });
+
+  ParallelRunner& pool = ParallelRunner::shared();
+  std::vector<RunResult> parallel_results;
+  const double parallel_s =
+      seconds_of([&] { parallel_results = pool.run(points); });
+
+  bool identical = serial_results.size() == parallel_results.size();
+  for (std::size_t i = 0; identical && i < serial_results.size(); ++i)
+    identical = same_metrics(serial_results[i], parallel_results[i]);
+
+  const double serial_kips = total_cycles / serial_s / 1e3;
+  const double parallel_kips = total_cycles / parallel_s / 1e3;
+  const double speedup = serial_s / parallel_s;
+
+  std::cout << "serial   (1 job):   " << serial_s << " s, " << serial_kips
+            << " KIPS\n"
+            << "parallel (" << pool.jobs() << " jobs): " << parallel_s
+            << " s, " << parallel_kips << " KIPS\n"
+            << "speedup: " << speedup << "x, metrics "
+            << (identical ? "bit-identical" : "DIVERGED") << "\n\n";
+
+  // Machine-readable trajectory record: keep this the last stdout line.
+  std::cout << "{\"bench\":\"perf_simloop\",\"jobs\":" << pool.jobs()
+            << ",\"points\":" << points.size()
+            << ",\"cycles_per_point\":" << warm + measure
+            << ",\"serial_seconds\":" << serial_s
+            << ",\"parallel_seconds\":" << parallel_s
+            << ",\"serial_kips\":" << serial_kips
+            << ",\"parallel_kips\":" << parallel_kips
+            << ",\"speedup\":" << speedup << ",\"identical\":"
+            << (identical ? "true" : "false") << "}" << std::endl;
+
+  return identical ? 0 : 1;
+}

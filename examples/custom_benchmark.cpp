@@ -8,6 +8,7 @@
 
 #include "core/factory.h"
 #include "sim/cmp.h"
+#include "sim/parallel.h"
 #include "sim/report.h"
 #include "trace/generator.h"
 #include "trace/trace_io.h"
@@ -46,15 +47,19 @@ int main() {
   vector_kernel.icache_lines = 48;
 
   std::cout << "Custom 2-context SMT core: 'chaser' + 'vector-kernel'\n\n";
-  for (const PolicySpec& policy :
-       {PolicySpec::icount(), PolicySpec::flush_spec(30),
-        PolicySpec::mflush()}) {
-    CmpSimulator sim({chaser, vector_kernel}, policy);
+  const std::vector<PolicySpec> policies = {
+      PolicySpec::icount(), PolicySpec::flush_spec(30), PolicySpec::mflush()};
+  std::vector<SimMetrics> metrics(policies.size());
+  ParallelRunner::shared().for_each_index(policies.size(), [&](std::size_t i) {
+    CmpSimulator sim({chaser, vector_kernel}, policies[i]);
     sim.run(20'000);
     sim.reset_stats();
     sim.run(60'000);
-    const SimMetrics m = sim.metrics();
-    std::cout << policy.label() << ": IPC " << m.ipc << " (chaser "
+    metrics[i] = sim.metrics();
+  });
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const SimMetrics& m = metrics[i];
+    std::cout << policies[i].label() << ": IPC " << m.ipc << " (chaser "
               << m.per_thread_ipc[0] << ", vector-kernel "
               << m.per_thread_ipc[1] << "), " << m.flush_events
               << " flushes\n";

@@ -2,11 +2,13 @@
 /// SMT core 1..4 times around the shared L2 and watch the L2 hit time —
 /// and the MFLUSH operational environment (MT, Barrier) — react.
 #include <iostream>
+#include <vector>
 
 #include "common/table.h"
 #include "core/factory.h"
 #include "core/mflush.h"
 #include "sim/cmp.h"
+#include "sim/parallel.h"
 #include "sim/workloads.h"
 #include "trace/spec2000.h"
 
@@ -20,7 +22,10 @@ int main() {
   Table table({"cores", "MT", "barrier@22", "IPC", "L2-hit mean", "p50",
                "p90"});
   const MemConfig mem_cfg;
-  for (std::uint32_t cores = 1; cores <= 4; ++cores) {
+  // The four chip sizes are independent simulations: run them in parallel.
+  std::vector<SimMetrics> metrics(4);
+  ParallelRunner::shared().for_each_index(4, [&](std::size_t i) {
+    const auto cores = static_cast<std::uint32_t>(i) + 1;
     std::vector<BenchmarkProfile> profiles;
     for (std::uint32_t c = 0; c < cores; ++c) {
       profiles.push_back(*spec2000::by_name("twolf"));
@@ -30,7 +35,10 @@ int main() {
     sim.run(20'000);
     sim.reset_stats();
     sim.run(60'000);
-    const SimMetrics m = sim.metrics();
+    metrics[i] = sim.metrics();
+  });
+  for (std::uint32_t cores = 1; cores <= 4; ++cores) {
+    const SimMetrics& m = metrics[cores - 1];
 
     // The MFLUSH operational environment for this chip (Fig. 6).
     MflushConfig mc;

@@ -5,12 +5,13 @@
 ///   policy_comparison 4W2             # another workload
 ///   policy_comparison dlna mflush     # ad-hoc codes, single policy
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/factory.h"
 #include "sim/cmp.h"
-#include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "sim/report.h"
 #include "sim/workloads.h"
 
@@ -48,12 +49,17 @@ int main(int argc, char** argv) {
 
   const Cycle warm = warmup_cycles(20'000);
   const Cycle measure = bench_cycles(60'000);
-  for (const PolicySpec& p : policies) {
-    CmpSimulator sim(*wl, p);
-    sim.run(warm);
-    sim.reset_stats();
-    sim.run(measure);
-    report::print_debug(std::cout, sim);
+  // Simulate every policy concurrently; the debug dumps need the finished
+  // simulator objects, so keep them alive and print in policy order.
+  std::vector<std::unique_ptr<CmpSimulator>> sims(policies.size());
+  ParallelRunner::shared().for_each_index(policies.size(), [&](std::size_t i) {
+    sims[i] = std::make_unique<CmpSimulator>(*wl, policies[i]);
+    sims[i]->run(warm);
+    sims[i]->reset_stats();
+    sims[i]->run(measure);
+  });
+  for (const auto& sim : sims) {
+    report::print_debug(std::cout, *sim);
     std::cout << '\n';
   }
   return 0;

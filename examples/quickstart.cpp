@@ -4,7 +4,7 @@
 #include <iostream>
 
 #include "core/factory.h"
-#include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "sim/report.h"
 #include "sim/workloads.h"
 
@@ -22,10 +22,13 @@ int main() {
   const Cycle warm = warmup_cycles(10'000);
   const Cycle measure = bench_cycles(60'000);
 
-  for (const PolicySpec& policy :
-       {PolicySpec::icount(), PolicySpec::flush_spec(30),
-        PolicySpec::mflush()}) {
-    const RunResult r = run_point(*workload, policy, /*seed=*/1, warm, measure);
+  // The three policy runs are independent points: sweep them through the
+  // parallel engine (MFLUSH_JOBS controls the thread count).
+  for (const RunResult& r :
+       run_sweep(*workload,
+                 {PolicySpec::icount(), PolicySpec::flush_spec(30),
+                  PolicySpec::mflush()},
+                 /*seed=*/1, warm, measure)) {
     std::cout << report::summarize(r) << '\n';
   }
   return 0;

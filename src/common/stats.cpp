@@ -6,16 +6,6 @@
 
 namespace mflush {
 
-void RunningStat::add(double x) noexcept {
-  ++n_;
-  sum_ += x;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
 double RunningStat::variance() const noexcept {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }
@@ -25,18 +15,6 @@ double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
 Histogram::Histogram(double bin_width, std::size_t num_bins)
     : bin_width_(bin_width), bins_(num_bins, 0) {
   assert(bin_width > 0.0 && num_bins > 0);
-}
-
-void Histogram::add(double x) noexcept {
-  ++total_;
-  sum_ += x;
-  if (x < 0.0) x = 0.0;
-  const auto idx = static_cast<std::size_t>(x / bin_width_);
-  if (idx >= bins_.size()) {
-    ++overflow_;
-  } else {
-    ++bins_[idx];
-  }
 }
 
 double Histogram::fraction_between(double lo, double hi) const noexcept {

@@ -11,7 +11,16 @@ namespace mflush {
 /// Streaming mean/variance/min/max (Welford).
 class RunningStat {
  public:
-  void add(double x) noexcept;
+  /// Hot path (called per completed load): defined inline on purpose.
+  void add(double x) noexcept {
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
 
   [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
@@ -39,7 +48,20 @@ class Histogram {
  public:
   Histogram(double bin_width, std::size_t num_bins);
 
-  void add(double x) noexcept;
+  /// Hot path (called per L2 load hit): defined inline on purpose. The
+  /// exact division is kept (a reciprocal multiply can shift bin-boundary
+  /// values into the neighbouring bin).
+  void add(double x) noexcept {
+    ++total_;
+    sum_ += x;
+    if (x < 0.0) x = 0.0;
+    const auto idx = static_cast<std::size_t>(x / bin_width_);
+    if (idx >= bins_.size()) {
+      ++overflow_;
+    } else {
+      ++bins_[idx];
+    }
+  }
 
   [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
   [[nodiscard]] double mean() const noexcept {

@@ -16,10 +16,9 @@ SetAssocCache::SetAssocCache(CacheGeometry g) : geom_(g), sets_(g.num_sets()) {
   if (sets_ == 0)
     throw std::invalid_argument("cache smaller than one set");
   lines_.resize(static_cast<std::size_t>(sets_) * g.ways);
-}
-
-std::size_t SetAssocCache::set_index(Addr addr) const noexcept {
-  return static_cast<std::size_t>((addr / geom_.line_bytes) % sets_);
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(g.line_bytes));
+  pow2_sets_ = std::has_single_bit(sets_);
+  set_mask_ = pow2_sets_ ? sets_ - 1 : 0;
 }
 
 bool SetAssocCache::access(Addr addr, bool is_write) {

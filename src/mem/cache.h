@@ -47,7 +47,7 @@ class SetAssocCache {
     return addr & ~static_cast<Addr>(geom_.line_bytes - 1);
   }
   [[nodiscard]] std::uint32_t bank_of(Addr addr) const noexcept {
-    return static_cast<std::uint32_t>((addr / geom_.line_bytes) &
+    return static_cast<std::uint32_t>((addr >> line_shift_) &
                                       (geom_.banks - 1));
   }
 
@@ -67,10 +67,22 @@ class SetAssocCache {
     bool dirty = false;
   };
 
-  [[nodiscard]] std::size_t set_index(Addr addr) const noexcept;
+  /// Set index on the cycle-loop hot path. Line size is always a power of
+  /// two, so the division is a shift; when the set count is also a power of
+  /// two (every L1 geometry) the modulo collapses to a precomputed mask.
+  /// Non-power-of-two set counts (the paper's 12-way L2 slices) keep the
+  /// modulo — same mapping as the original division/modulo implementation.
+  [[nodiscard]] std::size_t set_index(Addr addr) const noexcept {
+    const Addr line_index = addr >> line_shift_;
+    return static_cast<std::size_t>(
+        pow2_sets_ ? (line_index & set_mask_) : (line_index % sets_));
+  }
 
   CacheGeometry geom_;
   std::uint32_t sets_;
+  std::uint32_t line_shift_ = 6;  ///< log2(line_bytes)
+  Addr set_mask_ = 0;             ///< sets_ - 1 when pow2_sets_
+  bool pow2_sets_ = false;
   std::vector<Line> lines_;  ///< sets * ways row-major
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;

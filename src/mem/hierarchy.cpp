@@ -29,6 +29,20 @@ MemoryHierarchy::MemoryHierarchy(const SimConfig& cfg)
   completions_.resize(n);
   l2_events_.resize(n);
   l2_miss_events_.resize(n);
+  // The per-core event buffers are drained (then clear()ed) by the cores
+  // every cycle; pre-reserving once removes the growth reallocations from
+  // the tick hot path — afterwards push_back never allocates in steady
+  // state.
+  for (std::uint32_t c = 0; c < n; ++c) {
+    completions_[c].reserve(64);
+    l2_events_[c].reserve(64);
+    l2_miss_events_[c].reserve(64);
+  }
+  fetch_pool_.reserve(128);
+  fetch_free_.reserve(128);
+  scratch_mem_done_.reserve(64);
+  scratch_l2_done_.reserve(64);
+  scratch_bus_done_.reserve(64);
 }
 
 std::uint64_t MemoryHierarchy::alloc_fetch_slot() {
@@ -185,10 +199,14 @@ void MemoryHierarchy::push_writeback(CoreId core, Addr line, Cycle now) {
 
 void MemoryHierarchy::complete_line_fetch(std::uint64_t payload, Cycle now,
                                           bool l2_hit) {
-  LineFetch& f = fetch_pool_[payload];
+  // By value: push_writeback below can grow fetch_pool_ and invalidate
+  // references into it.
+  const LineFetch f = fetch_pool_[payload];
   assert(f.in_use);
   if (!f.is_writeback) {
-    auto waiters = mshr_[f.core].release(f.mshr_slot);
+    // Pooled view: valid until the slot's next allocate, which cannot
+    // happen before this function returns.
+    const auto& waiters = mshr_[f.core].release(f.mshr_slot);
     bool dirty = false;
     for (const auto& w : waiters)
       if (w.kind == MemKind::Store) dirty = true;
@@ -210,7 +228,7 @@ void MemoryHierarchy::complete_line_fetch(std::uint64_t payload, Cycle now,
       }
     }
   }
-  f.in_use = false;
+  fetch_pool_[payload].in_use = false;
   fetch_free_.push_back(payload);
 }
 

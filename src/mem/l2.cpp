@@ -1,5 +1,6 @@
 #include "mem/l2.h"
 
+#include <bit>
 #include <stdexcept>
 
 namespace mflush {
@@ -7,7 +8,10 @@ namespace mflush {
 L2Cache::L2Cache(std::uint32_t size_bytes, std::uint32_t ways,
                  std::uint32_t line_bytes, std::uint32_t banks,
                  std::uint32_t bank_latency)
-    : line_bytes_(line_bytes), bank_latency_(std::max(1u, bank_latency)) {
+    : line_bytes_(line_bytes),
+      line_shift_(static_cast<std::uint32_t>(
+          std::countr_zero(std::max(1u, line_bytes)))),
+      bank_latency_(std::max(1u, bank_latency)) {
   if (banks == 0 || size_bytes % banks != 0)
     throw std::invalid_argument("L2 size must divide evenly into banks");
   slices_.reserve(banks);

@@ -31,7 +31,7 @@ class L2Cache {
           std::uint32_t bank_latency);
 
   [[nodiscard]] std::uint32_t bank_of(Addr addr) const noexcept {
-    return static_cast<std::uint32_t>((addr / line_bytes_) & (banks() - 1));
+    return static_cast<std::uint32_t>((addr >> line_shift_) & (banks() - 1));
   }
   [[nodiscard]] std::uint32_t banks() const noexcept {
     return static_cast<std::uint32_t>(slices_.size());
@@ -77,6 +77,7 @@ class L2Cache {
   };
 
   std::uint32_t line_bytes_;
+  std::uint32_t line_shift_;  ///< log2(line_bytes): hot-path divide -> shift
   std::uint32_t bank_latency_;
   std::vector<SetAssocCache> slices_;  ///< one tag slice per bank
   std::vector<Bank> banks_;

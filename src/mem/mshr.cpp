@@ -33,11 +33,11 @@ void Mshr::attach(std::uint32_t slot, const MshrWaiter& w) {
   entries_[slot].waiters.push_back(w);
 }
 
-std::vector<MshrWaiter> Mshr::release(std::uint32_t slot) {
+const std::vector<MshrWaiter>& Mshr::release(std::uint32_t slot) {
   assert(slot < entries_.size() && entries_[slot].valid);
   entries_[slot].valid = false;
   --live_;
-  return std::move(entries_[slot].waiters);
+  return entries_[slot].waiters;
 }
 
 }  // namespace mflush

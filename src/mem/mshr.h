@@ -35,8 +35,11 @@ class Mshr {
   /// Attach a waiter to an existing slot (secondary miss).
   void attach(std::uint32_t slot, const MshrWaiter& w);
 
-  /// Release a slot, returning its waiters.
-  [[nodiscard]] std::vector<MshrWaiter> release(std::uint32_t slot);
+  /// Release a slot, returning a view of its waiters. The vector stays
+  /// owned by the slot (pooled: its capacity is reused by the next
+  /// allocate of the slot instead of being reallocated per miss) and is
+  /// valid until that next allocate.
+  [[nodiscard]] const std::vector<MshrWaiter>& release(std::uint32_t slot);
 
   [[nodiscard]] Addr line_of_slot(std::uint32_t slot) const noexcept {
     return entries_[slot].line;

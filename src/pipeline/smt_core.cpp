@@ -72,6 +72,13 @@ PipeStage SmtCore::occupancy_stage(const MicroOp& u, Cycle now) const {
 void SmtCore::tick(Cycle now) {
   now_ = now;
   ++stats_.cycles;
+  if (all_threads_stalled()) {
+    // Every pipeline stage would no-op; only the policy heartbeat runs
+    // (it may gate/ungate, but cannot clear a hard block — only a memory
+    // completion can, and none arrived this cycle).
+    policy_->on_cycle(now, *this);
+    return;
+  }
   fu_.begin_cycle();
   do_memory_completions(now);
   do_commit(now);
@@ -80,6 +87,21 @@ void SmtCore::tick(Cycle now) {
   do_dispatch(now);
   policy_->on_cycle(now, *this);
   do_fetch(now);
+}
+
+bool SmtCore::all_threads_stalled() const {
+  // Early-exit precondition: pipeline fully drained, every context
+  // hard-blocked (I-cache wait or policy stall — states only a memory
+  // completion can clear), and the hierarchy delivered nothing this cycle.
+  if (!exec_list_.empty()) return false;
+  if (!mem_.completions(id_).empty() || !mem_.l2_events(id_).empty() ||
+      !mem_.l2_miss_events(id_).empty())
+    return false;
+  for (ThreadId t = 0; t < fstate_.size(); ++t) {
+    if (!fstate_[t].hard_blocked()) return false;
+    if (!frontend_[t].empty() || !rob_[t].empty()) return false;
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -353,6 +375,14 @@ void SmtCore::do_dispatch(Cycle now) {
 // ---------------------------------------------------------------------------
 
 void SmtCore::do_fetch(Cycle now) {
+  // Skip the priority computation when no context may fetch this cycle
+  // (checked after on_cycle so same-cycle ungating is honoured; every
+  // policy's fetch_order is a pure function of the view, so skipping it
+  // cannot change later decisions).
+  bool any_can_fetch = false;
+  for (const ThreadFetchState& fs : fstate_) any_can_fetch |= fs.can_fetch();
+  if (!any_can_fetch) return;
+
   CoreView view;
   view.num_threads = static_cast<std::uint32_t>(traces_.size());
   for (ThreadId t = 0; t < view.num_threads; ++t) {

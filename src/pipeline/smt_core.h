@@ -116,6 +116,10 @@ class SmtCore final : public CoreControl {
   }
 
  private:
+  /// True when this cycle's tick would be a guaranteed no-op for every
+  /// stage: drained pipeline, all contexts hard-blocked, no memory events.
+  [[nodiscard]] bool all_threads_stalled() const;
+
   void do_memory_completions(Cycle now);
   void do_commit(Cycle now);
   void do_writeback(Cycle now);

@@ -1,8 +1,11 @@
 #include "sim/experiment.h"
 
 #include <charconv>
+#include <chrono>
 #include <cstdlib>
 #include <string_view>
+
+#include "sim/parallel.h"
 
 namespace mflush {
 namespace {
@@ -30,22 +33,28 @@ Cycle warmup_cycles(Cycle fallback) {
 
 RunResult run_point(const Workload& workload, const PolicySpec& policy,
                     std::uint64_t seed, Cycle warmup, Cycle measure) {
+  const auto t0 = std::chrono::steady_clock::now();
   CmpSimulator sim(workload, policy, seed);
   sim.run(warmup);
   sim.reset_stats();
   sim.run(measure);
-  return RunResult{workload.name, policy.label(), sim.metrics()};
+  RunResult r{workload.name, policy.label(), sim.metrics()};
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.simulated_cycles = warmup + measure;
+  return r;
 }
 
 std::vector<RunResult> run_sweep(const Workload& workload,
                                  const std::vector<PolicySpec>& policies,
                                  std::uint64_t seed, Cycle warmup,
                                  Cycle measure) {
-  std::vector<RunResult> out;
-  out.reserve(policies.size());
+  std::vector<SweepPoint> points;
+  points.reserve(policies.size());
   for (const PolicySpec& p : policies)
-    out.push_back(run_point(workload, p, seed, warmup, measure));
-  return out;
+    points.push_back({workload, p, seed, warmup, measure});
+  return ParallelRunner::shared().run(points);
 }
 
 }  // namespace mflush

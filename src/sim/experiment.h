@@ -19,6 +19,18 @@ struct RunResult {
   std::string workload;
   std::string policy;
   SimMetrics metrics;
+
+  // Simulator-throughput self-report (filled by run_point): wall-clock time
+  // of the whole run and the cycles it simulated (warm-up + measured).
+  double wall_seconds = 0.0;
+  Cycle simulated_cycles = 0;
+
+  /// Simulated cycles per wall-clock second (0 when not timed).
+  [[nodiscard]] double sim_cycles_per_sec() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(simulated_cycles) / wall_seconds
+               : 0.0;
+  }
 };
 
 /// Measured-interval length (env MFLUSH_BENCH_CYCLES or `fallback`).
@@ -33,7 +45,9 @@ struct RunResult {
                                   std::uint64_t seed, Cycle warmup,
                                   Cycle measure);
 
-/// Sweep a workload across several policies (shared seed/interval).
+/// Sweep a workload across several policies (shared seed/interval). Points
+/// run concurrently on the shared ParallelRunner pool (sim/parallel.h);
+/// results are in policy order and bit-identical to the serial loop.
 [[nodiscard]] std::vector<RunResult> run_sweep(
     const Workload& workload, const std::vector<PolicySpec>& policies,
     std::uint64_t seed, Cycle warmup, Cycle measure);

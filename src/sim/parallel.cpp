@@ -1,0 +1,188 @@
+#include "sim/parallel.h"
+
+#include <atomic>
+#include <charconv>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <stop_token>
+#include <string_view>
+#include <thread>
+
+namespace mflush {
+
+struct ParallelRunner::Impl {
+  std::mutex batch_m;  ///< serializes whole batches across external callers
+  std::mutex m;
+  std::condition_variable_any work_cv;   ///< workers wait for a batch
+  std::condition_variable done_cv;       ///< caller waits for completion
+
+  // Current batch (guarded by m except for cursor).
+  std::uint32_t batch = 0;               ///< bumped per for_each_index call
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::size_t total = 0;
+  /// Claim cursor: (batch << 32) | next-unclaimed-index. The batch tag
+  /// makes claims from a worker that straddles two batches impossible: a
+  /// stale worker's CAS fails the generation check and it claims nothing
+  /// (a plain fetch_add here would let it steal index 0 of the next batch
+  /// and run the previous, already-destroyed task).
+  std::atomic<std::uint64_t> cursor{0};
+  std::size_t done = 0;                  ///< finished indices this batch
+  std::exception_ptr error;
+
+  std::vector<std::jthread> workers;     ///< joined last (declared last)
+
+  static constexpr std::uint64_t kIndexMask = 0xffff'ffffull;
+
+  /// Claim the next index of batch `gen`; false when the batch is
+  /// exhausted or no longer current.
+  bool claim(std::uint32_t gen, std::size_t n, std::size_t& out) {
+    std::uint64_t c = cursor.load(std::memory_order_relaxed);
+    for (;;) {
+      if (static_cast<std::uint32_t>(c >> 32) != gen) return false;
+      const std::size_t i = static_cast<std::size_t>(c & kIndexMask);
+      if (i >= n) return false;
+      if (cursor.compare_exchange_weak(c, c + 1,
+                                       std::memory_order_relaxed)) {
+        out = i;
+        return true;
+      }
+    }
+  }
+
+  /// Claim and run indices until batch `gen` is exhausted.
+  void drain(std::uint32_t gen, const std::function<void(std::size_t)>& fn,
+             std::size_t n) {
+    std::size_t i = 0;
+    while (claim(gen, n, i)) {
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard lk(m);
+        if (!error) error = std::current_exception();
+      }
+      const std::lock_guard lk(m);
+      if (++done == n) done_cv.notify_all();
+    }
+  }
+
+  void worker(std::stop_token st) {
+    std::uint32_t seen = 0;
+    std::unique_lock lk(m);
+    for (;;) {
+      work_cv.wait(lk, st,
+                   [&] { return batch != seen && task != nullptr; });
+      if (st.stop_requested()) return;
+      seen = batch;
+      const auto* fn = task;
+      const std::size_t n = total;
+      lk.unlock();
+      drain(seen, *fn, n);
+      lk.lock();
+    }
+  }
+};
+
+ParallelRunner::ParallelRunner(unsigned jobs)
+    : impl_(std::make_unique<Impl>()),
+      jobs_(jobs == 0 ? default_jobs() : jobs) {
+  impl_->workers.reserve(jobs_ - 1);
+  for (unsigned w = 1; w < jobs_; ++w) {
+    impl_->workers.emplace_back(
+        [impl = impl_.get()](std::stop_token st) { impl->worker(st); });
+  }
+}
+
+// std::jthread requests stop and joins; condition_variable_any::wait with a
+// stop_token wakes on the request, so no explicit shutdown is needed.
+ParallelRunner::~ParallelRunner() = default;
+
+void ParallelRunner::for_each_index(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (n > Impl::kIndexMask)
+    throw std::invalid_argument("ParallelRunner: batch too large");
+  Impl& im = *impl_;
+  // One batch at a time: a second external caller blocks here until the
+  // current batch fully drains instead of clobbering its state. (Reentrant
+  // calls from inside a task would deadlock and remain forbidden.)
+  const std::lock_guard batch_lk(im.batch_m);
+  std::unique_lock lk(im.m);
+  im.task = &fn;
+  im.total = n;
+  im.done = 0;
+  im.error = nullptr;
+  ++im.batch;
+  const std::uint32_t gen = im.batch;
+  im.cursor.store(static_cast<std::uint64_t>(gen) << 32,
+                  std::memory_order_relaxed);
+  im.work_cv.notify_all();
+  lk.unlock();
+
+  im.drain(gen, fn, n);  // the caller is a pool member too
+
+  lk.lock();
+  im.done_cv.wait(lk, [&] { return im.done == im.total; });
+  im.task = nullptr;
+  const std::exception_ptr err = im.error;
+  im.error = nullptr;
+  lk.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+std::vector<RunResult> ParallelRunner::run(
+    const std::vector<SweepPoint>& points) {
+  std::vector<RunResult> out(points.size());
+  for_each_index(points.size(), [&](std::size_t i) {
+    const SweepPoint& p = points[i];
+    out[i] = run_point(p.workload, p.policy, p.seed, p.warmup, p.measure);
+  });
+  return out;
+}
+
+unsigned ParallelRunner::default_jobs() noexcept {
+  if (const char* raw = std::getenv("MFLUSH_JOBS")) {
+    const std::string_view s(raw);
+    unsigned v = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec == std::errc{} && ptr == s.data() + s.size() && v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ParallelRunner& ParallelRunner::shared() {
+  static ParallelRunner runner;
+  return runner;
+}
+
+std::vector<std::vector<RunResult>> run_grid(
+    const std::vector<Workload>& workloads,
+    const std::vector<PolicySpec>& policies, std::uint64_t seed, Cycle warmup,
+    Cycle measure) {
+  std::vector<SweepPoint> points;
+  points.reserve(workloads.size() * policies.size());
+  for (const Workload& w : workloads)
+    for (const PolicySpec& p : policies)
+      points.push_back({w, p, seed, warmup, measure});
+  std::vector<RunResult> flat = ParallelRunner::shared().run(points);
+
+  std::vector<std::vector<RunResult>> rows;
+  rows.reserve(workloads.size());
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    rows.emplace_back(
+        std::make_move_iterator(flat.begin() +
+                                static_cast<std::ptrdiff_t>(w * policies.size())),
+        std::make_move_iterator(flat.begin() +
+                                static_cast<std::ptrdiff_t>((w + 1) * policies.size())));
+  }
+  return rows;
+}
+
+}  // namespace mflush

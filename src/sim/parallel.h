@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/experiment.h"
+
+/// Parallel experiment engine.
+///
+/// Every paper figure is a sweep of independent (workload, policy, seed)
+/// simulation points; each point is a self-contained CmpSimulator whose
+/// output is fully determined by its (config, seed) pair. The engine fans
+/// those points across a persistent pool of hardware threads. Because no
+/// state is shared between points and results are written to per-point
+/// slots, a parallel sweep is bit-identical to the serial loop regardless
+/// of scheduling — tested by ParallelRunner.MatchesSerialSweep.
+///
+/// Thread count: the MFLUSH_JOBS environment variable when set (>= 1),
+/// otherwise std::thread::hardware_concurrency().
+namespace mflush {
+
+/// One independent simulation point of a sweep.
+struct SweepPoint {
+  Workload workload;
+  PolicySpec policy;
+  std::uint64_t seed = 1;
+  Cycle warmup = 0;
+  Cycle measure = 0;
+};
+
+/// Persistent std::jthread pool with an index-claiming work queue.
+///
+/// The calling thread participates in every batch, so a 1-job runner is
+/// exactly the serial loop (no pool threads are spawned at all).
+/// Concurrent for_each_index calls from different threads serialize (one
+/// batch at a time); calling it from inside a task of the same runner
+/// deadlocks and is forbidden.
+class ParallelRunner {
+ public:
+  /// `jobs` == 0 means default_jobs(). The pool spawns jobs-1 workers.
+  explicit ParallelRunner(unsigned jobs = 0);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  /// Invoke fn(0) .. fn(n-1), each exactly once, across the pool; blocks
+  /// until every index finished. The first exception thrown by a task is
+  /// rethrown here (remaining claimed tasks still run to completion).
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
+
+  /// Run every sweep point; results in input order, bit-identical to
+  /// calling run_point serially.
+  [[nodiscard]] std::vector<RunResult> run(
+      const std::vector<SweepPoint>& points);
+
+  /// MFLUSH_JOBS environment override, else hardware concurrency (>= 1).
+  [[nodiscard]] static unsigned default_jobs() noexcept;
+
+  /// Process-wide pool shared by run_sweep and the bench drivers.
+  [[nodiscard]] static ParallelRunner& shared();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  unsigned jobs_;
+};
+
+/// Fan a full workload x policy cross-product through the shared pool.
+/// Row i holds `workloads[i]` under every policy, in policy order — the
+/// layout report::print_throughput expects.
+[[nodiscard]] std::vector<std::vector<RunResult>> run_grid(
+    const std::vector<Workload>& workloads,
+    const std::vector<PolicySpec>& policies, std::uint64_t seed, Cycle warmup,
+    Cycle measure);
+
+}  // namespace mflush

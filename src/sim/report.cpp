@@ -18,6 +18,16 @@ std::vector<std::string> policy_headers(
   return headers;
 }
 
+/// Human-scaled cycles/second, e.g. "1.4 Mcyc/s".
+std::string rate_str(double cycles_per_sec) {
+  std::ostringstream os;
+  if (cycles_per_sec >= 1e6)
+    os << Table::num(cycles_per_sec / 1e6, 1) << " Mcyc/s";
+  else
+    os << Table::num(cycles_per_sec / 1e3, 1) << " Kcyc/s";
+  return os.str();
+}
+
 }  // namespace
 
 void print_throughput(std::ostream& os,
@@ -40,6 +50,8 @@ void print_throughput(std::ostream& os,
     table.add_row(std::move(avg));
   }
   table.print(os);
+  if (const std::string f = throughput_footer(by_workload); !f.empty())
+    os << f << "\n";
 }
 
 void print_wasted_energy(
@@ -64,6 +76,8 @@ void print_wasted_energy(
     table.add_row(std::move(avg));
   }
   table.print(os);
+  if (const std::string f = throughput_footer(by_workload); !f.empty())
+    os << f << "\n";
 }
 
 void print_debug(std::ostream& os, const CmpSimulator& sim) {
@@ -136,7 +150,48 @@ std::string summarize(const RunResult& r) {
      << Table::num(r.metrics.energy.flush_wasted_units, 1) << " units ("
      << Table::num(r.metrics.energy.flush_wasted_per_kilo_commit(), 1)
      << " per 1k commits)";
+  if (r.wall_seconds > 0.0) {
+    os << " [" << Table::num(r.wall_seconds, 2) << " s, "
+       << rate_str(r.sim_cycles_per_sec()) << "]";
+  }
   return os.str();
+}
+
+namespace {
+
+std::string footer_of(double wall, Cycle simulated) {
+  if (wall <= 0.0 || simulated == 0) return {};
+  std::ostringstream os;
+  os << "simulator: " << simulated << " cycles in "
+     << Table::num(wall, 2) << " s of simulation work ("
+     << rate_str(static_cast<double>(simulated) / wall)
+     << " per worker thread)";
+  return os.str();
+}
+
+}  // namespace
+
+std::string throughput_footer(const std::vector<RunResult>& runs) {
+  double wall = 0.0;
+  Cycle simulated = 0;
+  for (const RunResult& r : runs) {
+    wall += r.wall_seconds;
+    simulated += r.simulated_cycles;
+  }
+  return footer_of(wall, simulated);
+}
+
+std::string throughput_footer(
+    const std::vector<std::vector<RunResult>>& by_workload) {
+  double wall = 0.0;
+  Cycle simulated = 0;
+  for (const auto& row : by_workload) {
+    for (const RunResult& r : row) {
+      wall += r.wall_seconds;
+      simulated += r.simulated_cycles;
+    }
+  }
+  return footer_of(wall, simulated);
 }
 
 }  // namespace mflush::report

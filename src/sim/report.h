@@ -25,7 +25,17 @@ void print_throughput(std::ostream& os,
 void print_wasted_energy(
     std::ostream& os, const std::vector<std::vector<RunResult>>& by_workload);
 
-/// One-line run summary (examples/quickstart).
+/// One-line run summary (examples/quickstart), including the simulator's
+/// own throughput (wall-clock and simulated cycles per second) when the
+/// run was timed.
 [[nodiscard]] std::string summarize(const RunResult& r);
+
+/// One-line simulator-throughput footer over a set of finished runs:
+/// total wall-clock work, simulated cycles, and aggregate cycles/second.
+/// Empty string when none of the runs carry timing.
+[[nodiscard]] std::string throughput_footer(
+    const std::vector<RunResult>& runs);
+[[nodiscard]] std::string throughput_footer(
+    const std::vector<std::vector<RunResult>>& by_workload);
 
 }  // namespace mflush::report

@@ -2,21 +2,27 @@
 ///
 ///   mflushsim [options]
 ///     --workload NAME|CODES   paper workload (8W3) or code string (dlna)
-///     --policy SPEC           icount | brcount | l1dmisscount | flush-sN |
-///                             flush-ns | stall-sN | mflush[-np|-hN[max]]
+///     --policy SPEC[,SPEC..]  icount | brcount | l1dmisscount | flush-sN |
+///                             flush-ns | stall-sN | mflush[-np|-hN[max]];
+///                             a comma-separated list sweeps every policy
+///                             in parallel
 ///     --cycles N              measured cycles            (default 120000)
 ///     --warmup N              warm-up cycles             (default 30000)
 ///     --seed N                simulation seed            (default 1)
-///     --csv                   machine-readable one-line output
+///     --jobs N                sweep threads (default MFLUSH_JOBS or all
+///                             hardware threads)
+///     --csv                   machine-readable one-line-per-run output
 ///     --debug                 full component dump after the run
+///                             (single-policy runs only)
 #include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/factory.h"
 #include "sim/cmp.h"
-#include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "sim/report.h"
 #include "sim/workloads.h"
 
@@ -25,12 +31,13 @@ namespace {
 void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
-      << " [--workload NAME|CODES] [--policy SPEC] [--cycles N]\n"
-         "       [--warmup N] [--seed N] [--csv] [--debug]\n\n"
+      << " [--workload NAME|CODES] [--policy SPEC[,SPEC...]] [--cycles N]\n"
+         "       [--warmup N] [--seed N] [--jobs N] [--csv] [--debug]\n\n"
          "workloads: 2W1..8W5 (Fig. 1), bzip2-twolf, or a string of\n"
          "benchmark codes (a=gzip .. z=mgrid), two per core.\n"
          "policies: icount, brcount, l1dmisscount, flush-s<N>, flush-ns,\n"
-         "          stall-s<N>, mflush, mflush-np, mflush-h<N>[max|avg]\n";
+         "          stall-s<N>, mflush, mflush-np, mflush-h<N>[max|avg]\n"
+         "a comma-separated --policy list runs as a parallel sweep.\n";
 }
 
 }  // namespace
@@ -43,6 +50,7 @@ int main(int argc, char** argv) {
   Cycle cycles = 120'000;
   Cycle warmup = 30'000;
   std::uint64_t seed = 1;
+  unsigned jobs = 0;  // 0 = ParallelRunner default (MFLUSH_JOBS / hardware)
   bool csv = false;
   bool debug = false;
 
@@ -65,6 +73,8 @@ int main(int argc, char** argv) {
       warmup = static_cast<Cycle>(std::strtoull(value(), nullptr, 10));
     } else if (arg == "--seed") {
       seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--debug") {
@@ -86,32 +96,56 @@ int main(int argc, char** argv) {
     std::cerr << "unknown workload: " << workload_arg << '\n';
     return 2;
   }
-  const auto policy = PolicySpec::parse(policy_arg);
-  if (!policy) {
-    std::cerr << "unknown policy: " << policy_arg << '\n';
+  // A comma-separated --policy list becomes a parallel sweep.
+  std::vector<PolicySpec> policies;
+  for (std::size_t pos = 0; pos <= policy_arg.size();) {
+    const std::size_t comma = policy_arg.find(',', pos);
+    const std::string one =
+        policy_arg.substr(pos, comma == std::string::npos ? std::string::npos
+                                                          : comma - pos);
+    const auto p = PolicySpec::parse(one);
+    if (!p) {
+      std::cerr << "unknown policy: " << one << '\n';
+      return 2;
+    }
+    policies.push_back(*p);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (debug && policies.size() > 1) {
+    std::cerr << "--debug needs a single policy\n";
     return 2;
   }
 
   try {
-    CmpSimulator sim(*wl, *policy, seed);
-    sim.run(warmup);
-    sim.reset_stats();
-    sim.run(cycles);
-    const SimMetrics m = sim.metrics();
+    if (debug) {
+      CmpSimulator sim(*wl, policies.front(), seed);
+      sim.run(warmup);
+      sim.reset_stats();
+      sim.run(cycles);
+      report::print_debug(std::cout, sim);
+      return 0;
+    }
+    ParallelRunner runner(jobs);
+    std::vector<SweepPoint> points;
+    points.reserve(policies.size());
+    for (const PolicySpec& p : policies)
+      points.push_back({*wl, p, seed, warmup, cycles});
+    const std::vector<RunResult> results = runner.run(points);
     if (csv) {
       std::cout << "workload,policy,cycles,committed,ipc,flushes,"
-                   "flushed_instrs,wasted_units,l2_hit_mean\n"
-                << wl->name << ',' << policy->label() << ',' << m.cycles
-                << ',' << m.committed << ',' << m.ipc << ','
-                << m.flush_events << ',' << m.flushed_instructions << ','
-                << m.energy.flush_wasted_units << ',' << m.l2_hit_time_mean
-                << '\n';
-    } else if (debug) {
-      report::print_debug(std::cout, sim);
+                   "flushed_instrs,wasted_units,l2_hit_mean,wall_s\n";
+      for (const RunResult& r : results) {
+        const SimMetrics& m = r.metrics;
+        std::cout << r.workload << ',' << r.policy << ',' << m.cycles << ','
+                  << m.committed << ',' << m.ipc << ',' << m.flush_events
+                  << ',' << m.flushed_instructions << ','
+                  << m.energy.flush_wasted_units << ',' << m.l2_hit_time_mean
+                  << ',' << r.wall_seconds << '\n';
+      }
     } else {
-      std::cout << report::summarize(
-                       RunResult{wl->name, policy->label(), m})
-                << '\n';
+      for (const RunResult& r : results)
+        std::cout << report::summarize(r) << '\n';
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

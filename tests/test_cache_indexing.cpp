@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "mem/cache.h"
+
+namespace mflush {
+namespace {
+
+/// Reference tag array using the pre-optimization division/modulo set
+/// indexing and the same true-LRU policy as SetAssocCache. The production
+/// class now uses shift/mask indexing for power-of-two geometries; this
+/// model pins the original mapping so any divergence in hit/miss/eviction
+/// behaviour is caught.
+class ModuloRefCache {
+ public:
+  explicit ModuloRefCache(CacheGeometry g)
+      : geom_(g), sets_(g.num_sets()),
+        lines_(static_cast<std::size_t>(sets_) * g.ways) {}
+
+  bool access(Addr addr, bool is_write) {
+    const Addr line = line_of(addr);
+    const std::size_t base = set_index(addr) * geom_.ways;
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+      Line& l = lines_[base + w];
+      if (l.valid && l.tag == line) {
+        l.lru = ++tick_;
+        if (is_write) l.dirty = true;
+        ++hits_;
+        return true;
+      }
+    }
+    ++misses_;
+    return false;
+  }
+
+  bool probe(Addr addr) const {
+    const Addr line = line_of(addr);
+    const std::size_t base = set_index(addr) * geom_.ways;
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+      const Line& l = lines_[base + w];
+      if (l.valid && l.tag == line) return true;
+    }
+    return false;
+  }
+
+  EvictInfo fill(Addr addr, bool dirty) {
+    const Addr line = line_of(addr);
+    const std::size_t base = set_index(addr) * geom_.ways;
+    Line* victim = &lines_[base];
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+      Line& l = lines_[base + w];
+      if (l.valid && l.tag == line) {
+        l.lru = ++tick_;
+        l.dirty = l.dirty || dirty;
+        return {};
+      }
+      if (!l.valid) {
+        victim = &l;
+      } else if (victim->valid && l.lru < victim->lru) {
+        victim = &l;
+      }
+    }
+    EvictInfo info;
+    if (victim->valid) {
+      info.evicted = true;
+      info.victim_dirty = victim->dirty;
+      info.victim_line = victim->tag;
+    }
+    victim->valid = true;
+    victim->tag = line;
+    victim->dirty = dirty;
+    victim->lru = ++tick_;
+    return info;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] Addr line_of(Addr addr) const noexcept {
+    return addr & ~static_cast<Addr>(geom_.line_bytes - 1);
+  }
+  [[nodiscard]] std::size_t set_index(Addr addr) const noexcept {
+    // The original implementation, verbatim: divide then modulo.
+    return static_cast<std::size_t>((addr / geom_.line_bytes) % sets_);
+  }
+
+  CacheGeometry geom_;
+  std::uint32_t sets_;
+  std::vector<Line> lines_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Drive the production cache and the modulo reference with an identical
+/// randomized access/fill/probe stream and require identical observable
+/// behaviour at every step.
+void fuzz_equivalence(CacheGeometry g, std::uint64_t seed,
+                      std::uint32_t iterations) {
+  SetAssocCache cache(g);
+  ModuloRefCache ref(g);
+  Xoshiro256 rng(seed);
+
+  // Mix of hot lines (reuse) and a long tail so hits, misses, fills and
+  // evictions all occur.
+  const Addr span = static_cast<Addr>(g.size_bytes) * 4;
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    const Addr addr = rng.next_below(span);
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {  // access (read or write)
+        const bool is_write = rng.chance(0.3);
+        EXPECT_EQ(cache.access(addr, is_write), ref.access(addr, is_write))
+            << "access mismatch at iteration " << i << " addr " << addr;
+        break;
+      }
+      case 2: {  // fill (as after a completed miss)
+        const bool dirty = rng.chance(0.3);
+        const EvictInfo a = cache.fill(addr, dirty);
+        const EvictInfo b = ref.fill(addr, dirty);
+        EXPECT_EQ(a.evicted, b.evicted)
+            << "eviction mismatch at iteration " << i;
+        EXPECT_EQ(a.victim_dirty, b.victim_dirty);
+        EXPECT_EQ(a.victim_line, b.victim_line);
+        break;
+      }
+      default: {  // probe (no state change)
+        EXPECT_EQ(cache.probe(addr), ref.probe(addr))
+            << "probe mismatch at iteration " << i << " addr " << addr;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(cache.hits(), ref.hits());
+  EXPECT_EQ(cache.misses(), ref.misses());
+}
+
+TEST(CacheIndexing, ShiftMaskMatchesModuloL1D) {
+  // Paper L1D: 32 KB 4-way, 128 sets (power of two -> shift/mask path).
+  fuzz_equivalence(CacheGeometry{32 * 1024, 4, 64, 8}, 0xC0FFEE, 20'000);
+}
+
+TEST(CacheIndexing, ShiftMaskMatchesModuloL1I) {
+  // Paper L1I: 64 KB 4-way, 256 sets.
+  fuzz_equivalence(CacheGeometry{64 * 1024, 4, 64, 8}, 0xBEEF, 20'000);
+}
+
+TEST(CacheIndexing, ShiftMaskMatchesModuloTinyCache) {
+  // 2 sets, direct-mapped: maximal conflict pressure.
+  fuzz_equivalence(CacheGeometry{128, 1, 64, 1}, 7, 20'000);
+}
+
+TEST(CacheIndexing, NonPowerOfTwoL2SliceKeepsModulo) {
+  // One bank slice of the paper's L2: 1 MB 12-way -> 1365 sets (not a
+  // power of two) must keep the modulo mapping exactly.
+  fuzz_equivalence(CacheGeometry{1024 * 1024, 12, 64, 1}, 99, 20'000);
+}
+
+TEST(CacheIndexing, NonPowerOfTwoConflictGeometry) {
+  // Same-set conflicts land where modulo says they do: with 1365 sets,
+  // line index k and k + 1365 share a set.
+  const CacheGeometry g{1024 * 1024, 12, 64, 1};
+  SetAssocCache cache(g);
+  const std::uint32_t sets = g.num_sets();
+  ASSERT_EQ(sets, 1365u);
+  const Addr stride = static_cast<Addr>(sets) * g.line_bytes;
+  // Fill ways lines that all map to set 0; no eviction yet.
+  for (std::uint32_t w = 0; w < g.ways; ++w) {
+    const EvictInfo ev = cache.fill(static_cast<Addr>(w) * stride, false);
+    EXPECT_FALSE(ev.evicted) << "premature eviction at way " << w;
+  }
+  // One more conflicting line must evict the LRU line (line index 0).
+  const EvictInfo ev =
+      cache.fill(static_cast<Addr>(g.ways) * stride, false);
+  EXPECT_TRUE(ev.evicted);
+  EXPECT_EQ(ev.victim_line, 0u);
+  // A line in a different set is untouched.
+  (void)cache.fill(64, false);
+  EXPECT_TRUE(cache.probe(64));
+}
+
+TEST(CacheIndexing, BankOfUsesLineShift) {
+  const SetAssocCache cache(CacheGeometry{32 * 1024, 4, 64, 8});
+  for (Addr a : {Addr{0}, Addr{63}, Addr{64}, Addr{64 * 7}, Addr{64 * 8},
+                 Addr{0x12345678}}) {
+    EXPECT_EQ(cache.bank_of(a), static_cast<std::uint32_t>((a / 64) % 8));
+  }
+}
+
+}  // namespace
+}  // namespace mflush
