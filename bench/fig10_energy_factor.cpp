@@ -47,6 +47,7 @@ int main() {
     std::cerr << "FAIL: resource shares must sum to 1\n";
     return 1;
   }
-  std::cout << "\nself-check: OK (accumulated = running sum, commit = 1 unit)\n";
+  std::cout
+      << "\nself-check: OK (accumulated = running sum, commit = 1 unit)\n";
   return 0;
 }

@@ -40,7 +40,8 @@ int main() {
     s100 += row[1].metrics.energy.flush_wasted_per_kilo_commit();
     mflush_units += row[2].metrics.energy.flush_wasted_per_kilo_commit();
   }
-  std::cout << "\nMFLUSH vs FLUSH-S100: " << Table::pct(mflush_units / s100 - 1.0)
+  std::cout << "\nMFLUSH vs FLUSH-S100: "
+            << Table::pct(mflush_units / s100 - 1.0)
             << "   FLUSH-S100 vs FLUSH-S30: " << Table::pct(s100 / s30 - 1.0)
             << "\n(paper: MFLUSH ~-20% vs FLUSH-S100; FLUSH-S100 ~+10% vs "
                "FLUSH-S30)\n";

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/types.h"
 
 namespace mflush {
@@ -22,6 +23,19 @@ class Btb {
 
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+  void save(ArchiveWriter& ar) const {
+    ar.put_vec(entries_);
+    ar.put(tick_);
+    ar.put(hits_);
+    ar.put(misses_);
+  }
+  void load(ArchiveReader& ar) {
+    ar.get_vec(entries_);
+    tick_ = ar.get<std::uint64_t>();
+    hits_ = ar.get<std::uint64_t>();
+    misses_ = ar.get<std::uint64_t>();
+  }
 
  private:
   struct Entry {

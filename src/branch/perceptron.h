@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/types.h"
 
 namespace mflush {
@@ -38,6 +39,21 @@ class PerceptronPredictor {
   [[nodiscard]] std::uint64_t predictions() const noexcept { return preds_; }
   [[nodiscard]] std::uint64_t mispredictions() const noexcept {
     return mispreds_;
+  }
+
+  void save(ArchiveWriter& ar) const {
+    for (const auto& w : weights_) ar.put_vec(w);
+    ar.put_vec(global_history_);
+    ar.put_vec(local_history_);
+    ar.put(preds_);
+    ar.put(mispreds_);
+  }
+  void load(ArchiveReader& ar) {
+    for (auto& w : weights_) ar.get_vec(w);
+    ar.get_vec(global_history_);
+    ar.get_vec(local_history_);
+    preds_ = ar.get<std::uint64_t>();
+    mispreds_ = ar.get<std::uint64_t>();
   }
 
  private:

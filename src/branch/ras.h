@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/types.h"
 
 namespace mflush {
@@ -35,6 +36,17 @@ class Ras {
   [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
   [[nodiscard]] std::uint32_t capacity() const noexcept {
     return static_cast<std::uint32_t>(stack_.size());
+  }
+
+  void save(ArchiveWriter& ar) const {
+    ar.put_vec(stack_);
+    ar.put(top_);
+    ar.put(depth_);
+  }
+  void load(ArchiveReader& ar) {
+    ar.get_vec(stack_);
+    top_ = ar.get<std::uint32_t>();
+    depth_ = ar.get<std::uint32_t>();
   }
 
  private:

@@ -6,6 +6,7 @@
 #include "branch/btb.h"
 #include "branch/perceptron.h"
 #include "branch/ras.h"
+#include "common/archive.h"
 #include "common/config.h"
 #include "trace/instr.h"
 
@@ -48,6 +49,17 @@ class BranchUnit {
     return perceptron_;
   }
   [[nodiscard]] const Btb& btb() const noexcept { return btb_; }
+
+  void save(ArchiveWriter& ar) const {
+    perceptron_.save(ar);
+    btb_.save(ar);
+    for (const Ras& r : ras_) r.save(ar);
+  }
+  void load(ArchiveReader& ar) {
+    perceptron_.load(ar);
+    btb_.load(ar);
+    for (Ras& r : ras_) r.load(ar);
+  }
 
  private:
   PerceptronPredictor perceptron_;

@@ -11,7 +11,8 @@ namespace {
 
 }  // namespace
 
-SimConfig SimConfig::paper_default(std::uint32_t num_cores, std::uint64_t seed) {
+SimConfig SimConfig::paper_default(std::uint32_t num_cores,
+                                   std::uint64_t seed) {
   SimConfig cfg;
   cfg.num_cores = num_cores;
   cfg.seed = seed;

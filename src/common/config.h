@@ -15,8 +15,8 @@ namespace mflush {
 /// Out-of-order SMT core parameters (Fig. 1, "Core Parameters").
 struct CoreConfig {
   std::uint32_t threads_per_core = 2;     ///< hardware contexts per core
-  std::uint32_t fetch_width = 8;          ///< instructions fetched per cycle
-  std::uint32_t fetch_threads = 2;        ///< max threads fetched per cycle (ICOUNT2.8)
+  std::uint32_t fetch_width = 8;    ///< instructions fetched per cycle
+  std::uint32_t fetch_threads = 2;  ///< threads fetched per cycle (ICOUNT2.8)
   std::uint32_t decode_width = 8;
   std::uint32_t rename_width = 8;
   std::uint32_t issue_width = 8;
@@ -105,7 +105,8 @@ struct MemConfig {
 
   /// The paper's Multicore Traffic term:
   /// MT = (L1_L2_Bus_delay + L2_Bank_Acc_delay) * (Num_Cores - 1).
-  [[nodiscard]] std::uint32_t multicore_traffic(std::uint32_t num_cores) const noexcept {
+  [[nodiscard]] std::uint32_t multicore_traffic(
+      std::uint32_t num_cores) const noexcept {
     if (num_cores == 0) return 0;
     return (bus_latency + l2_bank_latency) * (num_cores - 1);
   }

@@ -61,6 +61,15 @@ class Xoshiro256 {
   /// Bernoulli trial with probability p.
   constexpr bool chance(double p) noexcept { return next_double() < p; }
 
+  /// Snapshot support: the four state words fully determine the stream.
+  [[nodiscard]] constexpr std::array<std::uint64_t, 4> state()
+      const noexcept {
+    return s_;
+  }
+  constexpr void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    s_ = s;
+  }
+
   /// Geometric-ish positive integer with mean approximately `mean`
   /// (clamped to [1, cap]). Used for dependency distances.
   constexpr std::uint64_t geometric(double mean, std::uint64_t cap) noexcept {
@@ -90,9 +99,8 @@ class Xoshiro256 {
 };
 
 /// Derive a stream seed that is well separated per (domain, index).
-[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t root,
-                                                  std::uint64_t domain,
-                                                  std::uint64_t index) noexcept {
+[[nodiscard]] constexpr std::uint64_t derive_seed(
+    std::uint64_t root, std::uint64_t domain, std::uint64_t index) noexcept {
   SplitMix64 sm(root ^ (domain * 0x9e3779b97f4a7c15ull) ^
                 (index * 0xd1b54a32d192ed03ull));
   sm.next();

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/archive.h"
+
 /// Lightweight statistics containers used by every subsystem.
 namespace mflush {
 
@@ -31,6 +33,9 @@ class RunningStat {
   [[nodiscard]] double sum() const noexcept { return sum_; }
 
   void reset() noexcept { *this = RunningStat{}; }
+
+  void save(ArchiveWriter& ar) const { ar.put(*this); }
+  void load(ArchiveReader& ar) { *this = ar.get<RunningStat>(); }
 
  private:
   std::uint64_t n_ = 0;
@@ -84,6 +89,19 @@ class Histogram {
 
   /// Merge another histogram with identical geometry (asserts on mismatch).
   void merge(const Histogram& other);
+
+  void save(ArchiveWriter& ar) const {
+    ar.put_vec(bins_);
+    ar.put(overflow_);
+    ar.put(total_);
+    ar.put(sum_);
+  }
+  void load(ArchiveReader& ar) {
+    ar.get_vec(bins_);
+    overflow_ = ar.get<std::uint64_t>();
+    total_ = ar.get<std::uint64_t>();
+    sum_ = ar.get<double>();
+  }
 
  private:
   double bin_width_;

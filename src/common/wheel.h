@@ -1,0 +1,143 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/archive.h"
+#include "common/types.h"
+
+namespace mflush {
+
+/// Bucketed wakeup wheel: a timing wheel that replaces "scan every pending
+/// entry each cycle" polling with O(1) scheduling and O(due) retrieval.
+///
+/// Entries scheduled for cycle `c` land in bucket `c & mask`; entries
+/// further out than the wheel span go to an unsorted far queue that is
+/// only scanned while non-empty (with default latencies it stays empty).
+/// pop_due() returns due entries in bucket-FIFO order followed by
+/// far-queue insertion order — callers that need a global order (the
+/// hierarchy's (ready_at, order) heap order, the core's per-thread program
+/// order) sort the small due batch themselves.
+///
+/// The wheel tolerates skipped cycles: a bucket is filtered by each
+/// entry's own due cycle, so entries aliased `span` cycles ahead and
+/// entries left behind by an event-skip jump are both handled.
+template <typename T>
+class WakeupWheel {
+ public:
+  explicit WakeupWheel(std::uint32_t buckets = 64)
+      : buckets_(std::bit_ceil(std::uint64_t{buckets < 2 ? 2 : buckets})),
+        mask_(buckets_.size() - 1) {}
+
+  /// Schedule `v` to pop at cycle `at`. `now` is the current cycle: entries
+  /// due in the past or present are placed so the next pop (cycle now+1)
+  /// releases them, matching the "pending queue drained next tick"
+  /// semantics of the priority queues this replaces.
+  void schedule(Cycle at, Cycle now, T v) {
+    const Cycle effective = at > now ? at : now + 1;
+    if (effective - now > mask_) {
+      far_.push_back(Slot{at, std::move(v)});
+    } else {
+      buckets_[effective & mask_].push_back(Slot{at, std::move(v)});
+    }
+    ++count_;
+  }
+
+  /// Append every entry due at or before `now` to `out`.
+  void pop_due(Cycle now, std::vector<T>& out) {
+    if (count_ == 0) return;
+    take_due(buckets_[now & mask_], now, out);
+    if (!far_.empty()) take_due(far_, now, out);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t far_size() const noexcept { return far_.size(); }
+  [[nodiscard]] std::uint32_t span() const noexcept {
+    return static_cast<std::uint32_t>(buckets_.size());
+  }
+
+  /// Earliest scheduled cycle, kNeverCycle when empty. O(span + entries);
+  /// only meant for idle-time next-event queries, not the per-cycle path.
+  [[nodiscard]] Cycle next_due() const noexcept {
+    Cycle best = kNeverCycle;
+    if (count_ == 0) return best;
+    for (const auto& b : buckets_)
+      for (const Slot& s : b)
+        if (s.at < best) best = s.at;
+    for (const Slot& s : far_)
+      if (s.at < best) best = s.at;
+    return best;
+  }
+
+  void save(ArchiveWriter& ar) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ar.put<std::uint64_t>(buckets_.size());
+    for (const auto& b : buckets_) {
+      ar.put<std::uint64_t>(b.size());
+      for (const Slot& s : b) {
+        ar.put(s.at);
+        ar.put(s.v);
+      }
+    }
+    ar.put<std::uint64_t>(far_.size());
+    for (const Slot& s : far_) {
+      ar.put(s.at);
+      ar.put(s.v);
+    }
+  }
+
+  void load(ArchiveReader& ar) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto nb = ar.get<std::uint64_t>();
+    if (nb != buckets_.size())
+      throw std::runtime_error("wakeup wheel span mismatch");
+    count_ = 0;
+    for (auto& b : buckets_) {
+      b.clear();
+      const auto n = ar.get<std::uint64_t>();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const Cycle at = ar.get<Cycle>();
+        b.push_back(Slot{at, ar.get<T>()});
+        ++count_;
+      }
+    }
+    far_.clear();
+    const auto nf = ar.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < nf; ++i) {
+      const Cycle at = ar.get<Cycle>();
+      far_.push_back(Slot{at, ar.get<T>()});
+      ++count_;
+    }
+  }
+
+ private:
+  struct Slot {
+    Cycle at;
+    T v;
+  };
+
+  /// Move due slots to `out` preserving the relative order of the kept
+  /// remainder (compaction in place, no allocation in steady state).
+  void take_due(std::vector<Slot>& slots, Cycle now, std::vector<T>& out) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].at <= now) {
+        out.push_back(std::move(slots[i].v));
+        --count_;
+      } else {
+        if (kept != i) slots[kept] = std::move(slots[i]);
+        ++kept;
+      }
+    }
+    slots.resize(kept);
+  }
+
+  std::vector<std::vector<Slot>> buckets_;
+  Cycle mask_;
+  std::vector<Slot> far_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mflush

@@ -90,8 +90,8 @@ std::unique_ptr<FetchPolicy> make_policy(const PolicySpec& spec,
     case PolicySpec::Kind::MissCount:
       return std::make_unique<L1DMissCountPolicy>();
     case PolicySpec::Kind::FlushSpec:
-      return std::make_unique<FlushPolicy>(FlushPolicy::DetectionMoment::SpecDelay,
-                                           spec.trigger);
+      return std::make_unique<FlushPolicy>(
+          FlushPolicy::DetectionMoment::SpecDelay, spec.trigger);
     case PolicySpec::Kind::FlushNonSpec:
       return std::make_unique<FlushPolicy>(
           FlushPolicy::DetectionMoment::NonSpec, 0);

@@ -13,6 +13,9 @@
 ///     offending threads via the CoreControl interface.
 namespace mflush {
 
+class ArchiveReader;
+class ArchiveWriter;
+
 /// Upper bound on hardware contexts per core (the paper uses 2).
 inline constexpr std::uint32_t kMaxContexts = 8;
 
@@ -71,6 +74,19 @@ class FetchPolicy {
   /// Called once per cycle (after issue, before fetch): the place to
   /// trigger flushes/stalls/gates.
   virtual void on_cycle(Cycle /*now*/, CoreControl& /*ctrl*/) {}
+
+  /// True when on_cycle is guaranteed to be an exact no-op (no CoreControl
+  /// calls, no state or counter changes) until the next load-lifecycle
+  /// callback. The event kernel uses this to skip idle cycles wholesale;
+  /// a policy that cannot promise this for its current state must return
+  /// false. Priority-only policies (no on_cycle override) are always
+  /// quiescent.
+  [[nodiscard]] virtual bool quiescent() const { return true; }
+
+  /// Snapshot support: serialize/restore the policy's mutable state.
+  /// Stateless policies keep the no-op defaults.
+  virtual void save_state(ArchiveWriter& /*ar*/) const {}
+  virtual void load_state(ArchiveReader& /*ar*/) {}
 
   /// A load left the load/store queue for the cache hierarchy.
   virtual void on_load_issued(ThreadId /*tid*/, std::uint64_t /*token*/,

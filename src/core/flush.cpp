@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/archive.h"
+
 namespace mflush {
 
 FlushPolicy::FlushPolicy(DetectionMoment dm, Cycle trigger)
@@ -19,8 +21,7 @@ void FlushPolicy::on_load_issued(ThreadId tid, std::uint64_t token,
 
 void FlushPolicy::on_load_l2_miss(ThreadId /*tid*/, std::uint64_t token,
                                   std::uint32_t /*bank*/, Cycle /*now*/) {
-  if (const auto it = outstanding_.find(token); it != outstanding_.end())
-    it->second.l2_miss_known = true;
+  if (Outstanding* o = outstanding_.find(token)) o->l2_miss_known = true;
 }
 
 void FlushPolicy::on_load_resolved(ThreadId tid, std::uint64_t token,
@@ -39,26 +40,38 @@ void FlushPolicy::on_load_resolved(ThreadId tid, std::uint64_t token,
   }
 }
 
+void FlushPolicy::save_state(ArchiveWriter& ar) const {
+  outstanding_.save(ar);
+  ar.put(flush_token_);
+  ar.put(counters_);
+}
+
+void FlushPolicy::load_state(ArchiveReader& ar) {
+  outstanding_.load(ar);
+  flush_token_ = ar.get<decltype(flush_token_)>();
+  counters_ = ar.get<Counters>();
+}
+
 void FlushPolicy::on_cycle(Cycle now, CoreControl& ctrl) {
   // Collect triggered tokens first: flushing mutates core state that feeds
   // back into `outstanding_` via callbacks. Oldest offender first — the
   // response action squashes everything younger than the chosen load.
-  std::vector<std::pair<Cycle, std::uint64_t>> by_age;
-  for (const auto& [token, o] : outstanding_) {
+  by_age_.clear();
+  for (const auto& [token, o] : outstanding_.entries()) {
     if (thread_flushed(o.tid)) continue;
     const bool triggered = dm_ == DetectionMoment::SpecDelay
                                ? now >= o.issue + trigger_
                                : o.l2_miss_known;
-    if (triggered) by_age.emplace_back(o.issue, token);
+    if (triggered) by_age_.emplace_back(o.issue, token);
   }
-  std::sort(by_age.begin(), by_age.end());
-  std::vector<std::uint64_t> fire;
-  fire.reserve(by_age.size());
-  for (const auto& [issue, token] : by_age) fire.push_back(token);
-  for (const std::uint64_t token : fire) {
-    const auto it = outstanding_.find(token);
-    if (it == outstanding_.end()) continue;
-    const ThreadId tid = it->second.tid;
+  if (by_age_.empty()) return;
+  std::sort(by_age_.begin(), by_age_.end());
+  fire_.clear();
+  for (const auto& [issue, token] : by_age_) fire_.push_back(token);
+  for (const std::uint64_t token : fire_) {
+    const Outstanding* o = outstanding_.find(token);
+    if (o == nullptr) continue;
+    const ThreadId tid = o->tid;
     if (thread_flushed(tid)) continue;  // another load already flushed it
     if (ctrl.flush_after_load(token)) {
       flush_token_[tid] = token;

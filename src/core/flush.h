@@ -1,9 +1,11 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/fetch_policy.h"
+#include "core/token_table.h"
 
 namespace mflush {
 
@@ -46,6 +48,14 @@ class FlushPolicy final : public FetchPolicy {
   [[nodiscard]] Cycle trigger() const noexcept { return trigger_; }
   [[nodiscard]] Counters counters() const override { return counters_; }
 
+  /// on_cycle only acts on outstanding loads; with none tracked it is an
+  /// exact no-op, so idle cycles may be skipped.
+  [[nodiscard]] bool quiescent() const override {
+    return outstanding_.empty();
+  }
+  void save_state(ArchiveWriter& ar) const override;
+  void load_state(ArchiveReader& ar) override;
+
  private:
   struct Outstanding {
     ThreadId tid = 0;
@@ -60,9 +70,12 @@ class FlushPolicy final : public FetchPolicy {
   DetectionMoment dm_;
   Cycle trigger_;
   std::string name_;
-  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  TokenTable<Outstanding> outstanding_;
   std::array<std::uint64_t, kMaxContexts> flush_token_{};
   Counters counters_{};
+  // per-cycle scratch (kept across cycles so on_cycle never allocates)
+  std::vector<std::pair<Cycle, std::uint64_t>> by_age_;
+  std::vector<std::uint64_t> fire_;
 };
 
 }  // namespace mflush

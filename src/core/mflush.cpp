@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/archive.h"
+
 namespace mflush {
 
 MflushPolicy::MflushPolicy(const MflushConfig& cfg) : cfg_(cfg) {
@@ -56,13 +58,13 @@ void MflushPolicy::on_load_issued(ThreadId tid, std::uint64_t token,
 
 void MflushPolicy::on_load_l2_path(ThreadId /*tid*/, std::uint64_t token,
                                    std::uint32_t bank, Cycle /*now*/) {
-  const auto it = outstanding_.find(token);
-  if (it == outstanding_.end()) return;
-  it->second.l2_path = true;
+  Outstanding* o = outstanding_.find(token);
+  if (o == nullptr) return;
+  o->l2_path = true;
   // Predict the resolution time from the bank's last observed hit latency
   // and derive this access's Barrier (measured from LSQ issue, like every
   // age in the operational environment).
-  it->second.barrier_deadline = it->second.issue + barrier_for_bank(bank);
+  o->barrier_deadline = o->issue + barrier_for_bank(bank);
 }
 
 void MflushPolicy::on_load_resolved(ThreadId tid, std::uint64_t token,
@@ -90,29 +92,59 @@ void MflushPolicy::on_load_resolved(ThreadId tid, std::uint64_t token,
   }
 }
 
+bool MflushPolicy::quiescent() const {
+  if (!outstanding_.empty()) return false;
+  for (const bool g : gated_)
+    if (g) return false;  // an armed gate must be released by on_cycle
+  return true;
+}
+
+void MflushPolicy::save_state(ArchiveWriter& ar) const {
+  for (const McRegFile& file : mcreg_) {
+    ar.put_vec(file.samples);
+    ar.put(file.next);
+    ar.put(file.valid);
+  }
+  outstanding_.save(ar);
+  ar.put(flush_token_);
+  ar.put(gated_);
+  ar.put(counters_);
+}
+
+void MflushPolicy::load_state(ArchiveReader& ar) {
+  for (McRegFile& file : mcreg_) {
+    ar.get_vec(file.samples);
+    file.next = ar.get<std::uint32_t>();
+    file.valid = ar.get<std::uint32_t>();
+  }
+  outstanding_.load(ar);
+  flush_token_ = ar.get<decltype(flush_token_)>();
+  gated_ = ar.get<decltype(gated_)>();
+  counters_ = ar.get<Counters>();
+}
+
 void MflushPolicy::on_cycle(Cycle now, CoreControl& ctrl) {
   std::array<bool, kMaxContexts> suspicious{};
-  std::vector<std::pair<Cycle, std::uint64_t>> by_age;
+  by_age_.clear();
 
   const Cycle prev_threshold = cfg_.preventive_threshold();
-  for (const auto& [token, o] : outstanding_) {
+  for (const auto& [token, o] : outstanding_.entries()) {
     if (!o.l2_path) continue;  // only L2 accesses participate (Fig. 6)
     const Cycle age = now - o.issue;
     if (now > o.barrier_deadline && flush_token_[o.tid] == 0) {
-      by_age.emplace_back(o.issue, token);
+      by_age_.emplace_back(o.issue, token);
     } else if (age > prev_threshold) {
       suspicious[o.tid] = true;
     }
   }
-  std::sort(by_age.begin(), by_age.end());
-  std::vector<std::uint64_t> fire;
-  fire.reserve(by_age.size());
-  for (const auto& [issue, token] : by_age) fire.push_back(token);
+  std::sort(by_age_.begin(), by_age_.end());
+  fire_.clear();
+  for (const auto& [issue, token] : by_age_) fire_.push_back(token);
 
-  for (const std::uint64_t token : fire) {
-    const auto it = outstanding_.find(token);
-    if (it == outstanding_.end()) continue;
-    const ThreadId tid = it->second.tid;
+  for (const std::uint64_t token : fire_) {
+    const Outstanding* o = outstanding_.find(token);
+    if (o == nullptr) continue;
+    const ThreadId tid = o->tid;
     if (flush_token_[tid] != 0) continue;
     if (ctrl.flush_after_load(token)) {
       flush_token_[tid] = token;

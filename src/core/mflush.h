@@ -1,10 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/fetch_policy.h"
+#include "core/token_table.h"
 
 namespace mflush {
 
@@ -80,6 +81,13 @@ class MflushPolicy final : public FetchPolicy {
 
   [[nodiscard]] Counters counters() const override { return counters_; }
 
+  /// on_cycle fires barriers, evaluates suspicion, and accounts
+  /// Preventive-State cycles — all driven by tracked outstanding loads or
+  /// an armed gate. With neither, it is an exact no-op.
+  [[nodiscard]] bool quiescent() const override;
+  void save_state(ArchiveWriter& ar) const override;
+  void load_state(ArchiveReader& ar) override;
+
  private:
   struct Outstanding {
     ThreadId tid = 0;
@@ -98,10 +106,13 @@ class MflushPolicy final : public FetchPolicy {
 
   MflushConfig cfg_;
   std::vector<McRegFile> mcreg_;
-  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  TokenTable<Outstanding> outstanding_;
   std::array<std::uint64_t, kMaxContexts> flush_token_{};
   std::array<bool, kMaxContexts> gated_{};
   Counters counters_{};
+  // per-cycle scratch (kept across cycles so on_cycle never allocates)
+  std::vector<std::pair<Cycle, std::uint64_t>> by_age_;
+  std::vector<std::uint64_t> fire_;
 };
 
 }  // namespace mflush

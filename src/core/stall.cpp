@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/archive.h"
+
 namespace mflush {
 
 StallPolicy::StallPolicy(Cycle trigger)
@@ -21,20 +23,30 @@ void StallPolicy::on_load_resolved(ThreadId tid, std::uint64_t token,
   if (stall_token_[tid] == token) stall_token_[tid] = 0;
 }
 
+void StallPolicy::save_state(ArchiveWriter& ar) const {
+  outstanding_.save(ar);
+  ar.put(stall_token_);
+}
+
+void StallPolicy::load_state(ArchiveReader& ar) {
+  outstanding_.load(ar);
+  stall_token_ = ar.get<decltype(stall_token_)>();
+}
+
 void StallPolicy::on_cycle(Cycle now, CoreControl& ctrl) {
-  std::vector<std::pair<Cycle, std::uint64_t>> by_age;
-  for (const auto& [token, o] : outstanding_) {
+  by_age_.clear();
+  for (const auto& [token, o] : outstanding_.entries()) {
     if (stall_token_[o.tid] != 0) continue;
-    if (now >= o.issue + trigger_) by_age.emplace_back(o.issue, token);
+    if (now >= o.issue + trigger_) by_age_.emplace_back(o.issue, token);
   }
-  std::sort(by_age.begin(), by_age.end());
-  std::vector<std::uint64_t> fire;
-  fire.reserve(by_age.size());
-  for (const auto& [issue, token] : by_age) fire.push_back(token);
-  for (const std::uint64_t token : fire) {
-    const auto it = outstanding_.find(token);
-    if (it == outstanding_.end()) continue;
-    const ThreadId tid = it->second.tid;
+  if (by_age_.empty()) return;
+  std::sort(by_age_.begin(), by_age_.end());
+  fire_.clear();
+  for (const auto& [issue, token] : by_age_) fire_.push_back(token);
+  for (const std::uint64_t token : fire_) {
+    const Outstanding* o = outstanding_.find(token);
+    if (o == nullptr) continue;
+    const ThreadId tid = o->tid;
     if (stall_token_[tid] != 0) continue;
     if (ctrl.stall_until_load(token)) {
       stall_token_[tid] = token;

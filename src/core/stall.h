@@ -1,9 +1,11 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/fetch_policy.h"
+#include "core/token_table.h"
 
 namespace mflush {
 
@@ -34,6 +36,13 @@ class StallPolicy final : public FetchPolicy {
 
   [[nodiscard]] Cycle trigger() const noexcept { return trigger_; }
 
+  /// See FlushPolicy::quiescent — same no-op condition.
+  [[nodiscard]] bool quiescent() const override {
+    return outstanding_.empty();
+  }
+  void save_state(ArchiveWriter& ar) const override;
+  void load_state(ArchiveReader& ar) override;
+
  private:
   struct Outstanding {
     ThreadId tid = 0;
@@ -42,8 +51,11 @@ class StallPolicy final : public FetchPolicy {
 
   Cycle trigger_;
   std::string name_;
-  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  TokenTable<Outstanding> outstanding_;
   std::array<std::uint64_t, kMaxContexts> stall_token_{};
+  // per-cycle scratch (kept across cycles so on_cycle never allocates)
+  std::vector<std::pair<Cycle, std::uint64_t>> by_age_;
+  std::vector<std::uint64_t> fire_;
 };
 
 }  // namespace mflush

@@ -29,7 +29,7 @@ struct EnergyReport {
 /// Wasted units for a per-stage squash histogram: each squashed instruction
 /// contributes the accumulated factor of the deepest stage it reached.
 [[nodiscard]] double wasted_units(
-    const std::array<std::uint64_t, kNumPipeStages>& squashed_by_stage) noexcept;
+    const std::array<std::uint64_t, kNumPipeStages>& by_stage) noexcept;
 
 /// Build the report for one core's statistics.
 [[nodiscard]] EnergyReport report_for(const CoreStats& stats) noexcept;

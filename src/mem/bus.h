@@ -4,6 +4,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/types.h"
 
 namespace mflush {
@@ -28,6 +29,39 @@ class SharedBus {
   void tick(Cycle now, std::vector<std::uint64_t>& delivered);
 
   [[nodiscard]] std::size_t queued() const noexcept;
+
+  /// Next cycle at which tick() changes state (delivery or a new grant);
+  /// kNeverCycle when idle with empty queues.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const noexcept {
+    Cycle e = kNeverCycle;
+    if (!in_flight_.empty()) e = in_flight_.front().arrives;
+    for (const auto& q : per_core_) {
+      if (!q.empty()) {
+        const Cycle grant = busy_until_ > now + 1 ? busy_until_ : now + 1;
+        if (grant < e) e = grant;
+        break;
+      }
+    }
+    return e;
+  }
+
+  void save(ArchiveWriter& ar) const {
+    for (const auto& q : per_core_) ar.put_deque(q);
+    ar.put(rr_next_);
+    ar.put(busy_until_);
+    ar.put_deque(in_flight_);
+    ar.put(transfers_);
+    ar.put(queue_wait_cycles_);
+  }
+  void load(ArchiveReader& ar) {
+    for (auto& q : per_core_) ar.get_deque(q);
+    rr_next_ = ar.get<std::uint32_t>();
+    busy_until_ = ar.get<Cycle>();
+    ar.get_deque(in_flight_);
+    transfers_ = ar.get<std::uint64_t>();
+    queue_wait_cycles_ = ar.get<std::uint64_t>();
+  }
+
   [[nodiscard]] std::uint64_t transfers() const noexcept { return transfers_; }
   [[nodiscard]] std::uint64_t queue_wait_cycles() const noexcept {
     return queue_wait_cycles_;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/types.h"
 
 namespace mflush {
@@ -57,6 +58,19 @@ class SetAssocCache {
   void reset_stats() noexcept {
     hits_ = 0;
     misses_ = 0;
+  }
+
+  void save(ArchiveWriter& ar) const {
+    ar.put_vec(lines_);
+    ar.put(tick_);
+    ar.put(hits_);
+    ar.put(misses_);
+  }
+  void load(ArchiveReader& ar) {
+    ar.get_vec(lines_);
+    tick_ = ar.get<std::uint64_t>();
+    hits_ = ar.get<std::uint64_t>();
+    misses_ = ar.get<std::uint64_t>();
   }
 
  private:

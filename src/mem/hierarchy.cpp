@@ -1,5 +1,6 @@
 #include "mem/hierarchy.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace mflush {
@@ -72,7 +73,7 @@ std::uint64_t MemoryHierarchy::request_load(CoreId core, ThreadId tid,
   r.issue = now;
   r.ready_at = now + cfg_.mem.l1_latency + penalty;
   r.order = next_order_++;
-  l1_pipe_.push(r);
+  l1_wheel_.schedule(r.ready_at, now, r);
   return r.token;
 }
 
@@ -93,7 +94,7 @@ void MemoryHierarchy::request_store(CoreId core, ThreadId tid, Addr addr,
   r.issue = now;
   r.ready_at = now + cfg_.mem.l1_latency + penalty;
   r.order = next_order_++;
-  l1_pipe_.push(r);
+  l1_wheel_.schedule(r.ready_at, now, r);
 }
 
 std::optional<std::uint64_t> MemoryHierarchy::request_ifetch(CoreId core,
@@ -113,7 +114,7 @@ std::optional<std::uint64_t> MemoryHierarchy::request_ifetch(CoreId core,
     r.issue = now;
     r.ready_at = now + cfg_.mem.tlb_miss_penalty;
     r.order = next_order_++;
-    l1_pipe_.push(r);
+    l1_wheel_.schedule(r.ready_at, now, r);
     return r.token;
   }
   // The 3-cycle L1I pipeline is folded into the front-end fetch stages, so
@@ -135,7 +136,8 @@ std::optional<std::uint64_t> MemoryHierarchy::request_ifetch(CoreId core,
 }
 
 void MemoryHierarchy::process_l1(const Req& r, Cycle now) {
-  SetAssocCache& cache = r.kind == MemKind::IFetch ? l1i_[r.core] : l1d_[r.core];
+  SetAssocCache& cache =
+      r.kind == MemKind::IFetch ? l1i_[r.core] : l1d_[r.core];
   const bool hit = cache.access(r.addr, r.kind == MemKind::Store);
   if (hit) {
     if (r.kind != MemKind::Store) {
@@ -212,7 +214,8 @@ void MemoryHierarchy::complete_line_fetch(std::uint64_t payload, Cycle now,
       if (w.kind == MemKind::Store) dirty = true;
     SetAssocCache& cache = f.is_ifetch ? l1i_[f.core] : l1d_[f.core];
     const EvictInfo ev = cache.fill(f.line, dirty);
-    if (ev.evicted && ev.victim_dirty) push_writeback(f.core, ev.victim_line, now);
+    if (ev.evicted && ev.victim_dirty)
+      push_writeback(f.core, ev.victim_line, now);
     const std::uint32_t bank = l2_.bank_of(f.line);
     for (const auto& w : waiters) {
       if (w.kind != MemKind::Store) {
@@ -247,11 +250,18 @@ void MemoryHierarchy::tick(Cycle now) {
     complete_line_fetch(payload, now, /*l2_hit=*/false);
   }
 
-  // 2) L1 pipeline (loads/stores after their 3-cycle access + TLB walks)
-  while (!l1_pipe_.empty() && l1_pipe_.top().ready_at <= now) {
-    const Req r = l1_pipe_.top();
-    l1_pipe_.pop();
-    process_l1(r, now);
+  // 2) L1 pipeline (loads/stores after their 3-cycle access + TLB walks).
+  // The wheel hands back this cycle's bucket; restore the old heap's exact
+  // (ready_at, order) processing order over the small due batch.
+  scratch_l1_due_.clear();
+  l1_wheel_.pop_due(now, scratch_l1_due_);
+  if (!scratch_l1_due_.empty()) {
+    std::sort(scratch_l1_due_.begin(), scratch_l1_due_.end(),
+              [](const Req& a, const Req& b) {
+                return a.ready_at != b.ready_at ? a.ready_at < b.ready_at
+                                                : a.order < b.order;
+              });
+    for (const Req& r : scratch_l1_due_) process_l1(r, now);
   }
 
   // 3) retry accesses that found the MSHR full (slots may have freed above)
@@ -293,6 +303,82 @@ void MemoryHierarchy::tick(Cycle now) {
       memory_.start_read(r.payload, now);
     }
   }
+}
+
+Cycle MemoryHierarchy::next_event_cycle(Cycle now) const {
+  // Buffered, not-yet-drained events mean the cores must tick next cycle.
+  for (CoreId c = 0; c < completions_.size(); ++c) {
+    if (!completions_[c].empty() || !l2_events_[c].empty() ||
+        !l2_miss_events_[c].empty())
+      return now + 1;
+  }
+  // A full MSHR retry queue polls every tick.
+  for (const auto& q : mshr_overflow_)
+    if (!q.empty()) return now + 1;
+
+  Cycle e = memory_.next_event_cycle();
+  e = std::min(e, bus_.next_event_cycle(now));
+  e = std::min(e, l2_.next_event_cycle(now));
+  // now + 1 is the floor; skip the O(span) wheel scan once it is reached.
+  if (e > now + 1 && !l1_wheel_.empty())
+    e = std::min(e, l1_wheel_.next_due());
+  return e;
+}
+
+void MemoryHierarchy::save_state(ArchiveWriter& ar) const {
+  for (const SetAssocCache& c : l1i_) c.save(ar);
+  for (const SetAssocCache& c : l1d_) c.save(ar);
+  for (const Tlb& t : itlb_) t.save(ar);
+  for (const Tlb& t : dtlb_) t.save(ar);
+  for (const Mshr& m : mshr_) m.save(ar);
+  bus_.save(ar);
+  l2_.save(ar);
+  memory_.save(ar);
+  l1_wheel_.save(ar);
+  for (const auto& q : mshr_overflow_) ar.put_deque(q);
+  ar.put_vec(fetch_pool_);
+  ar.put_vec(fetch_free_);
+  for (const auto& v : completions_) ar.put_vec(v);
+  for (const auto& v : l2_events_) ar.put_vec(v);
+  for (const auto& v : l2_miss_events_) ar.put_vec(v);
+  ar.put(next_token_);
+  ar.put(next_order_);
+  ar.put(stats_.loads);
+  ar.put(stats_.stores);
+  ar.put(stats_.ifetches);
+  ar.put(stats_.dtlb_misses);
+  ar.put(stats_.itlb_misses);
+  ar.put(stats_.l1_writebacks);
+  stats_.l2_load_hit_time.save(ar);
+  stats_.l2_load_miss_time.save(ar);
+}
+
+void MemoryHierarchy::load_state(ArchiveReader& ar) {
+  for (SetAssocCache& c : l1i_) c.load(ar);
+  for (SetAssocCache& c : l1d_) c.load(ar);
+  for (Tlb& t : itlb_) t.load(ar);
+  for (Tlb& t : dtlb_) t.load(ar);
+  for (Mshr& m : mshr_) m.load(ar);
+  bus_.load(ar);
+  l2_.load(ar);
+  memory_.load(ar);
+  l1_wheel_.load(ar);
+  for (auto& q : mshr_overflow_) ar.get_deque(q);
+  ar.get_vec(fetch_pool_);
+  ar.get_vec(fetch_free_);
+  for (auto& v : completions_) ar.get_vec(v);
+  for (auto& v : l2_events_) ar.get_vec(v);
+  for (auto& v : l2_miss_events_) ar.get_vec(v);
+  next_token_ = ar.get<std::uint64_t>();
+  next_order_ = ar.get<std::uint64_t>();
+  stats_.loads = ar.get<std::uint64_t>();
+  stats_.stores = ar.get<std::uint64_t>();
+  stats_.ifetches = ar.get<std::uint64_t>();
+  stats_.dtlb_misses = ar.get<std::uint64_t>();
+  stats_.itlb_misses = ar.get<std::uint64_t>();
+  stats_.l1_writebacks = ar.get<std::uint64_t>();
+  stats_.l2_load_hit_time.load(ar);
+  stats_.l2_load_miss_time.load(ar);
 }
 
 void MemoryHierarchy::reset_stats() {

@@ -3,12 +3,13 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <queue>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/config.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "common/wheel.h"
 #include "mem/bus.h"
 #include "mem/cache.h"
 #include "mem/l2.h"
@@ -103,6 +104,15 @@ class MemoryHierarchy {
   [[nodiscard]] const MemStats& stats() const noexcept { return stats_; }
   void reset_stats();
 
+  /// Earliest future cycle at which tick() can change any state or deliver
+  /// any completion; kNeverCycle when the whole hierarchy is drained. When
+  /// every core is also skippable, the chip may jump straight here.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
+
+  /// Snapshot support: serialize/restore all mutable hierarchy state.
+  void save_state(ArchiveWriter& ar) const;
+  void load_state(ArchiveReader& ar);
+
   /// Warm-start support: install a line into the L2 tag array directly
   /// (no timing, no traffic). The scaled-down simulation windows are far
   /// shorter than the paper's 120 M cycles, so resident working sets are
@@ -127,10 +137,7 @@ class MemoryHierarchy {
     std::uint64_t token = 0;
     Cycle issue = 0;
     Cycle ready_at = 0;
-    std::uint64_t order = 0;  ///< deterministic heap tie-break
-    bool operator>(const Req& o) const noexcept {
-      return ready_at != o.ready_at ? ready_at > o.ready_at : order > o.order;
-    }
+    std::uint64_t order = 0;  ///< deterministic same-cycle tie-break
   };
 
   /// One line-granular transaction on the L2 path.
@@ -160,7 +167,10 @@ class MemoryHierarchy {
   L2Cache l2_;
   MainMemory memory_;
 
-  std::priority_queue<Req, std::vector<Req>, std::greater<>> l1_pipe_;
+  /// L1 pipeline / TLB-walk delay line, bucketed by ready_at. Sized past
+  /// l1_latency + tlb_miss_penalty so the far queue stays empty with
+  /// paper-default latencies.
+  WakeupWheel<Req> l1_wheel_{1024};
   std::vector<std::deque<Req>> mshr_overflow_;  ///< per core, retried in tick
 
   std::vector<LineFetch> fetch_pool_;
@@ -174,6 +184,7 @@ class MemoryHierarchy {
   std::vector<std::uint64_t> scratch_mem_done_;
   std::vector<L2ServiceResult> scratch_l2_done_;
   std::vector<std::uint64_t> scratch_bus_done_;
+  std::vector<Req> scratch_l1_due_;
 
   std::uint64_t next_token_ = 1;
   std::uint64_t next_order_ = 0;

@@ -4,6 +4,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/types.h"
 #include "mem/cache.h"
 
@@ -62,6 +63,42 @@ class L2Cache {
     return banks_[bank].queue.size();
   }
   void reset_stats() noexcept;
+
+  /// Next cycle at which tick() changes state. A busy bank means every
+  /// cycle (per-cycle occupancy accounting), so the event kernel only
+  /// skips over fully idle banks.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const noexcept {
+    for (const Bank& b : banks_)
+      if (b.busy || !b.queue.empty()) return now + 1;
+    return kNeverCycle;
+  }
+
+  void save(ArchiveWriter& ar) const {
+    for (const SetAssocCache& s : slices_) s.save(ar);
+    for (const Bank& b : banks_) {
+      ar.put_deque(b.queue);
+      ar.put(b.current);
+      ar.put(b.done_at);
+      ar.put(b.busy);
+    }
+    ar.put(hits_);
+    ar.put(misses_);
+    ar.put(writebacks_);
+    ar.put(busy_cycles_);
+  }
+  void load(ArchiveReader& ar) {
+    for (SetAssocCache& s : slices_) s.load(ar);
+    for (Bank& b : banks_) {
+      ar.get_deque(b.queue);
+      b.current = ar.get<BankRequest>();
+      b.done_at = ar.get<Cycle>();
+      b.busy = ar.get<bool>();
+    }
+    hits_ = ar.get<std::uint64_t>();
+    misses_ = ar.get<std::uint64_t>();
+    writebacks_ = ar.get<std::uint64_t>();
+    busy_cycles_ = ar.get<std::uint64_t>();
+  }
 
  private:
   struct BankRequest {

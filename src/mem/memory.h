@@ -1,21 +1,26 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
+#include <deque>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/types.h"
 
 namespace mflush {
 
 /// Main memory: fixed 250-cycle latency, fully pipelined (Fig. 1).
+///
+/// The fixed latency makes completion times monotone in issue order, so
+/// in-flight reads are a plain FIFO: start_read appends, tick pops the
+/// front while due — no priority queue, no per-operation log factor.
 class MainMemory {
  public:
   explicit MainMemory(std::uint32_t latency) : latency_(latency) {}
 
   /// Start a read; the payload pops out of `tick` after `latency` cycles.
   void start_read(std::uint64_t payload, Cycle now) {
-    in_flight_.push(Pending{now + latency_, seq_++, payload});
+    in_flight_.push_back(Pending{now + latency_, payload});
     ++reads_;
   }
 
@@ -23,10 +28,16 @@ class MainMemory {
   void start_write() noexcept { ++writes_; }
 
   void tick(Cycle now, std::vector<std::uint64_t>& done) {
-    while (!in_flight_.empty() && in_flight_.top().done_at <= now) {
-      done.push_back(in_flight_.top().payload);
-      in_flight_.pop();
+    while (!in_flight_.empty() && in_flight_.front().done_at <= now) {
+      done.push_back(in_flight_.front().payload);
+      in_flight_.pop_front();
     }
+  }
+
+  /// Next cycle at which tick() will deliver anything; kNeverCycle when
+  /// nothing is in flight. Feeds the event kernel's idle skip.
+  [[nodiscard]] Cycle next_event_cycle() const noexcept {
+    return in_flight_.empty() ? kNeverCycle : in_flight_.front().done_at;
   }
 
   [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
@@ -39,20 +50,25 @@ class MainMemory {
     writes_ = 0;
   }
 
+  void save(ArchiveWriter& ar) const {
+    ar.put_deque(in_flight_);
+    ar.put(reads_);
+    ar.put(writes_);
+  }
+  void load(ArchiveReader& ar) {
+    ar.get_deque(in_flight_);
+    reads_ = ar.get<std::uint64_t>();
+    writes_ = ar.get<std::uint64_t>();
+  }
+
  private:
   struct Pending {
     Cycle done_at;
-    std::uint64_t order;  ///< FIFO tie-break for determinism
     std::uint64_t payload;
-    bool operator>(const Pending& o) const noexcept {
-      return done_at != o.done_at ? done_at > o.done_at : order > o.order;
-    }
   };
 
   std::uint32_t latency_;
-  std::priority_queue<Pending, std::vector<Pending>, std::greater<>>
-      in_flight_;
-  std::uint64_t seq_ = 0;
+  std::deque<Pending> in_flight_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
 };

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/types.h"
 
 namespace mflush {
@@ -66,6 +67,27 @@ class Mshr {
   }
   [[nodiscard]] std::uint64_t alloc_failures() const noexcept {
     return alloc_failures_;
+  }
+
+  void save(ArchiveWriter& ar) const {
+    for (const Entry& e : entries_) {
+      ar.put(e.line);
+      ar.put_vec(e.waiters);
+      ar.put(e.valid);
+      ar.put(e.miss_known);
+    }
+    ar.put(live_);
+    ar.put(alloc_failures_);
+  }
+  void load(ArchiveReader& ar) {
+    for (Entry& e : entries_) {
+      e.line = ar.get<Addr>();
+      ar.get_vec(e.waiters);
+      e.valid = ar.get<bool>();
+      e.miss_known = ar.get<bool>();
+    }
+    live_ = ar.get<std::uint32_t>();
+    alloc_failures_ = ar.get<std::uint64_t>();
   }
 
  private:

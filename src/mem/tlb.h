@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/types.h"
 
 namespace mflush {
@@ -26,6 +27,25 @@ class Tlb {
   void reset_stats() noexcept {
     hits_ = 0;
     misses_ = 0;
+  }
+
+  void save(ArchiveWriter& ar) const {
+    ar.put_vec(nodes_);
+    ar.put_map(map_);
+    ar.put(head_);
+    ar.put(tail_);
+    ar.put(used_);
+    ar.put(hits_);
+    ar.put(misses_);
+  }
+  void load(ArchiveReader& ar) {
+    ar.get_vec(nodes_);
+    ar.get_map(map_);
+    head_ = ar.get<std::uint32_t>();
+    tail_ = ar.get<std::uint32_t>();
+    used_ = ar.get<std::uint32_t>();
+    hits_ = ar.get<std::uint64_t>();
+    misses_ = ar.get<std::uint64_t>();
   }
 
  private:

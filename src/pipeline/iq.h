@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/archive.h"
 #include "pipeline/uop.h"
 
 namespace mflush {
@@ -34,6 +35,9 @@ class IssueQueue {
   /// Count of entries belonging to `tid` (ICOUNT bookkeeping checks).
   [[nodiscard]] std::uint32_t count_for(const UopPool& pool,
                                         ThreadId tid) const;
+
+  void save(ArchiveWriter& ar) const { ar.put_vec(entries_); }
+  void load(ArchiveReader& ar) { ar.get_vec(entries_); }
 
  private:
   std::vector<UopHandle> entries_;

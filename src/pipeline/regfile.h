@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/types.h"
 
 namespace mflush {
@@ -32,6 +33,17 @@ class PhysRegFile {
 
   [[nodiscard]] std::uint32_t size() const noexcept {
     return static_cast<std::uint32_t>(ready_.size());
+  }
+
+  void save(ArchiveWriter& ar) const {
+    ar.put_vec(ready_);
+    ar.put_vec(free_);
+    ar.put_vec(allocated_);
+  }
+  void load(ArchiveReader& ar) {
+    ar.get_vec(ready_);
+    ar.get_vec(free_);
+    ar.get_vec(allocated_);
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/archive.h"
 #include "common/types.h"
 #include "pipeline/regfile.h"
 
@@ -35,6 +36,9 @@ class RenameMap {
 
   /// Commit: the previous mapping is dead, free it.
   void commit_release(LogReg dst, PhysReg previous);
+
+  void save(ArchiveWriter& ar) const { ar.put(map_); }
+  void load(ArchiveReader& ar) { map_ = ar.get<decltype(map_)>(); }
 
  private:
   [[nodiscard]] PhysRegFile& file_for(LogReg r) noexcept {

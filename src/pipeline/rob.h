@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/archive.h"
 #include "pipeline/uop.h"
 
 namespace mflush {
@@ -27,6 +28,17 @@ class Rob {
   /// i-th oldest entry, 0-based.
   [[nodiscard]] UopHandle at(std::uint32_t i) const noexcept {
     return buf_[(head_ + i) % cap_];
+  }
+
+  void save(ArchiveWriter& ar) const {
+    ar.put_vec(buf_);
+    ar.put(head_);
+    ar.put(size_);
+  }
+  void load(ArchiveReader& ar) {
+    ar.get_vec(buf_);
+    head_ = ar.get<std::uint32_t>();
+    size_ = ar.get<std::uint32_t>();
   }
 
  private:

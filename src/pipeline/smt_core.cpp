@@ -41,7 +41,9 @@ SmtCore::SmtCore(CoreId id, const SimConfig& cfg, MemoryHierarchy& mem,
   preissue_.assign(n, 0);
   inflight_ctrl_.assign(n, 0);
   inflight_dmiss_.assign(n, 0);
-  exec_list_.reserve(128);
+  scratch_due_.reserve(128);
+  scratch_ready_.reserve(128);
+  lsq_unissued_.reserve(cfg.core.mem_queue_entries);
 }
 
 IssueQueue& SmtCore::queue_for(InstrClass cls) noexcept {
@@ -93,7 +95,7 @@ bool SmtCore::all_threads_stalled() const {
   // Early-exit precondition: pipeline fully drained, every context
   // hard-blocked (I-cache wait or policy stall — states only a memory
   // completion can clear), and the hierarchy delivered nothing this cycle.
-  if (!exec_list_.empty()) return false;
+  if (exec_live_ != 0) return false;
   if (!mem_.completions(id_).empty() || !mem_.l2_events(id_).empty() ||
       !mem_.l2_miss_events(id_).empty())
     return false;
@@ -102,6 +104,10 @@ bool SmtCore::all_threads_stalled() const {
     if (!frontend_[t].empty() || !rob_[t].empty()) return false;
   }
   return true;
+}
+
+bool SmtCore::skippable() const {
+  return all_threads_stalled() && policy_->quiescent();
 }
 
 // ---------------------------------------------------------------------------
@@ -201,9 +207,20 @@ void SmtCore::do_commit(Cycle now) {
 // ---------------------------------------------------------------------------
 
 void SmtCore::do_writeback(Cycle now) {
+  // Pop this cycle's wheel bucket instead of scanning every in-flight uop.
+  // Entries whose uop was squashed (and possibly re-allocated) since
+  // scheduling are stale: the generation check discards them — their
+  // exec_live_ share was already released at squash time.
+  scratch_due_.clear();
+  exec_wheel_.pop_due(now, scratch_due_);
   scratch_ready_.clear();
-  for (const UopHandle h : exec_list_)
-    if (pool_[h].ready_at <= now) scratch_ready_.push_back(h);
+  for (const ExecEntry& e : scratch_due_) {
+    const MicroOp& u = pool_[e.h];
+    if (pool_.generation(e.h) != e.gen || !u.in_use || !u.issued ||
+        u.completed)
+      continue;
+    scratch_ready_.push_back(e.h);
+  }
   if (scratch_ready_.empty()) return;
 
   // Resolve oldest-first per thread so an older mispredicted branch squashes
@@ -226,7 +243,8 @@ void SmtCore::do_writeback(Cycle now) {
     }
     if (u.is_load()) iq_mem_.remove(h);  // wrong-path loads complete locally
     if (u.is_control() && inflight_ctrl_[u.tid] > 0) --inflight_ctrl_[u.tid];
-    std::erase(exec_list_, h);
+    assert(exec_live_ > 0);
+    --exec_live_;
 
     if (u.is_control() && !u.wrong_path) {
       ++stats_.branches_resolved;
@@ -273,7 +291,8 @@ void SmtCore::do_issue(Cycle now) {
       u.issued = true;
       u.stage = PipeStage::Queue;  // occupancy_stage maps issued->Execute
       u.ready_at = now + FuBudget::latency(cfg_.core, u.ins.cls);
-      exec_list_.push_back(h);
+      exec_wheel_.schedule(u.ready_at, now, {h, pool_.generation(h)});
+      ++exec_live_;
       scratch_issue_.push_back(h);
       assert(preissue_[u.tid] > 0);
       --preissue_[u.tid];
@@ -283,15 +302,17 @@ void SmtCore::do_issue(Cycle now) {
     for (const UopHandle h : scratch_issue_) q->remove(h);
   }
 
-  // Memory queue: loads issue to the hierarchy but keep their entry until
-  // the data returns (stores wait for commit).
-  for (const UopHandle h : iq_mem_.entries()) {
+  // Memory queue: loads issue to the hierarchy but keep their LSQ entry
+  // until the data returns (stores wait for commit), so selection walks
+  // the age-ordered unissued-load list rather than the whole queue.
+  bool any_load_issued = false;
+  for (const UopHandle h : lsq_unissued_) {
     if (width == 0) break;
     MicroOp& u = pool_[h];
-    if (u.issued || !u.is_load()) continue;
     if (!ready(u)) continue;
     if (!fu_.try_take(InstrClass::Load)) break;
     u.issued = true;
+    any_load_issued = true;
     assert(preissue_[u.tid] > 0);
     --preissue_[u.tid];
     ++stats_.instructions_issued;
@@ -300,9 +321,11 @@ void SmtCore::do_issue(Cycle now) {
       // Wrong-path loads never touch the hierarchy (paper methodology):
       // they complete locally after the L1 hit latency.
       u.ready_at = now + cfg_.mem.l1_latency;
-      exec_list_.push_back(h);
+      exec_wheel_.schedule(u.ready_at, now, {h, pool_.generation(h)});
+      ++exec_live_;
     } else {
-      const std::uint64_t token = mem_.request_load(id_, u.tid, u.ins.eff_addr, now);
+      const std::uint64_t token =
+          mem_.request_load(id_, u.tid, u.ins.eff_addr, now);
       u.mem_token = token;
       load_by_token_.emplace(token, h);
       ++stats_.loads_issued;
@@ -310,6 +333,9 @@ void SmtCore::do_issue(Cycle now) {
                               now);
     }
   }
+  if (any_load_issued)
+    std::erase_if(lsq_unissued_,
+                  [this](UopHandle h) { return pool_[h].issued; });
 }
 
 // ---------------------------------------------------------------------------
@@ -363,6 +389,7 @@ void SmtCore::do_dispatch(Cycle now) {
       u.stage = PipeStage::Queue;
       rob_[t].push_back(h);
       q.insert(h);
+      if (&q == &iq_mem_ && u.is_load()) lsq_unissued_.push_back(h);
       ++preissue_[t];
       frontend_[t].pop_front();
       --width;
@@ -535,8 +562,17 @@ void SmtCore::remove_squashed_uop(UopHandle h, SquashCause cause, Cycle now) {
     if (was_in_q && !u.issued) {
       assert(preissue_[u.tid] > 0);
       --preissue_[u.tid];
+      if (u.is_load()) std::erase(lsq_unissued_, h);
     }
-    if (u.issued && !u.completed) std::erase(exec_list_, h);
+    // Issued-but-incomplete uops with no hierarchy token live on the exec
+    // wheel (right-path loads wait on the hierarchy instead). Their wheel
+    // entry stays behind as a stale slot — the generation check in
+    // do_writeback discards it — but the live count drops now so the
+    // all-threads-stalled early exit stays exact.
+    if (u.issued && !u.completed && u.mem_token == 0) {
+      assert(exec_live_ > 0);
+      --exec_live_;
+    }
     if (u.mem_token != 0) {
       load_by_token_.erase(u.mem_token);
       u.mem_token = 0;
@@ -616,6 +652,93 @@ bool SmtCore::stall_until_load(std::uint64_t mem_token) {
 
 void SmtCore::set_fetch_gate(ThreadId tid, bool gated) {
   fstate_[tid].gated = gated;
+}
+
+// ---------------------------------------------------------------------------
+// snapshot support
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void save_fetch_state(ArchiveWriter& ar, const ThreadFetchState& fs) {
+  ar.put(fs.next_seq);
+  ar.put(fs.wrong_path);
+  ar.put(fs.wp_base);
+  ar.put(fs.wp_k);
+  ar.put(fs.last_fetch_line);
+  ar.put(fs.icache_wait);
+  ar.put(fs.icache_token);
+  ar.put(fs.gated);
+  ar.put_vec(fs.stall_tokens);
+  ar.put(fs.next_local_order);
+}
+
+void load_fetch_state(ArchiveReader& ar, ThreadFetchState& fs) {
+  fs.next_seq = ar.get<SeqNo>();
+  fs.wrong_path = ar.get<bool>();
+  fs.wp_base = ar.get<Addr>();
+  fs.wp_k = ar.get<std::uint64_t>();
+  fs.last_fetch_line = ar.get<Addr>();
+  fs.icache_wait = ar.get<bool>();
+  fs.icache_token = ar.get<std::uint64_t>();
+  fs.gated = ar.get<bool>();
+  ar.get_vec(fs.stall_tokens);
+  fs.next_local_order = ar.get<std::uint64_t>();
+}
+
+}  // namespace
+
+void SmtCore::save_state(ArchiveWriter& ar) const {
+  static_assert(std::is_trivially_copyable_v<CoreStats>);
+  ar.put(stats_);
+  ar.put(now_);
+  for (std::size_t t = 0; t < fstate_.size(); ++t) {
+    save_fetch_state(ar, fstate_[t]);
+    ar.put_deque(frontend_[t]);
+    rename_[t].save(ar);
+    rob_[t].save(ar);
+  }
+  ar.put_vec(preissue_);
+  ar.put_vec(inflight_ctrl_);
+  ar.put_vec(inflight_dmiss_);
+  int_regs_.save(ar);
+  fp_regs_.save(ar);
+  iq_int_.save(ar);
+  iq_fp_.save(ar);
+  iq_mem_.save(ar);
+  pool_.save(ar);
+  exec_wheel_.save(ar);
+  ar.put(exec_live_);
+  ar.put_vec(lsq_unissued_);
+  ar.put_map(load_by_token_);
+  branch_.save(ar);
+  policy_->save_state(ar);
+}
+
+void SmtCore::load_state(ArchiveReader& ar) {
+  stats_ = ar.get<CoreStats>();
+  now_ = ar.get<Cycle>();
+  for (std::size_t t = 0; t < fstate_.size(); ++t) {
+    load_fetch_state(ar, fstate_[t]);
+    ar.get_deque(frontend_[t]);
+    rename_[t].load(ar);
+    rob_[t].load(ar);
+  }
+  ar.get_vec(preissue_);
+  ar.get_vec(inflight_ctrl_);
+  ar.get_vec(inflight_dmiss_);
+  int_regs_.load(ar);
+  fp_regs_.load(ar);
+  iq_int_.load(ar);
+  iq_fp_.load(ar);
+  iq_mem_.load(ar);
+  pool_.load(ar);
+  exec_wheel_.load(ar);
+  exec_live_ = ar.get<std::uint32_t>();
+  ar.get_vec(lsq_unissued_);
+  ar.get_map(load_by_token_);
+  branch_.load(ar);
+  policy_->load_state(ar);
 }
 
 }  // namespace mflush

@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "branch/unit.h"
+#include "common/archive.h"
 #include "common/config.h"
 #include "common/types.h"
+#include "common/wheel.h"
 #include "core/fetch_policy.h"
 #include "mem/hierarchy.h"
 #include "pipeline/frontend.h"
@@ -76,6 +78,22 @@ class SmtCore final : public CoreControl {
           std::vector<TraceSource*> traces);
 
   void tick(Cycle now);
+
+  /// True when ticking this core is a guaranteed no-op until a memory
+  /// completion arrives: pipeline drained, every context hard-blocked, and
+  /// the policy's per-cycle heartbeat declared quiescent. The chip-level
+  /// event skip (CmpSimulator::run) may then jump to the hierarchy's next
+  /// scheduled event, crediting the skipped cycles via advance_idle().
+  [[nodiscard]] bool skippable() const;
+
+  /// Account `cycles` idle cycles skipped by the event kernel (equivalent
+  /// to that many early-exit ticks, which only incremented the counter).
+  void advance_idle(Cycle cycles) noexcept { stats_.cycles += cycles; }
+
+  /// Snapshot support: serialize/restore all mutable core state (including
+  /// the policy's). The core must have been built from the same config.
+  void save_state(ArchiveWriter& ar) const;
+  void load_state(ArchiveReader& ar);
 
   // CoreControl (policy response actions)
   bool flush_after_load(std::uint64_t mem_token) override;
@@ -162,9 +180,22 @@ class SmtCore final : public CoreControl {
   std::vector<std::uint32_t> inflight_ctrl_;   ///< BRCOUNT metric
   std::vector<std::uint32_t> inflight_dmiss_;  ///< L1DMISSCOUNT metric
 
-  std::vector<UopHandle> exec_list_;  ///< issued, completing at ready_at
+  /// A scheduled execution completion. The generation detects entries whose
+  /// uop was squashed and whose pool slot was re-allocated before the
+  /// wheel bucket came around again.
+  struct ExecEntry {
+    UopHandle h;
+    std::uint32_t gen;
+  };
+  WakeupWheel<ExecEntry> exec_wheel_{64};  ///< issued, completing at ready_at
+  std::uint32_t exec_live_ = 0;  ///< wheel entries whose uop is still live
+  /// Not-yet-issued loads of the mem queue, in age order. The issue stage
+  /// selects from this instead of rescanning the whole LSQ (whose entries
+  /// are mostly issued loads awaiting data and stores awaiting commit).
+  std::vector<UopHandle> lsq_unissued_;
   std::unordered_map<std::uint64_t, UopHandle> load_by_token_;
 
+  std::vector<ExecEntry> scratch_due_;
   std::vector<UopHandle> scratch_ready_;
   std::vector<UopHandle> scratch_issue_;
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "branch/unit.h"
+#include "common/archive.h"
 #include "common/types.h"
 #include "trace/instr.h"
 
@@ -53,10 +54,15 @@ struct MicroOp {
 };
 
 /// Fixed pool of micro-ops with a free list (no allocation in steady state).
+///
+/// Each slot carries an allocation generation so stale handles (e.g. wakeup
+/// wheel entries whose uop was squashed and whose slot was re-allocated) can
+/// be detected and discarded instead of acting on the wrong instruction.
 class UopPool {
  public:
   explicit UopPool(std::size_t capacity) {
     pool_.resize(capacity);
+    gen_.assign(capacity, 0);
     free_.reserve(capacity);
     for (std::size_t i = capacity; i > 0; --i)
       free_.push_back(static_cast<UopHandle>(i - 1));
@@ -66,12 +72,14 @@ class UopPool {
     UopHandle h;
     if (free_.empty()) {
       pool_.emplace_back();
+      gen_.push_back(0);
       h = static_cast<UopHandle>(pool_.size() - 1);
     } else {
       h = free_.back();
       free_.pop_back();
       pool_[h] = MicroOp{};
     }
+    ++gen_[h];
     pool_[h].in_use = true;
     return h;
   }
@@ -88,9 +96,25 @@ class UopPool {
   [[nodiscard]] std::size_t live() const noexcept {
     return pool_.size() - free_.size();
   }
+  [[nodiscard]] std::uint32_t generation(UopHandle h) const noexcept {
+    return gen_[h];
+  }
+
+  void save(ArchiveWriter& ar) const {
+    static_assert(std::is_trivially_copyable_v<MicroOp>);
+    ar.put_vec(pool_);
+    ar.put_vec(gen_);
+    ar.put_vec(free_);
+  }
+  void load(ArchiveReader& ar) {
+    ar.get_vec(pool_);
+    ar.get_vec(gen_);
+    ar.get_vec(free_);
+  }
 
  private:
   std::vector<MicroOp> pool_;
+  std::vector<std::uint32_t> gen_;  ///< bumped per alloc of the slot
   std::vector<UopHandle> free_;
 };
 

@@ -86,7 +86,8 @@ CmpSimulator::CmpSimulator(const std::vector<BenchmarkProfile>& profiles,
         return cfg;
       }()),
       policy_(policy),
-      mem_(cfg_) {
+      mem_(cfg_),
+      profile_built_(true) {
   workload_.name = "custom";
   for (const auto& p : profiles)
     workload_.codes.push_back(p.code == '?' ? 'a' : p.code);
@@ -99,12 +100,46 @@ void CmpSimulator::run(Cycle cycles) {
     ++now_;
     mem_.tick(now_);
     for (auto& core : cores_) core->tick(now_);
+    if (now_ >= end) break;
+
+    // Event skip: when every core's next tick is a provable no-op, jump
+    // the clock to the hierarchy's next scheduled event. Skipped cycles
+    // are credited to the per-core cycle counters, which is all a
+    // quiescent tick would have done.
+    bool idle = true;
+    for (const auto& core : cores_) idle &= core->skippable();
+    if (!idle) continue;
+    const Cycle event = mem_.next_event_cycle(now_);
+    // kNeverCycle (a fully inert chip) skips to the end of the interval.
+    const Cycle target = event < end ? event : end;
+    if (target > now_ + 1) {
+      const Cycle skipped = target - 1 - now_;
+      now_ += skipped;
+      idle_skipped_ += skipped;
+      for (auto& core : cores_) core->advance_idle(skipped);
+    }
   }
 }
 
 void CmpSimulator::reset_stats() {
   mem_.reset_stats();
   for (auto& core : cores_) core->reset_stats();
+}
+
+void CmpSimulator::save_state(ArchiveWriter& ar) const {
+  ar.put(now_);
+  ar.put(idle_skipped_);
+  for (const auto& src : sources_) src->save_state(ar);
+  mem_.save_state(ar);
+  for (const auto& core : cores_) core->save_state(ar);
+}
+
+void CmpSimulator::load_state(ArchiveReader& ar) {
+  now_ = ar.get<Cycle>();
+  idle_skipped_ = ar.get<Cycle>();
+  for (auto& src : sources_) src->load_state(ar);
+  mem_.load_state(ar);
+  for (auto& core : cores_) core->load_state(ar);
 }
 
 SimMetrics CmpSimulator::metrics() const {

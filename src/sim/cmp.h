@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/config.h"
 #include "core/factory.h"
 #include "mem/hierarchy.h"
@@ -43,6 +44,12 @@ class CmpSimulator {
                const PolicySpec& policy, std::uint64_t seed = 1);
 
   /// Advance `cycles` cycles.
+  ///
+  /// Event-driven idle skip: when every core reports a guaranteed no-op
+  /// tick (pipeline drained, contexts hard-blocked, policy quiescent), the
+  /// clock jumps straight to the hierarchy's next scheduled event instead
+  /// of ticking through the dead cycles. Results are bit-identical to the
+  /// cycle-by-cycle loop; only wall-clock changes.
   void run(Cycle cycles);
 
   /// Zero all statistics (start of a measured interval).
@@ -59,6 +66,20 @@ class CmpSimulator {
   [[nodiscard]] std::uint32_t num_cores() const noexcept {
     return static_cast<std::uint32_t>(cores_.size());
   }
+  [[nodiscard]] Cycle idle_cycles_skipped() const noexcept {
+    return idle_skipped_;
+  }
+
+  /// True when built from ad-hoc BenchmarkProfiles rather than the
+  /// SPEC2000 catalog. Such a chip cannot be reconstructed from a
+  /// snapshot's workload codes, so snapshotting it is refused.
+  [[nodiscard]] bool profile_built() const noexcept { return profile_built_; }
+
+  /// Snapshot support (sim/snapshot.h wraps these in a versioned file
+  /// format): serialize/restore every piece of mutable simulation state —
+  /// clock, trace sources, memory hierarchy, cores, policies, stats.
+  void save_state(ArchiveWriter& ar) const;
+  void load_state(ArchiveReader& ar);
 
  private:
   void build(const std::vector<BenchmarkProfile>& profiles);
@@ -70,6 +91,8 @@ class CmpSimulator {
   std::vector<std::unique_ptr<SyntheticTraceSource>> sources_;
   std::vector<std::unique_ptr<SmtCore>> cores_;
   Cycle now_ = 0;
+  Cycle idle_skipped_ = 0;  ///< cycles jumped by the event kernel
+  bool profile_built_ = false;
 };
 
 }  // namespace mflush

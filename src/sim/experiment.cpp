@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "sim/parallel.h"
+#include "sim/snapshot.h"
 
 namespace mflush {
 namespace {
@@ -43,6 +44,21 @@ RunResult run_point(const Workload& workload, const PolicySpec& policy,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   r.simulated_cycles = warmup + measure;
+  return r;
+}
+
+RunResult run_point_from_snapshot(const std::vector<std::uint8_t>& snapshot,
+                                  Cycle fork_advance, Cycle measure) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::unique_ptr<CmpSimulator> sim = snapshot::make(snapshot);
+  sim->run(fork_advance);
+  sim->reset_stats();
+  sim->run(measure);
+  RunResult r{sim->workload().name, sim->policy().label(), sim->metrics()};
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.simulated_cycles = fork_advance + measure;
   return r;
 }
 

@@ -45,6 +45,14 @@ struct RunResult {
                                   std::uint64_t seed, Cycle warmup,
                                   Cycle measure);
 
+/// Fork a measured interval off a captured snapshot: reconstruct the
+/// simulator from `snapshot`, advance `fork_advance` cycles, reset stats,
+/// measure `measure` cycles. Deterministic: the same (snapshot,
+/// fork_advance, measure) triple always yields identical metrics.
+[[nodiscard]] RunResult run_point_from_snapshot(
+    const std::vector<std::uint8_t>& snapshot, Cycle fork_advance,
+    Cycle measure);
+
 /// Sweep a workload across several policies (shared seed/interval). Points
 /// run concurrently on the shared ParallelRunner pool (sim/parallel.h);
 /// results are in policy order and bit-identical to the serial loop.

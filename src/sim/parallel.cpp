@@ -141,7 +141,11 @@ std::vector<RunResult> ParallelRunner::run(
   std::vector<RunResult> out(points.size());
   for_each_index(points.size(), [&](std::size_t i) {
     const SweepPoint& p = points[i];
-    out[i] = run_point(p.workload, p.policy, p.seed, p.warmup, p.measure);
+    out[i] = p.snapshot
+                 ? run_point_from_snapshot(*p.snapshot, p.fork_advance,
+                                           p.measure)
+                 : run_point(p.workload, p.policy, p.seed, p.warmup,
+                             p.measure);
   });
   return out;
 }
@@ -176,11 +180,12 @@ std::vector<std::vector<RunResult>> run_grid(
   std::vector<std::vector<RunResult>> rows;
   rows.reserve(workloads.size());
   for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const auto begin =
+        flat.begin() + static_cast<std::ptrdiff_t>(w * policies.size());
     rows.emplace_back(
-        std::make_move_iterator(flat.begin() +
-                                static_cast<std::ptrdiff_t>(w * policies.size())),
-        std::make_move_iterator(flat.begin() +
-                                static_cast<std::ptrdiff_t>((w + 1) * policies.size())));
+        std::make_move_iterator(begin),
+        std::make_move_iterator(begin +
+                                static_cast<std::ptrdiff_t>(policies.size())));
   }
   return rows;
 }

@@ -23,12 +23,21 @@
 namespace mflush {
 
 /// One independent simulation point of a sweep.
+///
+/// With `snapshot` set the point forks a pre-warmed chip instead of
+/// simulating its own warm-up: the simulator is reconstructed from the
+/// snapshot bytes, advanced `fork_advance` cycles (to de-correlate
+/// intervals sampled from one parent), stats are reset, and `measure`
+/// cycles run. workload/policy/seed/warmup are then ignored — the snapshot
+/// embeds them.
 struct SweepPoint {
   Workload workload;
   PolicySpec policy;
   std::uint64_t seed = 1;
   Cycle warmup = 0;
   Cycle measure = 0;
+  std::shared_ptr<const std::vector<std::uint8_t>> snapshot;
+  Cycle fork_advance = 0;
 };
 
 /// Persistent std::jthread pool with an index-claiming work queue.

@@ -1,0 +1,287 @@
+#include "sim/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/archive.h"
+
+namespace mflush::snapshot {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4d464c5553534e50ull;  // "MFLUSSNP"
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// SimConfig is written field-wise (not memcpy'd) so struct padding never
+// leaks into the stream and the config echo compares byte-exactly.
+void put_config(ArchiveWriter& ar, const SimConfig& cfg) {
+  ar.put(cfg.num_cores);
+  const CoreConfig& c = cfg.core;
+  ar.put(c.threads_per_core);
+  ar.put(c.fetch_width);
+  ar.put(c.fetch_threads);
+  ar.put(c.decode_width);
+  ar.put(c.rename_width);
+  ar.put(c.issue_width);
+  ar.put(c.commit_width);
+  ar.put(c.fetch_stages);
+  ar.put(c.decode_stages);
+  ar.put(c.rename_stages);
+  ar.put(c.int_queue_entries);
+  ar.put(c.fp_queue_entries);
+  ar.put(c.mem_queue_entries);
+  ar.put(c.int_units);
+  ar.put(c.fp_units);
+  ar.put(c.ldst_units);
+  ar.put(c.int_phys_regs);
+  ar.put(c.fp_phys_regs);
+  ar.put(c.rob_entries);
+  ar.put(c.ras_entries);
+  ar.put(c.lat_int_alu);
+  ar.put(c.lat_int_mul);
+  ar.put(c.lat_fp_alu);
+  ar.put(c.lat_fp_mul);
+  ar.put(c.lat_branch);
+  ar.put(c.perceptron_table);
+  ar.put(c.local_history_entries);
+  ar.put(c.history_bits);
+  ar.put(c.btb_entries);
+  ar.put(c.btb_ways);
+  ar.put(c.model_wrong_path);
+  const MemConfig& m = cfg.mem;
+  ar.put(m.line_bytes);
+  ar.put(m.l1i_bytes);
+  ar.put(m.l1i_ways);
+  ar.put(m.l1i_banks);
+  ar.put(m.l1d_bytes);
+  ar.put(m.l1d_ways);
+  ar.put(m.l1d_banks);
+  ar.put(m.l1_latency);
+  ar.put(m.itlb_entries);
+  ar.put(m.dtlb_entries);
+  ar.put(m.tlb_miss_penalty);
+  ar.put(m.page_bytes);
+  ar.put(m.l2_bytes);
+  ar.put(m.l2_ways);
+  ar.put(m.l2_banks);
+  ar.put(m.l2_bank_latency);
+  ar.put(m.bus_latency);
+  ar.put(m.memory_latency);
+  ar.put(m.mshr_entries);
+  ar.put(cfg.seed);
+  ar.put(cfg.prewarm_l2);
+}
+
+SimConfig get_config(ArchiveReader& ar) {
+  SimConfig cfg;
+  cfg.num_cores = ar.get<std::uint32_t>();
+  CoreConfig& c = cfg.core;
+  c.threads_per_core = ar.get<std::uint32_t>();
+  c.fetch_width = ar.get<std::uint32_t>();
+  c.fetch_threads = ar.get<std::uint32_t>();
+  c.decode_width = ar.get<std::uint32_t>();
+  c.rename_width = ar.get<std::uint32_t>();
+  c.issue_width = ar.get<std::uint32_t>();
+  c.commit_width = ar.get<std::uint32_t>();
+  c.fetch_stages = ar.get<std::uint32_t>();
+  c.decode_stages = ar.get<std::uint32_t>();
+  c.rename_stages = ar.get<std::uint32_t>();
+  c.int_queue_entries = ar.get<std::uint32_t>();
+  c.fp_queue_entries = ar.get<std::uint32_t>();
+  c.mem_queue_entries = ar.get<std::uint32_t>();
+  c.int_units = ar.get<std::uint32_t>();
+  c.fp_units = ar.get<std::uint32_t>();
+  c.ldst_units = ar.get<std::uint32_t>();
+  c.int_phys_regs = ar.get<std::uint32_t>();
+  c.fp_phys_regs = ar.get<std::uint32_t>();
+  c.rob_entries = ar.get<std::uint32_t>();
+  c.ras_entries = ar.get<std::uint32_t>();
+  c.lat_int_alu = ar.get<std::uint32_t>();
+  c.lat_int_mul = ar.get<std::uint32_t>();
+  c.lat_fp_alu = ar.get<std::uint32_t>();
+  c.lat_fp_mul = ar.get<std::uint32_t>();
+  c.lat_branch = ar.get<std::uint32_t>();
+  c.perceptron_table = ar.get<std::uint32_t>();
+  c.local_history_entries = ar.get<std::uint32_t>();
+  c.history_bits = ar.get<std::uint32_t>();
+  c.btb_entries = ar.get<std::uint32_t>();
+  c.btb_ways = ar.get<std::uint32_t>();
+  c.model_wrong_path = ar.get<bool>();
+  MemConfig& m = cfg.mem;
+  m.line_bytes = ar.get<std::uint32_t>();
+  m.l1i_bytes = ar.get<std::uint32_t>();
+  m.l1i_ways = ar.get<std::uint32_t>();
+  m.l1i_banks = ar.get<std::uint32_t>();
+  m.l1d_bytes = ar.get<std::uint32_t>();
+  m.l1d_ways = ar.get<std::uint32_t>();
+  m.l1d_banks = ar.get<std::uint32_t>();
+  m.l1_latency = ar.get<std::uint32_t>();
+  m.itlb_entries = ar.get<std::uint32_t>();
+  m.dtlb_entries = ar.get<std::uint32_t>();
+  m.tlb_miss_penalty = ar.get<std::uint32_t>();
+  m.page_bytes = ar.get<std::uint32_t>();
+  m.l2_bytes = ar.get<std::uint32_t>();
+  m.l2_ways = ar.get<std::uint32_t>();
+  m.l2_banks = ar.get<std::uint32_t>();
+  m.l2_bank_latency = ar.get<std::uint32_t>();
+  m.bus_latency = ar.get<std::uint32_t>();
+  m.memory_latency = ar.get<std::uint32_t>();
+  m.mshr_entries = ar.get<std::uint32_t>();
+  cfg.seed = ar.get<std::uint64_t>();
+  cfg.prewarm_l2 = ar.get<bool>();
+  return cfg;
+}
+
+void put_policy(ArchiveWriter& ar, const PolicySpec& p) {
+  ar.put(static_cast<std::uint8_t>(p.kind));
+  ar.put(p.trigger);
+  ar.put(p.mcreg_history);
+  ar.put(static_cast<std::uint8_t>(p.mcreg_agg));
+  ar.put(p.preventive);
+}
+
+PolicySpec get_policy(ArchiveReader& ar) {
+  PolicySpec p;
+  p.kind = static_cast<PolicySpec::Kind>(ar.get<std::uint8_t>());
+  p.trigger = ar.get<Cycle>();
+  p.mcreg_history = ar.get<std::uint32_t>();
+  p.mcreg_agg = static_cast<PolicySpec::McRegAgg>(ar.get<std::uint8_t>());
+  p.preventive = ar.get<bool>();
+  return p;
+}
+
+void put_header(ArchiveWriter& ar, const CmpSimulator& sim) {
+  ar.put(kMagic);
+  ar.put(kFormatVersion);
+  put_config(ar, sim.config());
+  ar.put_string(sim.workload().name);
+  ar.put_vec(sim.workload().codes);
+  put_policy(ar, sim.policy());
+}
+
+struct Header {
+  SimConfig cfg;
+  Workload workload;
+  PolicySpec policy;
+};
+
+Header get_header(ArchiveReader& ar) {
+  if (ar.get<std::uint64_t>() != kMagic)
+    throw std::runtime_error("not a mflush snapshot (bad magic)");
+  const auto version = ar.get<std::uint32_t>();
+  if (version != kFormatVersion) {
+    throw std::runtime_error(
+        "snapshot format version " + std::to_string(version) +
+        " incompatible with " + std::to_string(kFormatVersion));
+  }
+  Header h;
+  h.cfg = get_config(ar);
+  h.workload.name = ar.get_string();
+  ar.get_vec(h.workload.codes);
+  h.policy = get_policy(ar);
+  return h;
+}
+
+/// Split off and verify the trailing checksum; returns the payload view.
+std::span<const std::uint8_t> checked_body(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < sizeof(std::uint64_t))
+    throw std::runtime_error("snapshot truncated");
+  const auto body = bytes.first(bytes.size() - sizeof(std::uint64_t));
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + body.size(), sizeof(stored));
+  if (fnv1a(body) != stored)
+    throw std::runtime_error("snapshot checksum mismatch (corrupt file?)");
+  return body;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> capture(const CmpSimulator& sim) {
+  if (sim.profile_built()) {
+    // Ad-hoc BenchmarkProfile chips record catalog-code placeholders in
+    // their workload; make() would silently rebuild different benchmarks.
+    throw std::runtime_error(
+        "cannot snapshot a simulator built from ad-hoc benchmark profiles");
+  }
+  ArchiveWriter ar;
+  put_header(ar, sim);
+  sim.save_state(ar);
+  const std::uint64_t sum = fnv1a(ar.bytes());
+  ar.put(sum);
+  return ar.take();
+}
+
+void restore(CmpSimulator& sim, std::span<const std::uint8_t> bytes) {
+  if (sim.profile_built()) {
+    throw std::runtime_error(
+        "cannot restore into a simulator built from ad-hoc benchmark "
+        "profiles (its workload codes are placeholders)");
+  }
+  ArchiveReader ar(checked_body(bytes));
+  const Header h = get_header(ar);
+
+  // The target simulator must be the identical experiment: compare the
+  // config echoes byte-for-byte, and workload/policy structurally.
+  ArchiveWriter theirs, ours;
+  put_config(theirs, h.cfg);
+  put_config(ours, sim.config());
+  if (theirs.bytes() != ours.bytes())
+    throw std::runtime_error("snapshot config does not match simulator");
+  if (h.workload.name != sim.workload().name ||
+      h.workload.codes != sim.workload().codes)
+    throw std::runtime_error("snapshot workload does not match simulator");
+  if (h.policy != sim.policy())
+    throw std::runtime_error("snapshot policy does not match simulator");
+
+  sim.load_state(ar);
+  if (!ar.done()) {
+    // Layout drift guard: a longer-than-expected payload means the writer
+    // had fields this reader does not know about (a missed version bump).
+    throw std::runtime_error("snapshot has trailing bytes (layout drift?)");
+  }
+}
+
+std::unique_ptr<CmpSimulator> make(std::span<const std::uint8_t> bytes) {
+  ArchiveReader ar(checked_body(bytes));
+  const Header h = get_header(ar);
+  auto sim = std::make_unique<CmpSimulator>(h.cfg, h.workload, h.policy);
+  sim->load_state(ar);
+  if (!ar.done())
+    throw std::runtime_error("snapshot has trailing bytes (layout drift?)");
+  return sim;
+}
+
+void save_file(const std::string& path, const CmpSimulator& sim) {
+  const std::vector<std::uint8_t> bytes = capture(sim);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open snapshot file: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("snapshot write failed: " + path);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open snapshot file: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error("snapshot read failed: " + path);
+  return bytes;
+}
+
+std::unique_ptr<CmpSimulator> load_file(const std::string& path) {
+  return make(read_file(path));
+}
+
+}  // namespace mflush::snapshot

@@ -11,9 +11,15 @@
 ///     --seed N                simulation seed            (default 1)
 ///     --jobs N                sweep threads (default MFLUSH_JOBS or all
 ///                             hardware threads)
+///     --save-snapshot PATH    warm up, checkpoint the chip to PATH, then
+///                             measure as usual (single-policy runs only)
+///     --load-snapshot PATH    restore the chip from PATH (skips warm-up;
+///                             workload/policy/seed come from the file)
 ///     --csv                   machine-readable one-line-per-run output
 ///     --debug                 full component dump after the run
 ///                             (single-policy runs only)
+#include <charconv>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
@@ -24,6 +30,7 @@
 #include "sim/cmp.h"
 #include "sim/parallel.h"
 #include "sim/report.h"
+#include "sim/snapshot.h"
 #include "sim/workloads.h"
 
 namespace {
@@ -32,12 +39,32 @@ void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " [--workload NAME|CODES] [--policy SPEC[,SPEC...]] [--cycles N]\n"
-         "       [--warmup N] [--seed N] [--jobs N] [--csv] [--debug]\n\n"
+         "       [--warmup N] [--seed N] [--jobs N] [--save-snapshot PATH]\n"
+         "       [--load-snapshot PATH] [--csv] [--debug]\n\n"
          "workloads: 2W1..8W5 (Fig. 1), bzip2-twolf, or a string of\n"
          "benchmark codes (a=gzip .. z=mgrid), two per core.\n"
          "policies: icount, brcount, l1dmisscount, flush-s<N>, flush-ns,\n"
          "          stall-s<N>, mflush, mflush-np, mflush-h<N>[max|avg]\n"
          "a comma-separated --policy list runs as a parallel sweep.\n";
+}
+
+void print_results(const std::vector<mflush::RunResult>& results, bool csv) {
+  using namespace mflush;
+  if (csv) {
+    std::cout << "workload,policy,cycles,committed,ipc,flushes,"
+                 "flushed_instrs,wasted_units,l2_hit_mean,wall_s\n";
+    for (const RunResult& r : results) {
+      const SimMetrics& m = r.metrics;
+      std::cout << r.workload << ',' << r.policy << ',' << m.cycles << ','
+                << m.committed << ',' << m.ipc << ',' << m.flush_events
+                << ',' << m.flushed_instructions << ','
+                << m.energy.flush_wasted_units << ',' << m.l2_hit_time_mean
+                << ',' << r.wall_seconds << '\n';
+    }
+  } else {
+    for (const RunResult& r : results)
+      std::cout << report::summarize(r) << '\n';
+  }
 }
 
 }  // namespace
@@ -47,6 +74,8 @@ int main(int argc, char** argv) {
 
   std::string workload_arg = "8W3";
   std::string policy_arg = "mflush";
+  std::string save_snapshot;
+  std::string load_snapshot;
   Cycle cycles = 120'000;
   Cycle warmup = 30'000;
   std::uint64_t seed = 1;
@@ -74,7 +103,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed") {
       seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--jobs") {
-      jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+      // Reject anything but a positive integer outright: 0 or garbage
+      // would silently fall back to a default and mask the typo.
+      const std::string_view s = value();
+      unsigned v = 0;
+      const auto [ptr, ec] =
+          std::from_chars(s.data(), s.data() + s.size(), v);
+      if (ec != std::errc{} || ptr != s.data() + s.size() || v == 0) {
+        std::cerr << "error: --jobs expects a positive integer, got '" << s
+                  << "'\n";
+        return 2;
+      }
+      jobs = v;
+    } else if (arg == "--save-snapshot") {
+      save_snapshot = value();
+    } else if (arg == "--load-snapshot") {
+      load_snapshot = value();
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--debug") {
@@ -112,18 +156,50 @@ int main(int argc, char** argv) {
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
-  if (debug && policies.size() > 1) {
-    std::cerr << "--debug needs a single policy\n";
+  if ((debug || !save_snapshot.empty()) && policies.size() > 1) {
+    std::cerr << "--debug and --save-snapshot need a single policy\n";
+    return 2;
+  }
+  if (!save_snapshot.empty() && !load_snapshot.empty()) {
+    std::cerr << "--save-snapshot and --load-snapshot are exclusive\n";
     return 2;
   }
 
   try {
-    if (debug) {
+    if (!load_snapshot.empty()) {
+      // The snapshot embeds (config, workload, policy): restore and jump
+      // straight into the measured interval, no warm-up.
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto sim = snapshot::load_file(load_snapshot);
+      sim->reset_stats();
+      sim->run(cycles);
+      RunResult r{sim->workload().name, sim->policy().label(),
+                  sim->metrics()};
+      r.simulated_cycles = cycles;
+      r.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      print_results({r}, csv);
+      if (debug) report::print_debug(std::cout, *sim);
+      return 0;
+    }
+    if (debug || !save_snapshot.empty()) {
+      const auto t0 = std::chrono::steady_clock::now();
       CmpSimulator sim(*wl, policies.front(), seed);
       sim.run(warmup);
+      if (!save_snapshot.empty()) snapshot::save_file(save_snapshot, sim);
       sim.reset_stats();
       sim.run(cycles);
-      report::print_debug(std::cout, sim);
+      if (!save_snapshot.empty()) {
+        RunResult r{sim.workload().name, sim.policy().label(),
+                    sim.metrics()};
+        r.simulated_cycles = warmup + cycles;
+        r.wall_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        print_results({r}, csv);
+      }
+      if (debug) report::print_debug(std::cout, sim);
       return 0;
     }
     ParallelRunner runner(jobs);
@@ -131,22 +207,7 @@ int main(int argc, char** argv) {
     points.reserve(policies.size());
     for (const PolicySpec& p : policies)
       points.push_back({*wl, p, seed, warmup, cycles});
-    const std::vector<RunResult> results = runner.run(points);
-    if (csv) {
-      std::cout << "workload,policy,cycles,committed,ipc,flushes,"
-                   "flushed_instrs,wasted_units,l2_hit_mean,wall_s\n";
-      for (const RunResult& r : results) {
-        const SimMetrics& m = r.metrics;
-        std::cout << r.workload << ',' << r.policy << ',' << m.cycles << ','
-                  << m.committed << ',' << m.ipc << ',' << m.flush_events
-                  << ',' << m.flushed_instructions << ','
-                  << m.energy.flush_wasted_units << ',' << m.l2_hit_time_mean
-                  << ',' << r.wall_seconds << '\n';
-      }
-    } else {
-      for (const RunResult& r : results)
-        std::cout << report::summarize(r) << '\n';
-    }
+    print_results(runner.run(points), csv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -20,7 +20,8 @@ class BasicBlockDictionary {
   explicit BasicBlockDictionary(std::uint64_t seed) noexcept : seed_(seed) {}
 
   /// k-th instruction of the wrong path entered at `wrong_target`.
-  [[nodiscard]] TraceInstr instr(Addr wrong_target, std::uint64_t k) const noexcept;
+  [[nodiscard]] TraceInstr instr(Addr wrong_target,
+                                 std::uint64_t k) const noexcept;
 
  private:
   std::uint64_t seed_;

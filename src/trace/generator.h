@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/rng.h"
 #include "trace/instr.h"
 #include "trace/profile.h"
@@ -55,6 +56,11 @@ class SyntheticTraceSource final : public TraceSource {
                    hot_base_,  profile_.hot_lines,
                    l2_base_,   profile_.l2_lines};
   }
+
+  /// Snapshot support: serialize/restore the stream's mutable state (the
+  /// profile and address-space layout are reconstruction-time constants).
+  void save_state(ArchiveWriter& ar) const;
+  void load_state(ArchiveReader& ar);
 
  private:
   void generate_next();
