@@ -1,6 +1,7 @@
 #pragma once
 
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -20,35 +21,56 @@ namespace mflush {
 /// hierarchy's (ready_at, order) heap order, the core's per-thread program
 /// order) sort the small due batch themselves.
 ///
-/// The wheel tolerates skipped cycles: a bucket is filtered by each
-/// entry's own due cycle, so entries aliased `span` cycles ahead and
-/// entries left behind by an event-skip jump are both handled.
+/// Clock-jump contract: the wheel tolerates skipped cycles ONLY when the
+/// skip never jumps past an entry's release cycle — a bucket is probed
+/// solely when `now & mask` comes around, so an entry whose release cycle
+/// falls inside a skipped window would sit stranded in its (now aliased)
+/// bucket until the index wraps. A `strict_release` wheel asserts the
+/// invariant in debug builds whenever pop_due() observes a jump; wheels
+/// whose entries may legitimately outlive their release (the core's exec
+/// wheel keeps squashed entries as stale slots that a generation check
+/// discards whenever they eventually pop) leave it off.
 template <typename T>
 class WakeupWheel {
  public:
-  explicit WakeupWheel(std::uint32_t buckets = 64)
+  explicit WakeupWheel(std::uint32_t buckets = 64, bool strict_release = false)
       : buckets_(std::bit_ceil(std::uint64_t{buckets < 2 ? 2 : buckets})),
-        mask_(buckets_.size() - 1) {}
+        mask_(buckets_.size() - 1),
+        strict_release_(strict_release) {}
 
   /// Schedule `v` to pop at cycle `at`. `now` is the current cycle: entries
   /// due in the past or present are placed so the next pop (cycle now+1)
   /// releases them, matching the "pending queue drained next tick"
   /// semantics of the priority queues this replaces.
   void schedule(Cycle at, Cycle now, T v) {
-    const Cycle effective = at > now ? at : now + 1;
-    if (effective - now > mask_) {
-      far_.push_back(Slot{at, std::move(v)});
+    const Cycle release = at > now ? at : now + 1;
+    if (release - now > mask_) {
+      far_.push_back(Slot{at, release, std::move(v)});
     } else {
-      buckets_[effective & mask_].push_back(Slot{at, std::move(v)});
+      buckets_[release & mask_].push_back(Slot{at, release, std::move(v)});
     }
     ++count_;
+    if (next_valid_ && at < next_cached_) next_cached_ = at;
   }
 
   /// Append every entry due at or before `now` to `out`.
   void pop_due(Cycle now, std::vector<T>& out) {
+#ifndef NDEBUG
+    // A jump landed here: nothing pending may have been due in the skipped
+    // window, or it is stranded in an unprobed bucket (released up to a
+    // full span late). The kernel must bound jumps by next_due().
+    if (strict_release_ && last_pop_valid_ && now > last_pop_now_ + 1)
+      assert_nothing_stranded(now);
+    last_pop_now_ = now;
+    last_pop_valid_ = true;
+#endif
     if (count_ == 0) return;
+    const std::size_t before = out.size();
     take_due(buckets_[now & mask_], now, out);
     if (!far_.empty()) take_due(far_, now, out);
+    // Popping may have removed the cached earliest entry.
+    if (out.size() != before) next_valid_ = count_ == 0;
+    if (count_ == 0) next_cached_ = kNeverCycle;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
@@ -58,16 +80,29 @@ class WakeupWheel {
     return static_cast<std::uint32_t>(buckets_.size());
   }
 
-  /// Earliest scheduled cycle, kNeverCycle when empty. O(span + entries);
-  /// only meant for idle-time next-event queries, not the per-cycle path.
+  /// Earliest scheduled cycle, kNeverCycle when empty. Cached: repeated
+  /// idle-time horizon queries are O(1); the O(span + entries) scan only
+  /// reruns after a pop actually removed entries.
   [[nodiscard]] Cycle next_due() const noexcept {
+    if (!next_valid_) {
+      next_cached_ = scan_min_at();
+      next_valid_ = true;
+    }
+    return next_cached_;
+  }
+
+  /// Earliest scheduled cycle among entries matching `pred`, kNeverCycle
+  /// when none. Always a full scan — idle-time per-core horizon queries
+  /// only, never the per-cycle path.
+  template <typename Pred>
+  [[nodiscard]] Cycle next_due_if(Pred&& pred) const {
     Cycle best = kNeverCycle;
     if (count_ == 0) return best;
     for (const auto& b : buckets_)
       for (const Slot& s : b)
-        if (s.at < best) best = s.at;
+        if (s.at < best && pred(s.v)) best = s.at;
     for (const Slot& s : far_)
-      if (s.at < best) best = s.at;
+      if (s.at < best && pred(s.v)) best = s.at;
     return best;
   }
 
@@ -78,12 +113,14 @@ class WakeupWheel {
       ar.put<std::uint64_t>(b.size());
       for (const Slot& s : b) {
         ar.put(s.at);
+        ar.put(s.release);
         ar.put(s.v);
       }
     }
     ar.put<std::uint64_t>(far_.size());
     for (const Slot& s : far_) {
       ar.put(s.at);
+      ar.put(s.release);
       ar.put(s.v);
     }
   }
@@ -99,7 +136,8 @@ class WakeupWheel {
       const auto n = ar.get<std::uint64_t>();
       for (std::uint64_t i = 0; i < n; ++i) {
         const Cycle at = ar.get<Cycle>();
-        b.push_back(Slot{at, ar.get<T>()});
+        const Cycle release = ar.get<Cycle>();
+        b.push_back(Slot{at, release, ar.get<T>()});
         ++count_;
       }
     }
@@ -107,16 +145,48 @@ class WakeupWheel {
     const auto nf = ar.get<std::uint64_t>();
     for (std::uint64_t i = 0; i < nf; ++i) {
       const Cycle at = ar.get<Cycle>();
-      far_.push_back(Slot{at, ar.get<T>()});
+      const Cycle release = ar.get<Cycle>();
+      far_.push_back(Slot{at, release, ar.get<T>()});
       ++count_;
     }
+    next_valid_ = false;
+#ifndef NDEBUG
+    last_pop_valid_ = false;
+#endif
   }
 
  private:
   struct Slot {
-    Cycle at;
+    Cycle at;       ///< requested due cycle (what next_due reports)
+    Cycle release;  ///< actual pop cycle: max(at, schedule_now + 1)
     T v;
   };
+
+  [[nodiscard]] Cycle scan_min_at() const noexcept {
+    Cycle best = kNeverCycle;
+    if (count_ == 0) return best;
+    for (const auto& b : buckets_)
+      for (const Slot& s : b)
+        if (s.at < best) best = s.at;
+    for (const Slot& s : far_)
+      if (s.at < best) best = s.at;
+    return best;
+  }
+
+#ifndef NDEBUG
+  /// Every pending entry must still be releasable on time: a release cycle
+  /// at or before `now` that is not in this cycle's probed bucket (or the
+  /// always-scanned far queue) was jumped past and is stranded.
+  void assert_nothing_stranded(Cycle now) const {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (i == (now & mask_)) continue;
+      for (const Slot& s : buckets_[i])
+        assert(s.release > now &&
+               "wakeup wheel entry stranded: event-skip jumped past its "
+               "release cycle");
+    }
+  }
+#endif
 
   /// Move due slots to `out` preserving the relative order of the kept
   /// remainder (compaction in place, no allocation in steady state).
@@ -138,6 +208,13 @@ class WakeupWheel {
   Cycle mask_;
   std::vector<Slot> far_;
   std::size_t count_ = 0;
+  bool strict_release_;
+  mutable Cycle next_cached_ = kNeverCycle;  ///< earliest `at` when valid
+  mutable bool next_valid_ = true;
+#ifndef NDEBUG
+  Cycle last_pop_now_ = 0;
+  bool last_pop_valid_ = false;
+#endif
 };
 
 }  // namespace mflush

@@ -75,13 +75,19 @@ class FetchPolicy {
   /// trigger flushes/stalls/gates.
   virtual void on_cycle(Cycle /*now*/, CoreControl& /*ctrl*/) {}
 
-  /// True when on_cycle is guaranteed to be an exact no-op (no CoreControl
-  /// calls, no state or counter changes) until the next load-lifecycle
-  /// callback. The event kernel uses this to skip idle cycles wholesale;
-  /// a policy that cannot promise this for its current state must return
-  /// false. Priority-only policies (no on_cycle override) are always
-  /// quiescent.
-  [[nodiscard]] virtual bool quiescent() const { return true; }
+  /// Quiescence horizon: the earliest future cycle at which on_cycle might
+  /// NOT be an exact no-op (a CoreControl call, or any state or counter
+  /// change), given the policy's current state and assuming no
+  /// load-lifecycle callback arrives first. A callback invalidates the
+  /// horizon — the event kernel re-queries after any tick that delivered
+  /// one. Returning `now + 1` means "not quiescent: tick me every cycle";
+  /// kNeverCycle means quiescent until a callback. The horizon must be
+  /// sound (never later than the first real action) or decoupled-clock
+  /// execution diverges from lockstep. Priority-only policies (no on_cycle
+  /// override) are quiescent forever.
+  [[nodiscard]] virtual Cycle quiescent_until(Cycle /*now*/) const {
+    return kNeverCycle;
+  }
 
   /// Snapshot support: serialize/restore the policy's mutable state.
   /// Stateless policies keep the no-op defaults.

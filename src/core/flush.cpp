@@ -52,6 +52,19 @@ void FlushPolicy::load_state(ArchiveReader& ar) {
   counters_ = ar.get<Counters>();
 }
 
+Cycle FlushPolicy::quiescent_until(Cycle now) const {
+  Cycle h = kNeverCycle;
+  for (const auto& [token, o] : outstanding_.entries()) {
+    if (thread_flushed(o.tid)) continue;  // waits on a resolution callback
+    if (dm_ == DetectionMoment::SpecDelay) {
+      h = std::min(h, o.issue + trigger_);
+    } else if (o.l2_miss_known) {
+      return now + 1;  // armed: fires on the very next heartbeat
+    }
+  }
+  return h > now ? h : now + 1;
+}
+
 void FlushPolicy::on_cycle(Cycle now, CoreControl& ctrl) {
   // Collect triggered tokens first: flushing mutates core state that feeds
   // back into `outstanding_` via callbacks. Oldest offender first — the

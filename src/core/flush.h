@@ -48,11 +48,11 @@ class FlushPolicy final : public FetchPolicy {
   [[nodiscard]] Cycle trigger() const noexcept { return trigger_; }
   [[nodiscard]] Counters counters() const override { return counters_; }
 
-  /// on_cycle only acts on outstanding loads; with none tracked it is an
-  /// exact no-op, so idle cycles may be skipped.
-  [[nodiscard]] bool quiescent() const override {
-    return outstanding_.empty();
-  }
+  /// on_cycle only acts on outstanding loads. SpecDelay entries fire at a
+  /// computable deadline (issue + trigger); NonSpec entries fire only after
+  /// an on_load_l2_miss callback, which re-queries the horizon anyway.
+  /// Already-flushed threads wait on a resolution callback.
+  [[nodiscard]] Cycle quiescent_until(Cycle now) const override;
   void save_state(ArchiveWriter& ar) const override;
   void load_state(ArchiveReader& ar) override;
 

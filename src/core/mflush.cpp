@@ -92,11 +92,19 @@ void MflushPolicy::on_load_resolved(ThreadId tid, std::uint64_t token,
   }
 }
 
-bool MflushPolicy::quiescent() const {
-  if (!outstanding_.empty()) return false;
+Cycle MflushPolicy::quiescent_until(Cycle now) const {
   for (const bool g : gated_)
-    if (g) return false;  // an armed gate must be released by on_cycle
-  return true;
+    if (g) return now + 1;  // gate_cycles accrues / gate must be re-evaluated
+  Cycle h = kNeverCycle;
+  const Cycle threshold = cfg_.preventive_threshold();
+  for (const auto& [token, o] : outstanding_.entries()) {
+    if (!o.l2_path) continue;  // participates only after the MCReg read
+    if (flush_token_[o.tid] != 0) continue;  // waits on resolution
+    h = std::min(h, o.barrier_deadline + 1);  // FLUSH fires past the Barrier
+    if (cfg_.enable_preventive)
+      h = std::min(h, o.issue + threshold + 1);  // becomes suspicious
+  }
+  return h > now ? h : now + 1;
 }
 
 void MflushPolicy::save_state(ArchiveWriter& ar) const {

@@ -82,9 +82,11 @@ class MflushPolicy final : public FetchPolicy {
   [[nodiscard]] Counters counters() const override { return counters_; }
 
   /// on_cycle fires barriers, evaluates suspicion, and accounts
-  /// Preventive-State cycles — all driven by tracked outstanding loads or
-  /// an armed gate. With neither, it is an exact no-op.
-  [[nodiscard]] bool quiescent() const override;
+  /// Preventive-State cycles. An armed fetch gate pins the heartbeat to
+  /// every cycle (gate_cycles accrues per tick); otherwise the horizon is
+  /// the earliest Barrier firing or suspicious-threshold crossing among
+  /// tracked L2-path loads of unflushed threads.
+  [[nodiscard]] Cycle quiescent_until(Cycle now) const override;
   void save_state(ArchiveWriter& ar) const override;
   void load_state(ArchiveReader& ar) override;
 

@@ -33,6 +33,15 @@ void StallPolicy::load_state(ArchiveReader& ar) {
   stall_token_ = ar.get<decltype(stall_token_)>();
 }
 
+Cycle StallPolicy::quiescent_until(Cycle now) const {
+  Cycle h = kNeverCycle;
+  for (const auto& [token, o] : outstanding_.entries()) {
+    if (stall_token_[o.tid] != 0) continue;  // waits on resolution
+    h = std::min(h, o.issue + trigger_);
+  }
+  return h > now ? h : now + 1;
+}
+
 void StallPolicy::on_cycle(Cycle now, CoreControl& ctrl) {
   by_age_.clear();
   for (const auto& [token, o] : outstanding_.entries()) {

@@ -36,10 +36,8 @@ class StallPolicy final : public FetchPolicy {
 
   [[nodiscard]] Cycle trigger() const noexcept { return trigger_; }
 
-  /// See FlushPolicy::quiescent — same no-op condition.
-  [[nodiscard]] bool quiescent() const override {
-    return outstanding_.empty();
-  }
+  /// See FlushPolicy::quiescent_until — SpecDelay-style deadlines only.
+  [[nodiscard]] Cycle quiescent_until(Cycle now) const override;
   void save_state(ArchiveWriter& ar) const override;
   void load_state(ArchiveReader& ar) override;
 

@@ -71,11 +71,22 @@ class SharedBus {
     queue_wait_cycles_ = 0;
   }
 
- private:
   struct Pending {
     std::uint64_t payload;
     Cycle arrives;
   };
+
+  /// Transfers on the wire, earliest arrival first (idle-time per-core
+  /// horizon scans).
+  [[nodiscard]] const std::deque<Pending>& in_flight() const noexcept {
+    return in_flight_;
+  }
+  /// True when `core` has a request waiting for a bus grant.
+  [[nodiscard]] bool has_queued_from(CoreId core) const noexcept {
+    return !per_core_[core].empty();
+  }
+
+ private:
   struct Queued {
     std::uint64_t payload;
     Cycle enqueued;

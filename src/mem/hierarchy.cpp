@@ -325,6 +325,37 @@ Cycle MemoryHierarchy::next_event_cycle(Cycle now) const {
   return e;
 }
 
+Cycle MemoryHierarchy::next_event_cycle_for(CoreId c, Cycle now) const {
+  if (has_events(c)) return now + 1;  // undrained buffers: tick immediately
+  if (!mshr_overflow_[c].empty()) return now + 1;  // retried every tick
+  // L1 pipeline / TLB walks of this core.
+  Cycle e = l1_wheel_.next_due_if([c](const Req& r) { return r.core == c; });
+  // A queued bus request can be granted as soon as next cycle; an in-flight
+  // transfer still needs its bank service after arrival, so `arrives` is a
+  // (loose but sound) lower bound.
+  for (const SharedBus::Pending& p : bus_.in_flight())
+    if (fetch_pool_[p.payload].core == c) e = std::min(e, p.arrives);
+  if (bus_.has_queued_from(c)) e = std::min(e, now + 1);
+  // L2 bank service or memory access in flight for this core: the bank/
+  // memory event time is known globally, but mapping it per core costs a
+  // queue walk; `now + 1` is the sound floor (a busy bank already pins the
+  // global clock to per-cycle ticking anyway).
+  for (std::uint32_t b = 0; b < l2_.banks(); ++b) {
+    if (l2_.bank_serves_core(b, [this, c](std::uint64_t payload) {
+          return fetch_pool_[payload].core == c;
+        })) {
+      e = std::min(e, now + 1);
+      break;
+    }
+  }
+  const Cycle mem_e =
+      memory_.next_event_cycle_if([this, c](std::uint64_t payload) {
+        return fetch_pool_[payload].core == c;
+      });
+  e = std::min(e, mem_e);
+  return e > now ? e : now + 1;
+}
+
 void MemoryHierarchy::save_state(ArchiveWriter& ar) const {
   for (const SetAssocCache& c : l1i_) c.save(ar);
   for (const SetAssocCache& c : l1d_) c.save(ar);

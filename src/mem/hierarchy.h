@@ -106,8 +106,24 @@ class MemoryHierarchy {
 
   /// Earliest future cycle at which tick() can change any state or deliver
   /// any completion; kNeverCycle when the whole hierarchy is drained. When
-  /// every core is also skippable, the chip may jump straight here.
+  /// every core is also asleep, the chip may jump straight here.
   [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
+
+  /// True when core `c` has undrained completion/event buffers — the
+  /// decoupled scheduler's rendezvous signal: a sleeping core whose buffers
+  /// fill must be pulled back to the global clock and ticked this cycle.
+  [[nodiscard]] bool has_events(CoreId c) const noexcept {
+    return !completions_[c].empty() || !l2_events_[c].empty() ||
+           !l2_miss_events_[c].empty();
+  }
+
+  /// Per-core event horizon: a lower bound on the next cycle at which
+  /// tick() could deliver a completion or event to core `c`, from the
+  /// core's in-flight transactions (L1 wheel, MSHR retry queue, bus, L2
+  /// banks, memory FIFO). Contention can only push real delivery later,
+  /// never earlier. kNeverCycle when the core has nothing in flight.
+  /// O(outstanding) scan — idle-time scheduling only, never the tick path.
+  [[nodiscard]] Cycle next_event_cycle_for(CoreId c, Cycle now) const;
 
   /// Snapshot support: serialize/restore all mutable hierarchy state.
   void save_state(ArchiveWriter& ar) const;
@@ -169,8 +185,10 @@ class MemoryHierarchy {
 
   /// L1 pipeline / TLB-walk delay line, bucketed by ready_at. Sized past
   /// l1_latency + tlb_miss_penalty so the far queue stays empty with
-  /// paper-default latencies.
-  WakeupWheel<Req> l1_wheel_{1024};
+  /// paper-default latencies. Strict: every event-skip jump is bounded by
+  /// next_event_cycle(), so no entry's release is ever jumped past
+  /// (asserted in debug builds).
+  WakeupWheel<Req> l1_wheel_{1024, /*strict_release=*/true};
   std::vector<std::deque<Req>> mshr_overflow_;  ///< per core, retried in tick
 
   std::vector<LineFetch> fetch_pool_;

@@ -73,6 +73,19 @@ class L2Cache {
     return kNeverCycle;
   }
 
+  /// True when bank `b` is busy with or queueing any read request whose
+  /// payload matches `pred` (idle-time per-core horizon scans; writebacks
+  /// install silently and never produce completions).
+  template <typename Pred>
+  [[nodiscard]] bool bank_serves_core(std::uint32_t b, Pred&& pred) const {
+    const Bank& bank = banks_[b];
+    if (bank.busy && !bank.current.is_writeback && pred(bank.current.payload))
+      return true;
+    for (const BankRequest& r : bank.queue)
+      if (!r.is_writeback && pred(r.payload)) return true;
+    return false;
+  }
+
   void save(ArchiveWriter& ar) const {
     for (const SetAssocCache& s : slices_) s.save(ar);
     for (const Bank& b : banks_) {

@@ -40,6 +40,16 @@ class MainMemory {
     return in_flight_.empty() ? kNeverCycle : in_flight_.front().done_at;
   }
 
+  /// Next delivery among in-flight reads whose payload matches `pred`;
+  /// kNeverCycle when none. The FIFO is done_at-monotone, so the first
+  /// match is the earliest (idle-time per-core horizon scans).
+  template <typename Pred>
+  [[nodiscard]] Cycle next_event_cycle_if(Pred&& pred) const {
+    for (const Pending& p : in_flight_)
+      if (pred(p.payload)) return p.done_at;
+    return kNeverCycle;
+  }
+
   [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
   [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
   [[nodiscard]] std::size_t outstanding() const noexcept {

@@ -96,9 +96,7 @@ bool SmtCore::all_threads_stalled() const {
   // hard-blocked (I-cache wait or policy stall — states only a memory
   // completion can clear), and the hierarchy delivered nothing this cycle.
   if (exec_live_ != 0) return false;
-  if (!mem_.completions(id_).empty() || !mem_.l2_events(id_).empty() ||
-      !mem_.l2_miss_events(id_).empty())
-    return false;
+  if (mem_.has_events(id_)) return false;
   for (ThreadId t = 0; t < fstate_.size(); ++t) {
     if (!fstate_[t].hard_blocked()) return false;
     if (!frontend_[t].empty() || !rob_[t].empty()) return false;
@@ -106,8 +104,97 @@ bool SmtCore::all_threads_stalled() const {
   return true;
 }
 
-bool SmtCore::skippable() const {
-  return all_threads_stalled() && policy_->quiescent();
+bool SmtCore::sources_ready(const MicroOp& u) const noexcept {
+  for (int i = 0; i < 2; ++i) {
+    if (u.src_phys[i] == kNoPhysReg) continue;
+    const bool ready = RenameMap::is_fp_reg(u.ins.src[i])
+                           ? fp_regs_.ready(u.src_phys[i])
+                           : int_regs_.ready(u.src_phys[i]);
+    if (!ready) return false;
+  }
+  return true;
+}
+
+Cycle SmtCore::next_local_event(Cycle now) const {
+  if (exec_live_ != 0) return now + 1;  // a local completion writes back soon
+  for (ThreadId t = 0; t < fstate_.size(); ++t)
+    if (!fstate_[t].hard_blocked()) return now + 1;  // fetch could run
+  if (mem_.has_events(id_)) return now + 1;  // undrained rendezvous signal
+  Cycle horizon = policy_->quiescent_until(now);
+  if (horizon <= now + 1) return now + 1;
+  // Dispatch heads: a non-empty front-end is a no-op only while its head
+  // stays blocked — too young (dispatchable at a known cycle: a horizon),
+  // or stuck on ROB/IQ/register-file capacity, all frozen until a memory
+  // completion. advance_idle replays the per-cycle blocker counters for
+  // the skipped window, so sleeping here stays bit-identical. The check
+  // mirrors do_dispatch's order exactly.
+  for (ThreadId t = 0; t < frontend_.size(); ++t) {
+    if (frontend_[t].empty()) continue;
+    const MicroOp& u = pool_[frontend_[t].front()];
+    const Cycle dispatchable_at = u.fetch_cycle + fe_depth_;
+    if (now < dispatchable_at) {
+      horizon = std::min(horizon, dispatchable_at);
+      continue;
+    }
+    if (rob_[t].full()) continue;
+    if (queue_for(u.ins.cls).full()) continue;
+    if (u.ins.has_dst() && !rename_[t].can_rename(u.ins.dst)) continue;
+    return now + 1;  // the head would dispatch
+  }
+  // Commit heads: an uncompleted non-store head waits on memory (local
+  // completions are excluded by exec_live_ == 0); a store head retires the
+  // moment its sources are ready, and with nothing executing locally,
+  // readiness can only change via a memory completion.
+  for (ThreadId t = 0; t < rob_.size(); ++t) {
+    if (rob_[t].empty()) continue;
+    const MicroOp& u = pool_[rob_[t].front()];
+    if (u.is_store()) {
+      if (sources_ready(u)) return now + 1;  // would retire this cycle
+    } else if (u.completed) {
+      return now + 1;  // would commit this cycle
+    }
+  }
+  // Issue: every queued-but-unissued uop must be waiting on a frozen
+  // source register. The int/fp queues hold only unissued entries (entries
+  // leave at issue); issued loads are excluded from lsq_unissued_.
+  for (const IssueQueue* q : {&iq_int_, &iq_fp_}) {
+    for (const UopHandle h : q->entries())
+      if (sources_ready(pool_[h])) return now + 1;
+  }
+  for (const UopHandle h : lsq_unissued_)
+    if (sources_ready(pool_[h])) return now + 1;
+  return horizon;
+}
+
+void SmtCore::advance_idle(Cycle from, Cycle cycles) noexcept {
+  stats_.cycles += cycles;
+  // Replay the dispatch-stage blocker diagnosis the skipped ticks would
+  // have recorded. The blocking state is frozen while asleep, so the
+  // classification recomputed here matches every skipped cycle; the only
+  // time-dependent class — "too young" — holds for the whole window
+  // because next_local_event capped the wake horizon at the head's
+  // dispatchable cycle.
+  for (ThreadId t = 0; t < frontend_.size(); ++t) {
+    if (frontend_[t].empty()) continue;
+    const MicroOp& u = pool_[frontend_[t].front()];
+    if (u.fetch_cycle + fe_depth_ > from) {
+      stats_.dispatch_blocked_young += cycles;
+    } else if (rob_[t].full()) {
+      stats_.dispatch_blocked_rob += cycles;
+    } else {
+      const IssueQueue& q = queue_for(u.ins.cls);
+      assert(q.full() ||
+             (u.ins.has_dst() && !rename_[t].can_rename(u.ins.dst)));
+      if (&q == &iq_int_ && q.full())
+        stats_.dispatch_blocked_iq_int += cycles;
+      else if (&q == &iq_fp_ && q.full())
+        stats_.dispatch_blocked_iq_fp += cycles;
+      else if (&q == &iq_mem_ && q.full())
+        stats_.dispatch_blocked_iq_mem += cycles;
+      else
+        stats_.dispatch_blocked_regs += cycles;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -271,14 +358,9 @@ void SmtCore::do_writeback(Cycle now) {
 void SmtCore::do_issue(Cycle now) {
   std::uint32_t width = cfg_.core.issue_width;
 
-  auto src_ready = [this](const MicroOp& u, int i) {
-    if (u.src_phys[i] == kNoPhysReg) return true;
-    return RenameMap::is_fp_reg(u.ins.src[i]) ? fp_regs_.ready(u.src_phys[i])
-                                              : int_regs_.ready(u.src_phys[i]);
-  };
-  auto ready = [&](const MicroOp& u) {
-    return src_ready(u, 0) && src_ready(u, 1);
-  };
+  // One readiness predicate, shared with next_local_event's sleep proof:
+  // the two must never diverge or a core could sleep past an issuable uop.
+  auto ready = [this](const MicroOp& u) { return sources_ready(u); };
 
   // Integer and FP queues: entries leave at issue.
   for (IssueQueue* q : {&iq_int_, &iq_fp_}) {

@@ -79,16 +79,34 @@ class SmtCore final : public CoreControl {
 
   void tick(Cycle now);
 
-  /// True when ticking this core is a guaranteed no-op until a memory
-  /// completion arrives: pipeline drained, every context hard-blocked, and
-  /// the policy's per-cycle heartbeat declared quiescent. The chip-level
-  /// event skip (CmpSimulator::run) may then jump to the hierarchy's next
-  /// scheduled event, crediting the skipped cycles via advance_idle().
-  [[nodiscard]] bool skippable() const;
+  /// Local-clock horizon: the earliest future cycle at which ticking this
+  /// core might NOT be a guaranteed no-op, assuming no shared-memory event
+  /// (completion, L2-path/L2-miss notification) is delivered first — a
+  /// delivery is the rendezvous that invalidates the horizon. `now + 1`
+  /// means the core must tick every cycle; anything later lets the
+  /// scheduler (CmpSimulator::run) put the core to sleep and credit the
+  /// skipped cycles via advance_idle().
+  ///
+  /// The no-op proof covers pipelines that still hold instructions (a
+  /// flushed thread's offending load, a stalled thread's in-flight
+  /// window): nothing executing locally, every context's fetch
+  /// hard-blocked, dispatch heads blocked (too young — a horizon — or
+  /// stuck on frozen ROB/IQ/register capacity), commit heads stuck, no
+  /// queued uop issuable with the register file frozen, and the policy
+  /// heartbeat quiescent through its own horizon.
+  [[nodiscard]] Cycle next_local_event(Cycle now) const;
 
-  /// Account `cycles` idle cycles skipped by the event kernel (equivalent
-  /// to that many early-exit ticks, which only incremented the counter).
-  void advance_idle(Cycle cycles) noexcept { stats_.cycles += cycles; }
+  /// Convenience for tests: the next tick is a provable no-op.
+  [[nodiscard]] bool skippable(Cycle now) const {
+    return next_local_event(now) > now + 1;
+  }
+
+  /// Account `cycles` idle cycles skipped by the event kernel, covering
+  /// the window (from, from + cycles]: credits the cycle counter and
+  /// replays the dispatch-stage blocker diagnosis counters those no-op
+  /// ticks would have recorded (the blocking state is frozen while
+  /// asleep, so one classification covers the whole window).
+  void advance_idle(Cycle from, Cycle cycles) noexcept;
 
   /// Snapshot support: serialize/restore all mutable core state (including
   /// the policy's). The core must have been built from the same config.
@@ -138,6 +156,11 @@ class SmtCore final : public CoreControl {
   /// stage: drained pipeline, all contexts hard-blocked, no memory events.
   [[nodiscard]] bool all_threads_stalled() const;
 
+  /// Source-readiness predicate used by both do_issue and
+  /// next_local_event's sleep proof — a single definition so the two can
+  /// never diverge.
+  [[nodiscard]] bool sources_ready(const MicroOp& u) const noexcept;
+
   void do_memory_completions(Cycle now);
   void do_commit(Cycle now);
   void do_writeback(Cycle now);
@@ -154,6 +177,9 @@ class SmtCore final : public CoreControl {
   void remove_squashed_uop(UopHandle h, SquashCause cause, Cycle now);
   [[nodiscard]] PipeStage occupancy_stage(const MicroOp& u, Cycle now) const;
   [[nodiscard]] IssueQueue& queue_for(InstrClass cls) noexcept;
+  [[nodiscard]] const IssueQueue& queue_for(InstrClass cls) const noexcept {
+    return const_cast<SmtCore*>(this)->queue_for(cls);
+  }
 
   CoreId id_;
   SimConfig cfg_;

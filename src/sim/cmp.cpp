@@ -1,10 +1,27 @@
 #include "sim/cmp.h"
 
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "trace/spec2000.h"
 
 namespace mflush {
+
+namespace {
+
+/// Process-wide default for the event-skip machinery: MFLUSH_NO_EVENT_SKIP=1
+/// forces every simulator into the lockstep loop (the ctest A/B toggle).
+bool default_event_skip() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("MFLUSH_NO_EVENT_SKIP");
+    return v == nullptr || v[0] == '\0' || v[0] == '0';
+  }();
+  return enabled;
+}
+
+}  // namespace
 
 void CmpSimulator::build(const std::vector<BenchmarkProfile>& profiles) {
   if (const std::string err = cfg_.validate(); !err.empty())
@@ -29,6 +46,8 @@ void CmpSimulator::build(const std::vector<BenchmarkProfile>& profiles) {
     cores_.push_back(std::make_unique<SmtCore>(
         c, cfg_, mem_, make_policy(policy_, cfg_), std::move(traces)));
   }
+  clocks_.resize(cores_.size());
+  event_skip_ = default_event_skip();
 
   if (cfg_.prewarm_l2) {
     for (const auto& src : sources_) {
@@ -96,28 +115,94 @@ CmpSimulator::CmpSimulator(const std::vector<BenchmarkProfile>& profiles,
 
 void CmpSimulator::run(Cycle cycles) {
   const Cycle end = now_ + cycles;
+  if (!event_skip_) {
+    run_lockstep(end);
+    return;
+  }
+  while (now_ < end) {
+    ++now_;
+    mem_.tick(now_);
+    bool all_asleep = true;
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+      CoreClock& ck = clocks_[c];
+      if (ck.asleep) {
+        // Rendezvous check: a shared-memory event delivered to this core
+        // (or the policy horizon expiring) pulls it back to the chip
+        // clock; otherwise its local clock keeps lagging. Before the
+        // hierarchy's per-core event horizon, delivery is impossible and
+        // even the buffer poll is skipped.
+        if (now_ < ck.wake_at) {
+          if (now_ < ck.event_check_at) {
+            assert(!mem_.has_events(c) &&
+                   "memory event delivered before the per-core horizon");
+            continue;
+          }
+          if (!mem_.has_events(c)) continue;
+        }
+        const Cycle skipped = now_ - 1 - ck.slept_at;
+        cores_[c]->advance_idle(ck.slept_at, skipped);
+        idle_skipped_ += skipped;
+        ck.asleep = false;
+      }
+      cores_[c]->tick(now_);
+      // A quiescence horizon beyond the next cycle puts the core to sleep:
+      // every tick until then is a provable no-op (the crediting in
+      // advance_idle is all those ticks would have done).
+      const Cycle horizon = cores_[c]->next_local_event(now_);
+      if (horizon > now_ + 1) {
+        ck.asleep = true;
+        ck.slept_at = now_;
+        ck.wake_at = horizon;
+        // Open-ended sleeps (no policy deadline) are worth the one-time
+        // per-core horizon scan; deadline sleeps are short, so polling
+        // from the start is cheaper than scanning.
+        ck.event_check_at = horizon == kNeverCycle
+                                ? mem_.next_event_cycle_for(c, now_)
+                                : 0;
+      } else {
+        all_asleep = false;
+      }
+    }
+    if (now_ >= end) break;
+    if (!all_asleep) continue;
+
+    // Whole-chip skip: every core is asleep, so only the hierarchy (or a
+    // policy horizon) can schedule the next state change; jump straight
+    // there. kNeverCycle (a fully inert chip) skips to the interval end.
+    Cycle event = mem_.next_event_cycle(now_);
+    for (const CoreClock& ck : clocks_)
+      event = std::min(event, ck.wake_at);
+    const Cycle target = event < end ? event : end;
+    if (target > now_ + 1) now_ = target - 1;
+  }
+
+  // Interval boundary: re-sync every local clock to the chip clock so
+  // metrics and snapshots see fully-credited cycle counters. Sleep state
+  // survives into the next run() call.
+  for (CoreId c = 0; c < cores_.size(); ++c) {
+    CoreClock& ck = clocks_[c];
+    if (ck.asleep && ck.slept_at < end) {
+      cores_[c]->advance_idle(ck.slept_at, end - ck.slept_at);
+      idle_skipped_ += end - ck.slept_at;
+      ck.slept_at = end;
+    }
+  }
+}
+
+void CmpSimulator::run_lockstep(Cycle end) {
+  // The pre-decoupling loop: tick everything every cycle. The A/B
+  // reference for the bit-identity and energy audits. Local clocks are
+  // already synced (run() re-syncs at every interval boundary), so waking
+  // sleeping cores is free.
+  for (CoreClock& ck : clocks_) {
+    ck.asleep = false;
+    ck.wake_at = kNeverCycle;
+    ck.event_check_at = 0;
+  }
   while (now_ < end) {
     ++now_;
     mem_.tick(now_);
     for (auto& core : cores_) core->tick(now_);
-    if (now_ >= end) break;
-
-    // Event skip: when every core's next tick is a provable no-op, jump
-    // the clock to the hierarchy's next scheduled event. Skipped cycles
-    // are credited to the per-core cycle counters, which is all a
-    // quiescent tick would have done.
-    bool idle = true;
-    for (const auto& core : cores_) idle &= core->skippable();
-    if (!idle) continue;
-    const Cycle event = mem_.next_event_cycle(now_);
-    // kNeverCycle (a fully inert chip) skips to the end of the interval.
-    const Cycle target = event < end ? event : end;
-    if (target > now_ + 1) {
-      const Cycle skipped = target - 1 - now_;
-      now_ += skipped;
-      idle_skipped_ += skipped;
-      for (auto& core : cores_) core->advance_idle(skipped);
-    }
   }
 }
 
@@ -129,6 +214,11 @@ void CmpSimulator::reset_stats() {
 void CmpSimulator::save_state(ArchiveWriter& ar) const {
   ar.put(now_);
   ar.put(idle_skipped_);
+  for (const CoreClock& ck : clocks_) {
+    ar.put(ck.asleep);
+    ar.put(ck.slept_at);
+    ar.put(ck.wake_at);
+  }
   for (const auto& src : sources_) src->save_state(ar);
   mem_.save_state(ar);
   for (const auto& core : cores_) core->save_state(ar);
@@ -137,6 +227,12 @@ void CmpSimulator::save_state(ArchiveWriter& ar) const {
 void CmpSimulator::load_state(ArchiveReader& ar) {
   now_ = ar.get<Cycle>();
   idle_skipped_ = ar.get<Cycle>();
+  for (CoreClock& ck : clocks_) {
+    ck.asleep = ar.get<bool>();
+    ck.slept_at = ar.get<Cycle>();
+    ck.wake_at = ar.get<Cycle>();
+    ck.event_check_at = 0;  // polling throttle only; poll until re-proven
+  }
   for (auto& src : sources_) src->load_state(ar);
   mem_.load_state(ar);
   for (auto& core : cores_) core->load_state(ar);

@@ -45,12 +45,25 @@ class CmpSimulator {
 
   /// Advance `cycles` cycles.
   ///
-  /// Event-driven idle skip: when every core reports a guaranteed no-op
-  /// tick (pipeline drained, contexts hard-blocked, policy quiescent), the
-  /// clock jumps straight to the hierarchy's next scheduled event instead
-  /// of ticking through the dead cycles. Results are bit-identical to the
-  /// cycle-by-cycle loop; only wall-clock changes.
+  /// Decoupled per-core clocks: a core whose next tick is a provable no-op
+  /// (pipeline drained, contexts hard-blocked, policy quiescent through a
+  /// horizon — SmtCore::next_local_event) goes to sleep and its local
+  /// clock falls behind the chip clock; it is not ticked again until a
+  /// shared-memory rendezvous (the hierarchy delivers it a completion or
+  /// L2 event) or its policy horizon expires, at which point the skipped
+  /// cycles are credited in one advance_idle() call. One busy core no
+  /// longer pins its idle siblings to tick-by-tick execution. When every
+  /// core is asleep the chip clock itself jumps to the next hierarchy
+  /// event. Results are bit-identical to the cycle-by-cycle loop; only
+  /// wall-clock changes (tested against lockstep over the workload×policy
+  /// grid). set_event_skip(false) — or the MFLUSH_NO_EVENT_SKIP=1
+  /// environment variable — forces the lockstep loop for A/B audits.
   void run(Cycle cycles);
+
+  /// Enable/disable the event-skip machinery for this simulator (default:
+  /// on, unless MFLUSH_NO_EVENT_SKIP=1 is set in the environment).
+  void set_event_skip(bool enabled) noexcept { event_skip_ = enabled; }
+  [[nodiscard]] bool event_skip() const noexcept { return event_skip_; }
 
   /// Zero all statistics (start of a measured interval).
   void reset_stats();
@@ -81,8 +94,31 @@ class CmpSimulator {
   void save_state(ArchiveWriter& ar) const;
   void load_state(ArchiveReader& ar);
 
+  /// Per-core local clock: while `asleep`, the core is not ticked and its
+  /// cycle counter lags the chip clock from `slept_at` (the last cycle it
+  /// was ticked or credited). `wake_at` is the policy's quiescence
+  /// horizon; an event delivery wakes the core earlier. run() re-syncs
+  /// every local clock to the chip clock at each interval boundary, so
+  /// between run() calls `slept_at == now()` for sleeping cores.
+  ///
+  /// `event_check_at` is the hierarchy's per-core event horizon captured
+  /// at sleep time (MemoryHierarchy::next_event_cycle_for): no event can
+  /// reach this core earlier, so the scheduler skips even the buffer
+  /// polling until then. A pure polling throttle — it is recomputed, not
+  /// serialized; restoring it as 0 (always poll) is behaviour-identical.
+  struct CoreClock {
+    bool asleep = false;
+    Cycle slept_at = 0;
+    Cycle wake_at = kNeverCycle;
+    Cycle event_check_at = 0;
+  };
+  [[nodiscard]] const CoreClock& core_clock(CoreId c) const {
+    return clocks_.at(c);
+  }
+
  private:
   void build(const std::vector<BenchmarkProfile>& profiles);
+  void run_lockstep(Cycle end);
 
   SimConfig cfg_;
   Workload workload_;
@@ -90,8 +126,10 @@ class CmpSimulator {
   MemoryHierarchy mem_;
   std::vector<std::unique_ptr<SyntheticTraceSource>> sources_;
   std::vector<std::unique_ptr<SmtCore>> cores_;
+  std::vector<CoreClock> clocks_;  ///< one local clock per core
   Cycle now_ = 0;
-  Cycle idle_skipped_ = 0;  ///< cycles jumped by the event kernel
+  Cycle idle_skipped_ = 0;  ///< core-cycles skipped by the event kernel
+  bool event_skip_ = true;
   bool profile_built_ = false;
 };
 

@@ -24,7 +24,9 @@
 /// snapshots are cheap to regenerate, correctness is not.
 namespace mflush::snapshot {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: per-core local clocks (CmpSimulator sleep state) + WakeupWheel
+/// release cycles joined the stream.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Serialize the full simulator state (header + state + checksum).
 [[nodiscard]] std::vector<std::uint8_t> capture(const CmpSimulator& sim);

@@ -15,12 +15,16 @@
 ///                             measure as usual (single-policy runs only)
 ///     --load-snapshot PATH    restore the chip from PATH (skips warm-up;
 ///                             workload/policy/seed come from the file)
+///     --no-event-skip         force lockstep execution (disable the
+///                             event kernel's idle skip; A/B audits —
+///                             results are bit-identical either way)
 ///     --csv                   machine-readable one-line-per-run output
 ///     --debug                 full component dump after the run
 ///                             (single-policy runs only)
 #include <charconv>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -40,7 +44,7 @@ void usage(const char* argv0) {
       << "usage: " << argv0
       << " [--workload NAME|CODES] [--policy SPEC[,SPEC...]] [--cycles N]\n"
          "       [--warmup N] [--seed N] [--jobs N] [--save-snapshot PATH]\n"
-         "       [--load-snapshot PATH] [--csv] [--debug]\n\n"
+         "       [--load-snapshot PATH] [--no-event-skip] [--csv] [--debug]\n\n"
          "workloads: 2W1..8W5 (Fig. 1), bzip2-twolf, or a string of\n"
          "benchmark codes (a=gzip .. z=mgrid), two per core.\n"
          "policies: icount, brcount, l1dmisscount, flush-s<N>, flush-ns,\n"
@@ -119,6 +123,10 @@ int main(int argc, char** argv) {
       save_snapshot = value();
     } else if (arg == "--load-snapshot") {
       load_snapshot = value();
+    } else if (arg == "--no-event-skip") {
+      // Every CmpSimulator (including those built inside the parallel
+      // sweep) reads this on construction.
+      setenv("MFLUSH_NO_EVENT_SKIP", "1", 1);
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--debug") {
@@ -156,8 +164,17 @@ int main(int argc, char** argv) {
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
-  if ((debug || !save_snapshot.empty()) && policies.size() > 1) {
-    std::cerr << "--debug and --save-snapshot need a single policy\n";
+  if (!save_snapshot.empty() && policies.size() > 1) {
+    // Without this check, each policy of the sweep would checkpoint to the
+    // same file and the last writer would win silently.
+    std::cerr << "error: --save-snapshot with a multi-policy sweep would "
+                 "write every policy's chip to the same file (last one "
+                 "wins); run one --policy per snapshot\n";
+    return 2;
+  }
+  if (debug && policies.size() > 1) {
+    std::cerr << "error: --debug needs a single policy (the component dump "
+                 "covers one chip)\n";
     return 2;
   }
   if (!save_snapshot.empty() && !load_snapshot.empty()) {

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "sim/cmp.h"
+#include "sim/snapshot.h"
+#include "sim/workloads.h"
+
+/// Decoupled per-core clocks (CmpSimulator::run) must be bit-identical to
+/// lockstep execution: every metric, every per-core statistic (including
+/// the per-cycle dispatch blocker diagnosis that advance_idle replays),
+/// every energy figure. These tests drive both modes over the policy
+/// families and the workload shapes the scheduler optimizes for —
+/// especially heterogeneous chips where one busy core keeps the chip clock
+/// ticking while its siblings sleep.
+namespace mflush {
+namespace {
+
+Workload wl(const std::string& name) {
+  if (const auto w = workloads::by_name(name)) return *w;
+  Workload w;  // benchmark-code string (e.g. "aadddddd")
+  w.name = name;
+  for (const char c : name) w.codes.push_back(c);
+  return w;
+}
+
+std::vector<PolicySpec> all_policy_families() {
+  return {PolicySpec::icount(),        PolicySpec::brcount(),
+          PolicySpec::misscount(),     PolicySpec::flush_spec(30),
+          PolicySpec::flush_ns(),      PolicySpec::stall(30),
+          PolicySpec::mflush(),        PolicySpec::mflush_no_preventive()};
+}
+
+/// Field-by-field CoreStats comparison (memcmp would compare padding).
+void expect_core_stats_equal(const CoreStats& a, const CoreStats& b,
+                             const std::string& what) {
+#define MFLUSH_CK(f) \
+  EXPECT_EQ(a.f, b.f) << what << ": CoreStats::" #f " diverged"
+  MFLUSH_CK(cycles);
+  MFLUSH_CK(committed);
+  MFLUSH_CK(fetched);
+  MFLUSH_CK(fetched_wrong_path);
+  MFLUSH_CK(branches_resolved);
+  MFLUSH_CK(mispredicts);
+  MFLUSH_CK(loads_issued);
+  MFLUSH_CK(policy_flush_events);
+  MFLUSH_CK(policy_flushed_by_stage);
+  MFLUSH_CK(branch_squashed_by_stage);
+  MFLUSH_CK(dispatch_blocked_young);
+  MFLUSH_CK(dispatch_blocked_rob);
+  MFLUSH_CK(dispatch_blocked_iq_int);
+  MFLUSH_CK(dispatch_blocked_iq_fp);
+  MFLUSH_CK(dispatch_blocked_iq_mem);
+  MFLUSH_CK(dispatch_blocked_regs);
+  MFLUSH_CK(instructions_issued);
+#undef MFLUSH_CK
+}
+
+void expect_runs_identical(const Workload& w, const PolicySpec& p,
+                           Cycle warmup, Cycle measure) {
+  const std::string what = w.name + "/" + p.label();
+  CmpSimulator skip(w, p, 1);
+  CmpSimulator lockstep(w, p, 1);
+  skip.set_event_skip(true);
+  lockstep.set_event_skip(false);
+
+  // Interval boundaries land mid-skew: sleeping cores must survive the
+  // warmup→reset→measure sequence with their counters fully credited.
+  skip.run(warmup);
+  lockstep.run(warmup);
+  skip.reset_stats();
+  lockstep.reset_stats();
+  skip.run(measure);
+  lockstep.run(measure);
+
+  const SimMetrics ms = skip.metrics();
+  const SimMetrics ml = lockstep.metrics();
+  EXPECT_EQ(ms.cycles, ml.cycles) << what;
+  EXPECT_EQ(ms.committed, ml.committed) << what;
+  EXPECT_EQ(ms.flush_events, ml.flush_events) << what;
+  EXPECT_EQ(ms.flushed_instructions, ml.flushed_instructions) << what;
+  EXPECT_EQ(ms.branches_resolved, ml.branches_resolved) << what;
+  EXPECT_EQ(ms.mispredicts, ml.mispredicts) << what;
+  EXPECT_EQ(ms.l2_hits_observed, ml.l2_hits_observed) << what;
+  EXPECT_EQ(ms.l2_misses_observed, ml.l2_misses_observed) << what;
+  // The fig10/fig11 energy inputs are exact counter sums: identical
+  // counters must give bitwise-identical energy figures.
+  EXPECT_EQ(ms.energy.committed_units, ml.energy.committed_units) << what;
+  EXPECT_EQ(ms.energy.flush_wasted_units, ml.energy.flush_wasted_units)
+      << what;
+  EXPECT_EQ(ms.energy.branch_wasted_units, ml.energy.branch_wasted_units)
+      << what;
+
+  for (CoreId c = 0; c < skip.num_cores(); ++c) {
+    expect_core_stats_equal(skip.core(c).stats(), lockstep.core(c).stats(),
+                            what + " core " + std::to_string(c));
+  }
+  const MemStats& a = skip.memory().stats();
+  const MemStats& b = lockstep.memory().stats();
+  EXPECT_EQ(a.loads, b.loads) << what;
+  EXPECT_EQ(a.stores, b.stores) << what;
+  EXPECT_EQ(a.ifetches, b.ifetches) << what;
+  EXPECT_EQ(a.l1_writebacks, b.l1_writebacks) << what;
+}
+
+TEST(DecoupledClock, BitIdenticalToLockstepAcrossPolicyGrid) {
+  // 4 workload shapes x 8 policy families = the 32-point identity grid.
+  // "aadddddd" is the decoupling showcase: one compute-bound core (gzip)
+  // keeps the chip clock busy while three mcf cores block on long-latency
+  // loads and sleep.
+  for (const std::string& w : {std::string("2W3"), std::string("4W3"),
+                               std::string("8W3"), std::string("aadddddd")}) {
+    for (const PolicySpec& p : all_policy_families()) {
+      expect_runs_identical(wl(w), p, 2'000, 6'000);
+    }
+  }
+}
+
+TEST(DecoupledClock, HeterogeneousChipActuallySkips) {
+  // One busy core + three blocked cores: the exact configuration the
+  // all-or-nothing chip-level skip could never touch. The decoupled
+  // scheduler must put the blocked cores to sleep for a substantial
+  // fraction of their cycles while staying bit-identical (covered above).
+  CmpSimulator sim(wl("aadddddd"), PolicySpec::flush_spec(30), 1);
+  sim.set_event_skip(true);  // the test asserts skipping, whatever the env
+  sim.run(30'000);
+  const Cycle total = Cycle{30'000} * sim.num_cores();
+  EXPECT_GT(sim.idle_cycles_skipped(), total / 10)
+      << "blocked cores never slept under a busy sibling";
+}
+
+TEST(DecoupledClock, SetEventSkipDisablesSkipping) {
+  CmpSimulator sim(wl("8W3"), PolicySpec::flush_spec(30), 1);
+  sim.set_event_skip(false);
+  sim.run(20'000);
+  EXPECT_EQ(sim.idle_cycles_skipped(), 0u);
+}
+
+TEST(DecoupledClock, SnapshotRoundTripsLocalClocksMidSkew) {
+  // Capture while local clocks are skewed (cores asleep with pending wake
+  // horizons), then verify resumed == continuous — the local clocks are
+  // part of the snapshot payload (format v2).
+  CmpSimulator sim(wl("aadddddd"), PolicySpec::flush_spec(30), 1);
+  sim.set_event_skip(true);  // the test asserts a mid-skew sleep state
+  sim.run(10'000);
+
+  bool any_asleep = false;
+  for (CoreId c = 0; c < sim.num_cores(); ++c)
+    any_asleep |= sim.core_clock(c).asleep;
+  EXPECT_TRUE(any_asleep)
+      << "capture point never reached a mid-skew sleep state";
+
+  const std::vector<std::uint8_t> bytes = snapshot::capture(sim);
+  auto resumed = snapshot::make(bytes);
+  resumed->set_event_skip(true);
+  sim.run(10'000);
+  resumed->run(10'000);
+
+  const SimMetrics a = sim.metrics();
+  const SimMetrics b = resumed->metrics();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.flush_events, b.flush_events);
+  EXPECT_EQ(a.mispredicts, b.mispredicts);
+  for (CoreId c = 0; c < sim.num_cores(); ++c) {
+    expect_core_stats_equal(sim.core(c).stats(), resumed->core(c).stats(),
+                            "resumed core " + std::to_string(c));
+    EXPECT_EQ(sim.core_clock(c).asleep, resumed->core_clock(c).asleep);
+    EXPECT_EQ(sim.core_clock(c).slept_at, resumed->core_clock(c).slept_at);
+    EXPECT_EQ(sim.core_clock(c).wake_at, resumed->core_clock(c).wake_at);
+  }
+}
+
+TEST(DecoupledClock, SnapshotResumeIdenticalInBothModes) {
+  // A snapshot written by a decoupled run must resume correctly into a
+  // lockstep simulator and vice versa: the serialized local clocks are
+  // synced at capture time, so mode is a host choice, not simulator state.
+  CmpSimulator writer(wl("2W3"), PolicySpec::mflush(), 1);
+  writer.run(8'000);
+  const std::vector<std::uint8_t> bytes = snapshot::capture(writer);
+
+  auto decoupled = snapshot::make(bytes);
+  auto lockstep = snapshot::make(bytes);
+  decoupled->set_event_skip(true);
+  lockstep->set_event_skip(false);
+  decoupled->run(8'000);
+  lockstep->run(8'000);
+  EXPECT_EQ(decoupled->metrics().committed, lockstep->metrics().committed);
+  EXPECT_EQ(decoupled->metrics().flush_events,
+            lockstep->metrics().flush_events);
+  for (CoreId c = 0; c < decoupled->num_cores(); ++c) {
+    expect_core_stats_equal(decoupled->core(c).stats(),
+                            lockstep->core(c).stats(),
+                            "cross-mode core " + std::to_string(c));
+  }
+}
+
+}  // namespace
+}  // namespace mflush

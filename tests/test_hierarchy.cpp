@@ -230,5 +230,68 @@ TEST(Hierarchy, PerCoreIsolationOfL1) {
   EXPECT_TRUE(c.l2_hit);       // but the shared L2 has it
 }
 
+// ------------------------------------------------- per-core event horizons
+
+TEST(Hierarchy, PerCoreHorizonIsNeverWhenIdle) {
+  MemoryHierarchy mem(cfg_with_cores(2));
+  EXPECT_EQ(mem.next_event_cycle_for(0, 100), kNeverCycle);
+  EXPECT_EQ(mem.next_event_cycle_for(1, 100), kNeverCycle);
+}
+
+TEST(Hierarchy, PerCoreHorizonTracksOwnTransactionsOnly) {
+  MemoryHierarchy mem(cfg_with_cores(2));
+  // Warm core 0's TLB so the probed access has no page-walk component.
+  const auto warm = mem.request_load(0, 0, 0x2000, 0);
+  (void)run_until_complete(mem, 0, warm, 0, 700);
+  mem.l2_events(0).clear();
+  mem.l2_miss_events(0).clear();
+
+  const Cycle now = 1000;
+  (void)mem.request_load(0, 0, 0x2040, now);  // same page, different line
+  // Core 0 has an L1-pipeline access in flight; core 1 has nothing.
+  EXPECT_EQ(mem.next_event_cycle_for(0, now), now + 3);  // L1 latency
+  EXPECT_EQ(mem.next_event_cycle_for(1, now), kNeverCycle);
+}
+
+TEST(Hierarchy, PerCoreHorizonIsASoundLowerBound) {
+  // Drive a full L2-miss transaction (L1 pipe -> bus -> bank -> memory)
+  // and record the horizon promised at every cycle before delivery: each
+  // must be a lower bound on (at or before) the actual delivery cycle,
+  // and none may claim the core is idle.
+  MemoryHierarchy mem(cfg_with_cores(2));
+  const Cycle start = 50;
+  const auto token = mem.request_load(0, 0, 0x9000, start);
+  std::vector<Cycle> promised;
+  Cycle done = 0;
+  for (Cycle t = start + 1; t <= start + 700 && done == 0; ++t) {
+    promised.push_back(mem.next_event_cycle_for(0, t - 1));
+    mem.tick(t);
+    for (const MemCompletion& c : mem.completions(0))
+      if (c.token == token) done = t;
+    mem.completions(0).clear();
+    mem.l2_events(0).clear();
+    mem.l2_miss_events(0).clear();
+  }
+  ASSERT_NE(done, 0u);
+  for (const Cycle h : promised) {
+    EXPECT_NE(h, kNeverCycle) << "horizon lost the in-flight transaction";
+    EXPECT_LE(h, done) << "horizon promised later than the delivery";
+  }
+  EXPECT_EQ(mem.next_event_cycle_for(0, done), kNeverCycle);
+}
+
+TEST(Hierarchy, HasEventsFlagsUndrainedBuffers) {
+  MemoryHierarchy mem(cfg_with_cores(1));
+  EXPECT_FALSE(mem.has_events(0));
+  const auto token = mem.request_load(0, 0, 0x2000, 0);
+  (void)token;
+  for (Cycle t = 1; t <= 700 && !mem.has_events(0); ++t) mem.tick(t);
+  EXPECT_TRUE(mem.has_events(0));  // completion waiting to be drained
+  mem.completions(0).clear();
+  mem.l2_events(0).clear();
+  mem.l2_miss_events(0).clear();
+  EXPECT_FALSE(mem.has_events(0));
+}
+
 }  // namespace
 }  // namespace mflush

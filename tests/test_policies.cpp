@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "common/archive.h"
 #include "core/factory.h"
 #include "core/fetch_policy.h"
 #include "core/flush.h"
@@ -224,6 +226,99 @@ TEST(Factory, BuildsEveryKind) {
   EXPECT_STREQ(make_policy(PolicySpec::flush_ns(), cfg)->name(), "FLUSH-NS");
   EXPECT_STREQ(make_policy(PolicySpec::stall(30), cfg)->name(), "STALL-S30");
   EXPECT_STREQ(make_policy(PolicySpec::mflush(), cfg)->name(), "MFLUSH");
+}
+
+// ------------------------------------------------- quiescence horizons
+
+/// The horizon contract the decoupled clock relies on: every on_cycle
+/// strictly before quiescent_until(now) must be an exact no-op — no
+/// response actions AND no state or counter change (checked by comparing
+/// serialized policy state before/after).
+void expect_noop_through_horizon(FetchPolicy& p, Cycle now,
+                                 Cycle probe_limit = 512) {
+  const Cycle h = p.quiescent_until(now);
+  ASSERT_GT(h, now) << "horizon must be in the future";
+  if (h == now + 1) return;  // not quiescent: nothing to probe
+  ArchiveWriter before;
+  p.save_state(before);
+  MockControl ctrl;
+  const Cycle stop =
+      h == kNeverCycle ? now + probe_limit : std::min(h - 1, now + probe_limit);
+  for (Cycle t = now + 1; t <= stop; ++t) p.on_cycle(t, ctrl);
+  EXPECT_TRUE(ctrl.flushed.empty()) << "flush inside quiescent window";
+  EXPECT_TRUE(ctrl.stalled.empty()) << "stall inside quiescent window";
+  EXPECT_TRUE(ctrl.gates.empty()) << "gate change inside quiescent window";
+  ArchiveWriter after;
+  p.save_state(after);
+  EXPECT_EQ(before.bytes(), after.bytes())
+      << "policy state changed inside its quiescent window";
+}
+
+TEST(QuiescentUntil, PriorityPoliciesAreForeverQuiescent) {
+  IcountPolicy p;
+  EXPECT_EQ(p.quiescent_until(1000), kNeverCycle);
+}
+
+TEST(QuiescentUntil, FlushSpecHorizonIsTheTriggerDeadline) {
+  FlushPolicy p(FlushPolicy::DetectionMoment::SpecDelay, 30);
+  p.on_load_issued(0, 7, 2, 100);
+  EXPECT_EQ(p.quiescent_until(110), 130u);  // fires at issue + trigger
+  expect_noop_through_horizon(p, 110);
+  MockControl ctrl;
+  p.on_cycle(130, ctrl);  // and it really does act at the horizon
+  EXPECT_EQ(ctrl.flushed.size(), 1u);
+}
+
+TEST(QuiescentUntil, FlushSpecFlushedThreadWaitsOnCallback) {
+  FlushPolicy p(FlushPolicy::DetectionMoment::SpecDelay, 30);
+  MockControl ctrl;
+  p.on_load_issued(0, 7, 2, 100);
+  p.on_cycle(130, ctrl);  // flush fires; thread now waits for the load
+  EXPECT_EQ(p.quiescent_until(130), kNeverCycle);
+  expect_noop_through_horizon(p, 130);
+}
+
+TEST(QuiescentUntil, FlushNonSpecArmsOnMissDetection) {
+  FlushPolicy p(FlushPolicy::DetectionMoment::NonSpec, 0);
+  p.on_load_issued(0, 7, 1, 100);
+  EXPECT_EQ(p.quiescent_until(200), kNeverCycle);  // age never triggers
+  expect_noop_through_horizon(p, 200);
+  p.on_load_l2_miss(0, 7, 1, 220);
+  EXPECT_EQ(p.quiescent_until(220), 221u);  // armed: fires next heartbeat
+}
+
+TEST(QuiescentUntil, StallHorizonIsTheTriggerDeadline) {
+  StallPolicy p(40);
+  p.on_load_issued(1, 9, 0, 500);
+  EXPECT_EQ(p.quiescent_until(510), 540u);
+  expect_noop_through_horizon(p, 510);
+  MockControl ctrl;
+  p.on_cycle(540, ctrl);
+  EXPECT_EQ(ctrl.stalled.size(), 1u);
+}
+
+TEST(QuiescentUntil, MflushHorizonCoversBarrierAndSuspicion) {
+  MflushConfig cfg;  // min 22, max 272, mt 0 -> preventive threshold 22
+  MflushPolicy p(cfg);
+  p.on_load_issued(0, 7, 2, 100);
+  // Not yet on the L2 path: the load does not participate in on_cycle.
+  EXPECT_EQ(p.quiescent_until(105), kNeverCycle);
+  p.on_load_l2_path(0, 7, 2, 103);
+  // Barrier = MCReg(22) + 11 = 33 clamped to [22, 272] -> deadline 133,
+  // firing at 134; suspicion crosses at issue + 22 + 1 = 123 (earlier).
+  EXPECT_EQ(p.quiescent_until(105), 123u);
+  expect_noop_through_horizon(p, 105);
+}
+
+TEST(QuiescentUntil, MflushArmedGateNeverQuiescent) {
+  MflushConfig cfg;
+  MflushPolicy p(cfg);
+  MockControl ctrl;
+  p.on_load_issued(0, 7, 2, 100);
+  p.on_load_l2_path(0, 7, 2, 103);
+  p.on_cycle(130, ctrl);  // suspicious (age > 22): gate armed
+  ASSERT_FALSE(ctrl.gates.empty());
+  EXPECT_EQ(p.quiescent_until(130), 131u);  // gate_cycles accrues per tick
 }
 
 TEST(Factory, MflushGetsTopologyDerivedMT) {
