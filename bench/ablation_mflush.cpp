@@ -10,20 +10,20 @@
 
 #include "common/table.h"
 #include "core/factory.h"
-#include "sim/cmp.h"
-#include "sim/parallel.h"
+#include "sim/backend.h"
 #include "sim/workloads.h"
 
 int main() {
   using namespace mflush;
 
-  const Cycle warm = warmup_cycles();
-  const Cycle measure = bench_cycles();
-  std::cout << "== Ablation: MFLUSH design choices on 4-core chips"
-            << "\n   measured " << measure << " cycles after " << warm
-            << " warm-up\n\n";
-
-  const std::vector<PolicySpec> policies = {
+  // 3 subjects x 9 policy variants = 27 independent points, one
+  // declarative experiment; the diagnostic counters ride inside
+  // SimMetrics, so any backend (including worker processes) can serve it.
+  ExperimentSpec spec;
+  spec.name = "ablation_mflush";
+  spec.workloads = {*workloads::by_name("8W1"), *workloads::by_name("8W3"),
+                    workloads::bzip2_twolf_special()};
+  spec.policies = {
       PolicySpec::icount(),
       PolicySpec::brcount(),
       PolicySpec::misscount(),
@@ -34,46 +34,29 @@ int main() {
       PolicySpec::mflush_history(4, PolicySpec::McRegAgg::Avg),
       PolicySpec::mflush_history(4, PolicySpec::McRegAgg::Max),
   };
-  const std::vector<Workload> subjects = {*workloads::by_name("8W1"),
-                                          *workloads::by_name("8W3"),
-                                          workloads::bzip2_twolf_special()};
+  spec.warmup = warmup_cycles();
+  spec.measure = bench_cycles();
 
-  // 3 subjects x 9 policy variants = 27 independent points, one batch.
-  struct PointStats {
-    SimMetrics m;
-    std::uint64_t false_flushes = 0;
-    std::uint64_t gates = 0;
-  };
-  std::vector<PointStats> stats(subjects.size() * policies.size());
-  ParallelRunner::shared().for_each_index(stats.size(), [&](std::size_t i) {
-    const Workload& w = subjects[i / policies.size()];
-    const PolicySpec& p = policies[i % policies.size()];
-    CmpSimulator sim(w, p);
-    sim.run(warm);
-    sim.reset_stats();
-    sim.run(measure);
-    PointStats& out = stats[i];
-    out.m = sim.metrics();
-    for (CoreId c = 0; c < sim.num_cores(); ++c) {
-      const auto pc = sim.core(c).policy().counters();
-      out.false_flushes += pc.flushes_on_hit;
-      out.gates += pc.gate_cycles;
-    }
-  });
+  std::cout << "== Ablation: MFLUSH design choices on 4-core chips"
+            << "\n   measured " << spec.measure << " cycles after "
+            << spec.warmup << " warm-up\n\n";
 
-  for (std::size_t s = 0; s < subjects.size(); ++s) {
-    const Workload& w = subjects[s];
+  InProcessBackend backend;
+  const std::vector<RunResult> results = run_experiment(spec, backend);
+
+  const std::size_t num_policies = spec.policies.size();
+  for (std::size_t s = 0; s < spec.workloads.size(); ++s) {
+    const Workload& w = spec.workloads[s];
     std::cout << "-- " << w.name << " (" << w.describe() << ")\n";
     Table table({"policy", "IPC", "flushes", "false", "gate-cycles",
                  "wasted/1k"});
-    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
-      const PointStats& ps = stats[s * policies.size() + pi];
-      table.add_row({policies[pi].label(), Table::num(ps.m.ipc),
-                     std::to_string(ps.m.flush_events),
-                     std::to_string(ps.false_flushes),
-                     std::to_string(ps.gates),
-                     Table::num(ps.m.energy.flush_wasted_per_kilo_commit(),
-                                1)});
+    for (std::size_t pi = 0; pi < num_policies; ++pi) {
+      const SimMetrics& m = results[s * num_policies + pi].metrics;
+      table.add_row({spec.policies[pi].label(), Table::num(m.ipc),
+                     std::to_string(m.flush_events),
+                     std::to_string(m.policy_flushes_on_hit),
+                     std::to_string(m.policy_gate_cycles),
+                     Table::num(m.energy.flush_wasted_per_kilo_commit(), 1)});
     }
     table.print(std::cout);
     std::cout << '\n';

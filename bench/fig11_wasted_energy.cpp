@@ -10,28 +10,31 @@
 
 #include "common/table.h"
 #include "core/factory.h"
-#include "sim/parallel.h"
+#include "sim/backend.h"
 #include "sim/report.h"
 #include "sim/workloads.h"
 
 int main() {
   using namespace mflush;
 
-  const Cycle warm = warmup_cycles();
-  const Cycle measure = bench_cycles();
+  ExperimentSpec spec;
+  spec.name = "fig11_wasted_energy";
+  for (const std::uint32_t threads : {4u, 6u, 8u})
+    for (const Workload& w : workloads::of_size(threads))
+      spec.workloads.push_back(w);
+  spec.policies = {PolicySpec::flush_spec(30), PolicySpec::flush_spec(100),
+                   PolicySpec::mflush()};
+  spec.warmup = warmup_cycles();
+  spec.measure = bench_cycles();
+
   std::cout << "== Figure 11: FLUSH wasted energy "
                "(units per 1000 committed instructions)"
-            << "\n   measured " << measure << " cycles after " << warm
-            << " warm-up\n\n";
+            << "\n   measured " << spec.measure << " cycles after "
+            << spec.warmup << " warm-up\n\n";
 
-  const std::vector<PolicySpec> policies = {PolicySpec::flush_spec(30),
-                                            PolicySpec::flush_spec(100),
-                                            PolicySpec::mflush()};
-
-  std::vector<Workload> all;
-  for (const std::uint32_t threads : {4u, 6u, 8u})
-    for (const Workload& w : workloads::of_size(threads)) all.push_back(w);
-  const auto rows = run_grid(all, policies, 1, warm, measure);
+  InProcessBackend backend;
+  const auto rows =
+      report::as_grid(run_experiment(spec, backend), spec.policies.size());
   report::print_wasted_energy(std::cout, rows);
 
   double s30 = 0.0, s100 = 0.0, mflush_units = 0.0;

@@ -8,25 +8,33 @@
 
 #include "common/table.h"
 #include "core/factory.h"
-#include "sim/parallel.h"
+#include "sim/backend.h"
+#include "sim/report.h"
 #include "sim/workloads.h"
 
 int main() {
   using namespace mflush;
 
-  const Cycle warm = warmup_cycles();
-  const Cycle measure = bench_cycles();
+  // The whole figure is one declarative experiment: 5 two-thread
+  // workloads x 2 policies, executed by the in-process backend.
+  ExperimentSpec spec;
+  spec.name = "fig2_singlecore";
+  spec.workloads = workloads::of_size(2);
+  spec.policies = {PolicySpec::icount(), PolicySpec::flush_spec(30)};
+  spec.warmup = warmup_cycles();
+  spec.measure = bench_cycles();
+
   std::cout << "== Figure 2: single-core SMT throughput (ICOUNT vs FLUSH-S30)"
-            << "\n   measured " << measure << " cycles after " << warm
-            << " warm-up (paper: 120M)\n\n";
+            << "\n   measured " << spec.measure << " cycles after "
+            << spec.warmup << " warm-up (paper: 120M)\n\n";
 
   Table table({"workload", "benchmarks", "ICOUNT", "FLUSH-S30", "speedup"});
   double sum_speedup = 0.0;
   double max_speedup = 0.0;
-  const auto workloads2 = workloads::of_size(2);
-  const auto rows = run_grid(workloads2,
-                             {PolicySpec::icount(), PolicySpec::flush_spec(30)},
-                             1, warm, measure);
+  const auto& workloads2 = spec.workloads;
+  InProcessBackend backend;
+  const auto rows =
+      report::as_grid(run_experiment(spec, backend), spec.policies.size());
   for (std::size_t i = 0; i < workloads2.size(); ++i) {
     const Workload& w = workloads2[i];
     const RunResult& icount = rows[i][0];

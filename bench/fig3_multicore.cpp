@@ -8,26 +8,31 @@
 
 #include "common/table.h"
 #include "core/factory.h"
-#include "sim/parallel.h"
+#include "sim/backend.h"
+#include "sim/report.h"
 #include "sim/workloads.h"
 
 int main() {
   using namespace mflush;
 
-  const Cycle warm = warmup_cycles();
-  const Cycle measure = bench_cycles();
-  std::cout << "== Figure 3: FLUSH-S30 vs ICOUNT as SMT cores are replicated"
-            << "\n   measured " << measure << " cycles after " << warm
-            << " warm-up (paper: 120M)\n\n";
-
-  // One parallel batch over the whole catalog (all 20 xWy workloads x 2
-  // policies); rows come back in workload order.
-  std::vector<Workload> all;
+  // One declarative experiment over the whole catalog (all 20 xWy
+  // workloads x 2 policies); rows come back in workload order.
+  ExperimentSpec spec;
+  spec.name = "fig3_multicore";
   for (const std::uint32_t threads : {2u, 4u, 6u, 8u})
-    for (const Workload& w : workloads::of_size(threads)) all.push_back(w);
-  const auto rows = run_grid(
-      all, {PolicySpec::icount(), PolicySpec::flush_spec(30)}, 1, warm,
-      measure);
+    for (const Workload& w : workloads::of_size(threads))
+      spec.workloads.push_back(w);
+  spec.policies = {PolicySpec::icount(), PolicySpec::flush_spec(30)};
+  spec.warmup = warmup_cycles();
+  spec.measure = bench_cycles();
+
+  std::cout << "== Figure 3: FLUSH-S30 vs ICOUNT as SMT cores are replicated"
+            << "\n   measured " << spec.measure << " cycles after "
+            << spec.warmup << " warm-up (paper: 120M)\n\n";
+
+  InProcessBackend backend;
+  const auto rows =
+      report::as_grid(run_experiment(spec, backend), spec.policies.size());
 
   Table table({"threads", "cores", "ICOUNT", "FLUSH-S30", "FLUSH vs ICOUNT"});
   std::size_t row = 0;

@@ -11,32 +11,30 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/factory.h"
-#include "sim/cmp.h"
-#include "sim/parallel.h"
+#include "sim/backend.h"
 #include "sim/workloads.h"
 
 int main() {
   using namespace mflush;
 
-  const Cycle warm = warmup_cycles();
-  const Cycle measure = bench_cycles();
-  std::cout << "== Figure 4: L2 hit time (issue->served) vs core count"
-            << "\n   ICOUNT policy, measured " << measure
-            << " cycles after " << warm << " warm-up\n\n";
-
-  // All 20 workloads simulate concurrently; each point keeps its own
-  // histogram copy so the merge below stays in deterministic index order.
-  std::vector<Workload> all;
+  // All 20 workloads under ICOUNT as one declarative experiment; the
+  // RunResults carry the full L2 hit-time histogram, which is merged per
+  // chip size in deterministic job-id order below.
+  ExperimentSpec spec;
+  spec.name = "fig4_l2hittime";
   for (const std::uint32_t threads : {2u, 4u, 6u, 8u})
-    for (const Workload& w : workloads::of_size(threads)) all.push_back(w);
-  std::vector<Histogram> hists(all.size(), Histogram(5.0, 80));
-  ParallelRunner::shared().for_each_index(all.size(), [&](std::size_t i) {
-    CmpSimulator sim(all[i], PolicySpec::icount());
-    sim.run(warm);
-    sim.reset_stats();
-    sim.run(measure);
-    hists[i] = sim.memory().stats().l2_load_hit_time;
-  });
+    for (const Workload& w : workloads::of_size(threads))
+      spec.workloads.push_back(w);
+  spec.policies = {PolicySpec::icount()};
+  spec.warmup = warmup_cycles();
+  spec.measure = bench_cycles();
+
+  std::cout << "== Figure 4: L2 hit time (issue->served) vs core count"
+            << "\n   ICOUNT policy, measured " << spec.measure
+            << " cycles after " << spec.warmup << " warm-up\n\n";
+
+  InProcessBackend backend;
+  const std::vector<RunResult> results = run_experiment(spec, backend);
 
   Table table({"threads", "cores", "hits", "mean", "p50", "p90",
                "frac 20-40", "frac 40-70", "frac >70"});
@@ -44,7 +42,8 @@ int main() {
   for (const std::uint32_t threads : {2u, 4u, 6u, 8u}) {
     Histogram merged(5.0, 80);
     const std::size_t count = workloads::of_size(threads).size();
-    for (std::size_t k = 0; k < count; ++k) merged.merge(hists[idx++]);
+    for (std::size_t k = 0; k < count; ++k)
+      merged.merge(results[idx++].metrics.l2_hit_time_hist);
     table.add_row({std::to_string(threads), std::to_string(threads / 2),
                    std::to_string(merged.count()),
                    Table::num(merged.mean(), 1),

@@ -11,65 +11,47 @@
 
 #include "common/table.h"
 #include "core/factory.h"
-#include "sim/cmp.h"
-#include "sim/parallel.h"
+#include "sim/backend.h"
 #include "sim/workloads.h"
 
 int main() {
   using namespace mflush;
 
-  const Cycle warm = warmup_cycles();
-  const Cycle measure = bench_cycles();
-  std::cout << "== Figure 5: FLUSH trigger sweep (Detection Moment analysis)"
-            << "\n   measured " << measure << " cycles after " << warm
-            << " warm-up\n\n";
-
-  const std::vector<Workload> subjects = {
-      *workloads::by_name("8W3"), workloads::bzip2_twolf_special()};
-
-  std::vector<PolicySpec> policies;
+  // The whole trigger sweep (2 subjects x 8 policies) as one declarative
+  // experiment; table rendering below consumes the job-id-ordered slots.
+  ExperimentSpec spec;
+  spec.name = "fig5_dm_analysis";
+  spec.workloads = {*workloads::by_name("8W3"),
+                    workloads::bzip2_twolf_special()};
   for (const Cycle trigger : {30u, 50u, 70u, 90u, 110u, 130u, 150u})
-    policies.push_back(PolicySpec::flush_spec(trigger));
-  policies.push_back(PolicySpec::flush_ns());
+    spec.policies.push_back(PolicySpec::flush_spec(trigger));
+  spec.policies.push_back(PolicySpec::flush_ns());
+  spec.warmup = warmup_cycles();
+  spec.measure = bench_cycles();
 
-  // The whole trigger sweep (2 subjects x 8 policies) runs as one parallel
-  // batch; table rendering below consumes the slots in order.
-  struct PointStats {
-    double ipc = 0.0;
-    std::uint64_t flushes = 0;
-    std::uint64_t false_flushes = 0;
-  };
-  std::vector<PointStats> stats(subjects.size() * policies.size());
-  ParallelRunner::shared().for_each_index(stats.size(), [&](std::size_t i) {
-    const Workload& w = subjects[i / policies.size()];
-    const PolicySpec& p = policies[i % policies.size()];
-    CmpSimulator sim(w, p);
-    sim.run(warm);
-    sim.reset_stats();
-    sim.run(measure);
-    const SimMetrics m = sim.metrics();
-    PointStats& out = stats[i];
-    out.ipc = m.ipc;
-    out.flushes = m.flush_events;
-    for (CoreId c = 0; c < sim.num_cores(); ++c)
-      out.false_flushes += sim.core(c).policy().counters().flushes_on_hit;
-  });
+  std::cout << "== Figure 5: FLUSH trigger sweep (Detection Moment analysis)"
+            << "\n   measured " << spec.measure << " cycles after "
+            << spec.warmup << " warm-up\n\n";
 
-  for (std::size_t s = 0; s < subjects.size(); ++s) {
-    const Workload& w = subjects[s];
+  InProcessBackend backend;
+  const std::vector<RunResult> results = run_experiment(spec, backend);
+
+  const std::size_t num_policies = spec.policies.size();
+  for (std::size_t s = 0; s < spec.workloads.size(); ++s) {
+    const Workload& w = spec.workloads[s];
     std::cout << "-- " << w.name << " (" << w.describe() << ")\n";
     Table table({"policy", "IPC", "flushes", "false-miss flushes"});
     std::string best;
     double best_ipc = 0.0;
-    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
-      const PointStats& ps = stats[s * policies.size() + pi];
-      if (ps.ipc > best_ipc) {
-        best_ipc = ps.ipc;
-        best = policies[pi].label();
+    for (std::size_t pi = 0; pi < num_policies; ++pi) {
+      const SimMetrics& m = results[s * num_policies + pi].metrics;
+      if (m.ipc > best_ipc) {
+        best_ipc = m.ipc;
+        best = spec.policies[pi].label();
       }
-      table.add_row({policies[pi].label(), Table::num(ps.ipc),
-                     std::to_string(ps.flushes),
-                     std::to_string(ps.false_flushes)});
+      table.add_row({spec.policies[pi].label(), Table::num(m.ipc),
+                     std::to_string(m.flush_events),
+                     std::to_string(m.policy_flushes_on_hit)});
     }
     table.print(std::cout);
     std::cout << "best: " << best << "\n\n";

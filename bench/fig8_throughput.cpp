@@ -10,29 +10,32 @@
 
 #include "common/table.h"
 #include "core/factory.h"
-#include "sim/parallel.h"
+#include "sim/backend.h"
 #include "sim/report.h"
 #include "sim/workloads.h"
 
 int main() {
   using namespace mflush;
 
-  const Cycle warm = warmup_cycles();
-  const Cycle measure = bench_cycles();
-  std::cout << "== Figure 8: throughput per workload and IFetch policy"
-            << "\n   measured " << measure << " cycles after " << warm
-            << " warm-up\n\n";
-
-  const std::vector<PolicySpec> policies = {
-      PolicySpec::icount(), PolicySpec::flush_spec(30),
-      PolicySpec::flush_spec(100), PolicySpec::mflush()};
-
-  // The paper's biggest campaign (15 workloads x 4 policies = 60 points):
-  // one batch on the shared pool.
-  std::vector<Workload> all;
+  // The paper's biggest campaign (15 workloads x 4 policies = 60 points)
+  // as one declarative experiment on the in-process backend.
+  ExperimentSpec spec;
+  spec.name = "fig8_throughput";
   for (const std::uint32_t threads : {4u, 6u, 8u})
-    for (const Workload& w : workloads::of_size(threads)) all.push_back(w);
-  const auto rows = run_grid(all, policies, 1, warm, measure);
+    for (const Workload& w : workloads::of_size(threads))
+      spec.workloads.push_back(w);
+  spec.policies = {PolicySpec::icount(), PolicySpec::flush_spec(30),
+                   PolicySpec::flush_spec(100), PolicySpec::mflush()};
+  spec.warmup = warmup_cycles();
+  spec.measure = bench_cycles();
+
+  std::cout << "== Figure 8: throughput per workload and IFetch policy"
+            << "\n   measured " << spec.measure << " cycles after "
+            << spec.warmup << " warm-up\n\n";
+
+  InProcessBackend backend;
+  const auto rows =
+      report::as_grid(run_experiment(spec, backend), spec.policies.size());
   report::print_throughput(std::cout, rows);
 
   // The paper's headline comparison: MFLUSH vs the best static FLUSH.

@@ -1,22 +1,26 @@
 /// fig_sampled_intervals — snapshot-forked interval sampling (not a paper
 /// figure; methodology driver for the checkpointing engine).
 ///
-/// For each policy: warm one chip once, capture a snapshot, then fork K
-/// measured intervals off it in parallel — interval k advances k*stride
-/// cycles past the checkpoint before measuring, so the K intervals sample
-/// different phases of the same warmed execution. Compares the sampled
-/// mean IPC against one contiguous long run of the same total length, and
-/// reports the warm-up cycles the forks avoided re-simulating.
+/// Part 1 (fixed forks): a sampled-mode ExperimentSpec warms one chip per
+/// policy, checkpoints it, and forks K measured intervals off the snapshot
+/// — interval k advances k*stride cycles past the checkpoint, so the K
+/// intervals sample different phases of the same warmed execution.
+/// Compares the sampled mean IPC against one contiguous long run of the
+/// same total length, and reports the warm-up cycles the forks avoided
+/// re-simulating.
+///
+/// Part 2 (SMARTS-style stopping rule): the same experiment with a target
+/// confidence half-width instead of a fixed fork count — run_experiment
+/// keeps adding fork rounds until each point's mean IPC is tight enough.
 ///
 /// The last stdout line is a BENCH_*.json-compatible JSON object.
 #include <cmath>
 #include <iostream>
-#include <memory>
+#include <map>
 #include <vector>
 
 #include "core/factory.h"
-#include "sim/parallel.h"
-#include "sim/snapshot.h"
+#include "sim/backend.h"
 #include "sim/workloads.h"
 
 namespace {
@@ -33,51 +37,52 @@ struct PolicyRow {
 }  // namespace
 
 int main() {
-  const Workload wl = *workloads::by_name("2W3");
-  const Cycle warm = warmup_cycles(20'000);
-  const Cycle interval = bench_cycles(60'000) / 4;
-  constexpr std::uint32_t kForks = 6;
-  const Cycle stride = interval / 2;
+  ExperimentSpec spec;
+  spec.name = "fig_sampled_intervals";
+  spec.workloads = {*workloads::by_name("2W3")};
+  spec.policies = {PolicySpec::icount(), PolicySpec::flush_spec(30),
+                   PolicySpec::mflush()};
+  spec.warmup = warmup_cycles(20'000);
+  spec.measure = bench_cycles(60'000) / 4;
+  spec.mode = RunMode::Sampled;
+  spec.sampled.forks = 6;
+  spec.sampled.fork_stride = spec.measure / 2;
 
   std::cout << "== fig_sampled_intervals: snapshot-forked interval "
                "sampling\n   workload "
-            << wl.name << ", warm-up " << warm << " cycles (simulated once "
-            << "per policy), " << kForks << " forks x " << interval
-            << " measured cycles, stride " << stride << "\n\n";
+            << spec.workloads.front().name << ", warm-up " << spec.warmup
+            << " cycles (simulated once per policy), " << spec.sampled.forks
+            << " forks x " << spec.measure << " measured cycles, stride "
+            << spec.sampled.fork_stride << "\n\n";
+
+  InProcessBackend backend;
+  const std::vector<RunResult> forks = run_experiment(spec, backend);
+
+  // Every fork skipped the parent's warm-up except the one implied parent
+  // simulation per policy.
+  const Cycle warmup_cycles_saved =
+      static_cast<Cycle>(forks.size() - spec.policies.size()) * spec.warmup;
 
   std::vector<PolicyRow> rows;
-  Cycle warmup_cycles_saved = 0;
-  for (const PolicySpec& policy :
-       {PolicySpec::icount(), PolicySpec::flush_spec(30),
-        PolicySpec::mflush()}) {
-    // One parent chip warms; its checkpoint seeds every fork.
-    CmpSimulator parent(wl, policy, /*seed=*/1);
-    parent.run(warm);
-    const auto snap =
-        std::make_shared<const std::vector<std::uint8_t>>(
-            snapshot::capture(parent));
-
-    std::vector<SweepPoint> points(kForks);
-    for (std::uint32_t k = 0; k < kForks; ++k) {
-      points[k].measure = interval;
-      points[k].snapshot = snap;
-      points[k].fork_advance = static_cast<Cycle>(k) * stride;
-    }
-    const std::vector<RunResult> forks =
-        ParallelRunner::shared().run(points);
-    warmup_cycles_saved += static_cast<Cycle>(kForks - 1) * warm;
+  for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+    // Jobs are point-major: point p's forks occupy slots [p*K, (p+1)*K).
+    const std::size_t base = p * spec.sampled.forks;
+    double sum = 0.0;
+    for (std::uint32_t k = 0; k < spec.sampled.forks; ++k)
+      sum += forks[base + k].metrics.ipc;
 
     // Reference: one contiguous run covering the same total span.
-    const RunResult longrun = run_point(
-        wl, policy, /*seed=*/1, warm,
-        static_cast<Cycle>(kForks - 1) * stride + interval);
+    const RunResult longrun =
+        run_point(spec.workloads.front(), spec.policies[p], /*seed=*/1,
+                  spec.warmup,
+                  static_cast<Cycle>(spec.sampled.forks - 1) *
+                          spec.sampled.fork_stride +
+                      spec.measure);
 
     PolicyRow row;
-    row.label = forks.front().policy;
+    row.label = forks[base].policy;
     row.long_ipc = longrun.metrics.ipc;
-    double sum = 0.0;
-    for (const RunResult& f : forks) sum += f.metrics.ipc;
-    row.sampled_ipc = sum / kForks;
+    row.sampled_ipc = sum / spec.sampled.forks;
     row.rel_err = row.long_ipc > 0.0
                       ? std::abs(row.sampled_ipc - row.long_ipc) /
                             row.long_ipc
@@ -95,10 +100,30 @@ int main() {
   std::cout << "\nwarm-up cycles not re-simulated thanks to forking: "
             << warmup_cycles_saved << "\n";
 
+  // Part 2: the stopping rule. Same study, but instead of a fixed fork
+  // count ask for a 5% relative confidence half-width; run_experiment adds
+  // fork rounds per policy until the estimate converges (max 3 rounds).
+  ExperimentSpec adaptive = spec;
+  adaptive.name = "fig_sampled_intervals_adaptive";
+  adaptive.sampled.forks = 3;
+  adaptive.sampled.target_half_width = 0.05;
+  adaptive.sampled.max_rounds = 3;
+  const std::vector<RunResult> adaptive_forks =
+      run_experiment(adaptive, backend);
+
+  std::map<std::string, std::size_t> forks_per_policy;
+  for (const RunResult& r : adaptive_forks) ++forks_per_policy[r.policy];
+  std::cout << "\nSMARTS-style stopping rule (target half-width 5%):\n";
+  for (const auto& [policy, n] : forks_per_policy)
+    std::cout << "  " << policy << ": converged after " << n << " forks\n";
+
   // Machine-readable trajectory record: keep this the last stdout line.
-  std::cout << "{\"bench\":\"fig_sampled_intervals\",\"forks\":" << kForks
-            << ",\"interval\":" << interval << ",\"stride\":" << stride
+  std::cout << "{\"bench\":\"fig_sampled_intervals\",\"forks\":"
+            << spec.sampled.forks << ",\"interval\":" << spec.measure
+            << ",\"stride\":" << spec.sampled.fork_stride
             << ",\"warmup_cycles_saved\":" << warmup_cycles_saved
-            << ",\"worst_rel_err\":" << worst_err << "}" << std::endl;
+            << ",\"worst_rel_err\":" << worst_err
+            << ",\"adaptive_forks\":" << adaptive_forks.size() << "}"
+            << std::endl;
   return 0;
 }

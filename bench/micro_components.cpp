@@ -7,8 +7,8 @@
 #include "core/factory.h"
 #include "mem/cache.h"
 #include "mem/hierarchy.h"
+#include "sim/backend.h"
 #include "sim/cmp.h"
-#include "sim/parallel.h"
 #include "sim/workloads.h"
 #include "trace/generator.h"
 #include "trace/spec2000.h"
@@ -85,18 +85,20 @@ void BM_FullChipCyclesPerSecond(benchmark::State& state) {
 BENCHMARK(BM_FullChipCyclesPerSecond)->Arg(2)->Arg(8);
 
 void BM_ParallelSweep(benchmark::State& state) {
-  // Whole-sweep throughput through the shared engine: 4 independent
-  // (2W3, policy) points per iteration. With MFLUSH_JOBS=1 this measures
+  // Whole-sweep throughput through the in-process backend: 4 independent
+  // (2W3, policy) jobs per iteration. With MFLUSH_JOBS=1 this measures
   // the serial baseline; the default measures the pool speedup.
-  const Workload w = *workloads::by_name("2W3");
-  const std::vector<PolicySpec> policies = {
-      PolicySpec::icount(), PolicySpec::flush_spec(30),
-      PolicySpec::flush_spec(100), PolicySpec::mflush()};
-  std::vector<SweepPoint> points;
-  for (const PolicySpec& p : policies) points.push_back({w, p, 1, 500, 2000});
+  ExperimentSpec spec;
+  spec.workloads = {*workloads::by_name("2W3")};
+  spec.policies = {PolicySpec::icount(), PolicySpec::flush_spec(30),
+                   PolicySpec::flush_spec(100), PolicySpec::mflush()};
+  spec.warmup = 500;
+  spec.measure = 2000;
+  const std::vector<JobSpec> jobs = spec.expand();
+  InProcessBackend backend;
   Cycle simulated = 0;
   for (auto _ : state) {
-    const auto results = ParallelRunner::shared().run(points);
+    const auto results = backend.run_collect(jobs);
     for (const RunResult& r : results) simulated += r.simulated_cycles;
     benchmark::DoNotOptimize(results);
   }

@@ -13,10 +13,12 @@
 /// Exit status: 0 on success, 1 when parallel metrics diverge from serial
 /// (a determinism regression — never expected).
 #include <chrono>
+#include <functional>
 #include <iostream>
 #include <vector>
 
 #include "core/factory.h"
+#include "sim/backend.h"
 #include "sim/cmp.h"
 #include "sim/parallel.h"
 #include "sim/workloads.h"
@@ -32,50 +34,43 @@ double seconds_of(const std::function<void()>& fn) {
       .count();
 }
 
-bool same_metrics(const RunResult& a, const RunResult& b) {
-  return a.metrics.cycles == b.metrics.cycles &&
-         a.metrics.committed == b.metrics.committed &&
-         a.metrics.flush_events == b.metrics.flush_events &&
-         a.metrics.flushed_instructions == b.metrics.flushed_instructions &&
-         a.metrics.mispredicts == b.metrics.mispredicts &&
-         a.metrics.l2_hits_observed == b.metrics.l2_hits_observed &&
-         a.metrics.l2_misses_observed == b.metrics.l2_misses_observed;
-}
-
 }  // namespace
 
 int main() {
-  const Cycle warm = warmup_cycles(10'000);
-  const Cycle measure = bench_cycles(60'000);
+  ExperimentSpec spec;
+  spec.name = "perf_simloop";
+  spec.workloads = {*workloads::by_name("2W3")};
+  spec.policies = {PolicySpec::icount(), PolicySpec::flush_spec(30),
+                   PolicySpec::flush_spec(100), PolicySpec::mflush()};
+  spec.warmup = warmup_cycles(10'000);
+  spec.measure = bench_cycles(60'000);
+  const std::vector<JobSpec> jobs = spec.expand();
 
-  std::vector<SweepPoint> points;
-  for (const PolicySpec& p :
-       {PolicySpec::icount(), PolicySpec::flush_spec(30),
-        PolicySpec::flush_spec(100), PolicySpec::mflush()})
-    points.push_back({*workloads::by_name("2W3"), p, 1, warm, measure});
-
+  const Cycle warm = spec.warmup;
+  const Cycle measure = spec.measure;
   const auto total_cycles =
-      static_cast<double>((warm + measure) * points.size());
+      static_cast<double>((warm + measure) * jobs.size());
 
   std::cout << "== perf_simloop: simulated-cycles-per-second, serial vs "
-               "parallel\n   4-point sweep (2W3 x 4 policies), "
+               "parallel backend\n   4-point sweep (2W3 x 4 policies), "
             << warm + measure << " cycles per point\n\n";
 
-  ParallelRunner serial(1);
+  SerialBackend serial;
   std::vector<RunResult> serial_results;
   // One untimed warm pass so both timed passes see hot caches/allocators.
-  (void)serial.run(points);
+  (void)serial.run_collect(jobs);
   const double serial_s =
-      seconds_of([&] { serial_results = serial.run(points); });
+      seconds_of([&] { serial_results = serial.run_collect(jobs); });
 
+  InProcessBackend pool_backend;
   ParallelRunner& pool = ParallelRunner::shared();
   std::vector<RunResult> parallel_results;
-  const double parallel_s =
-      seconds_of([&] { parallel_results = pool.run(points); });
+  const double parallel_s = seconds_of(
+      [&] { parallel_results = pool_backend.run_collect(jobs); });
 
   bool identical = serial_results.size() == parallel_results.size();
   for (std::size_t i = 0; identical && i < serial_results.size(); ++i)
-    identical = same_metrics(serial_results[i], parallel_results[i]);
+    identical = serial_results[i].metrics == parallel_results[i].metrics;
 
   const double serial_kips = total_cycles / serial_s / 1e3;
   const double parallel_kips = total_cycles / parallel_s / 1e3;
@@ -109,7 +104,7 @@ int main() {
 
   // Machine-readable trajectory record: keep this the last stdout line.
   std::cout << "{\"bench\":\"perf_simloop\",\"jobs\":" << pool.jobs()
-            << ",\"points\":" << points.size()
+            << ",\"points\":" << jobs.size()
             << ",\"cycles_per_point\":" << warm + measure
             << ",\"serial_seconds\":" << serial_s
             << ",\"parallel_seconds\":" << parallel_s

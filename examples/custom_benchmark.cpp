@@ -7,8 +7,7 @@
 #include <vector>
 
 #include "core/factory.h"
-#include "sim/cmp.h"
-#include "sim/parallel.h"
+#include "sim/backend.h"
 #include "sim/report.h"
 #include "trace/generator.h"
 #include "trace/trace_io.h"
@@ -47,19 +46,27 @@ int main() {
   vector_kernel.icache_lines = 48;
 
   std::cout << "Custom 2-context SMT core: 'chaser' + 'vector-kernel'\n\n";
+  // Ad-hoc chips are experiment data too: a JobSpec can embed the raw
+  // BenchmarkProfiles (one per hardware context), so custom workloads run
+  // on any backend — including `mflushsim --worker` subprocesses, which
+  // rebuild the chip from the serialized profiles in the job file.
   const std::vector<PolicySpec> policies = {
       PolicySpec::icount(), PolicySpec::flush_spec(30), PolicySpec::mflush()};
-  std::vector<SimMetrics> metrics(policies.size());
-  ParallelRunner::shared().for_each_index(policies.size(), [&](std::size_t i) {
-    CmpSimulator sim({chaser, vector_kernel}, policies[i]);
-    sim.run(20'000);
-    sim.reset_stats();
-    sim.run(60'000);
-    metrics[i] = sim.metrics();
-  });
+  std::vector<JobSpec> jobs;
   for (std::size_t i = 0; i < policies.size(); ++i) {
-    const SimMetrics& m = metrics[i];
-    std::cout << policies[i].label() << ": IPC " << m.ipc << " (chaser "
+    JobSpec j;
+    j.id = static_cast<std::uint32_t>(i);
+    j.workload.name = "chaser+vector-kernel";
+    j.profiles = {chaser, vector_kernel};
+    j.policy = policies[i];
+    j.warmup = 20'000;
+    j.measure = 60'000;
+    jobs.push_back(std::move(j));
+  }
+  InProcessBackend backend;
+  for (const RunResult& r : backend.run_collect(jobs)) {
+    const SimMetrics& m = r.metrics;
+    std::cout << r.policy << ": IPC " << m.ipc << " (chaser "
               << m.per_thread_ipc[0] << ", vector-kernel "
               << m.per_thread_ipc[1] << "), " << m.flush_events
               << " flushes\n";

@@ -7,8 +7,8 @@
 #include "common/table.h"
 #include "core/factory.h"
 #include "core/mflush.h"
+#include "sim/backend.h"
 #include "sim/cmp.h"
-#include "sim/parallel.h"
 #include "sim/workloads.h"
 #include "trace/spec2000.h"
 
@@ -22,23 +22,26 @@ int main() {
   Table table({"cores", "MT", "barrier@22", "IPC", "L2-hit mean", "p50",
                "p90"});
   const MemConfig mem_cfg;
-  // The four chip sizes are independent simulations: run them in parallel.
-  std::vector<SimMetrics> metrics(4);
-  ParallelRunner::shared().for_each_index(4, [&](std::size_t i) {
-    const auto cores = static_cast<std::uint32_t>(i) + 1;
-    std::vector<BenchmarkProfile> profiles;
-    for (std::uint32_t c = 0; c < cores; ++c) {
-      profiles.push_back(*spec2000::by_name("twolf"));
-      profiles.push_back(*spec2000::by_name("vpr"));
-    }
-    CmpSimulator sim(profiles, PolicySpec::mflush());
-    sim.run(20'000);
-    sim.reset_stats();
-    sim.run(60'000);
-    metrics[i] = sim.metrics();
-  });
+  // The four chip sizes are four profile-built jobs on the in-process
+  // backend — each replication level is an independent simulation.
+  std::vector<JobSpec> jobs;
   for (std::uint32_t cores = 1; cores <= 4; ++cores) {
-    const SimMetrics& m = metrics[cores - 1];
+    JobSpec j;
+    j.id = cores - 1;
+    j.workload.name = "twolf+vpr x" + std::to_string(cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+      j.profiles.push_back(*spec2000::by_name("twolf"));
+      j.profiles.push_back(*spec2000::by_name("vpr"));
+    }
+    j.policy = PolicySpec::mflush();
+    j.warmup = 20'000;
+    j.measure = 60'000;
+    jobs.push_back(std::move(j));
+  }
+  InProcessBackend backend;
+  const std::vector<RunResult> results = backend.run_collect(jobs);
+  for (std::uint32_t cores = 1; cores <= 4; ++cores) {
+    const SimMetrics& m = results[cores - 1].metrics;
 
     // The MFLUSH operational environment for this chip (Fig. 6).
     MflushConfig mc;

@@ -1,17 +1,18 @@
 /// Compare IFetch policies on any paper workload (or an ad-hoc one given
-/// as a string of benchmark codes), with the full diagnostic dump.
+/// as a string of benchmark codes), with per-policy diagnostics — and the
+/// full component dump when a single policy is requested.
 ///
 ///   policy_comparison                 # 8W3, the four Fig. 8 policies
 ///   policy_comparison 4W2             # another workload
 ///   policy_comparison dlna mflush     # ad-hoc codes, single policy
 #include <iostream>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/table.h"
 #include "core/factory.h"
+#include "sim/backend.h"
 #include "sim/cmp.h"
-#include "sim/parallel.h"
 #include "sim/report.h"
 #include "sim/workloads.h"
 
@@ -47,20 +48,41 @@ int main(int argc, char** argv) {
                 PolicySpec::flush_spec(100), PolicySpec::mflush()};
   }
 
-  const Cycle warm = warmup_cycles(20'000);
-  const Cycle measure = bench_cycles(60'000);
-  // Simulate every policy concurrently; the debug dumps need the finished
-  // simulator objects, so keep them alive and print in policy order.
-  std::vector<std::unique_ptr<CmpSimulator>> sims(policies.size());
-  ParallelRunner::shared().for_each_index(policies.size(), [&](std::size_t i) {
-    sims[i] = std::make_unique<CmpSimulator>(*wl, policies[i]);
-    sims[i]->run(warm);
-    sims[i]->reset_stats();
-    sims[i]->run(measure);
-  });
-  for (const auto& sim : sims) {
-    report::print_debug(std::cout, *sim);
+  // One declarative experiment over the policy set; the diagnostic
+  // counters every row needs travel inside SimMetrics.
+  ExperimentSpec spec;
+  spec.name = "policy_comparison";
+  spec.workloads = {*wl};
+  spec.policies = policies;
+  spec.warmup = warmup_cycles(20'000);
+  spec.measure = bench_cycles(60'000);
+
+  InProcessBackend backend;
+  const std::vector<RunResult> results = run_experiment(spec, backend);
+
+  Table table({"policy", "IPC", "flushes", "squashed", "false-miss",
+               "gate-cycles", "mispredict", "wasted/1k"});
+  for (const RunResult& r : results) {
+    const SimMetrics& m = r.metrics;
+    table.add_row({r.policy, Table::num(m.ipc),
+                   std::to_string(m.flush_events),
+                   std::to_string(m.flushed_instructions),
+                   std::to_string(m.policy_flushes_on_hit),
+                   std::to_string(m.policy_gate_cycles),
+                   Table::pct(m.mispredict_rate()),
+                   Table::num(m.energy.flush_wasted_per_kilo_commit(), 1)});
+  }
+  table.print(std::cout);
+
+  if (policies.size() == 1) {
+    // Single-policy mode keeps the deep component dump: one direct
+    // simulation (not a sweep) so the live queue state is inspectable.
     std::cout << '\n';
+    CmpSimulator sim(*wl, policies.front());
+    sim.run(spec.warmup);
+    sim.reset_stats();
+    sim.run(spec.measure);
+    report::print_debug(std::cout, sim);
   }
   return 0;
 }

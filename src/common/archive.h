@@ -20,6 +20,19 @@
 /// containers being filled.
 namespace mflush {
 
+/// FNV-1a over a byte span — the trailing-checksum hash shared by every
+/// archive-based file format (snapshots, experiment specs, worker job and
+/// result files).
+[[nodiscard]] inline std::uint64_t fnv1a(
+    std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 class ArchiveWriter {
  public:
   void put_bytes(const void* p, std::size_t n) {

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+/// Environment-variable parsing shared by every MFLUSH_* knob.
+///
+/// One policy for the whole tree: an *unset* variable means "use the
+/// built-in default", but a *malformed* value (empty, non-numeric, trailing
+/// junk, or below the minimum) is a hard error naming the variable — a typo
+/// in MFLUSH_BENCH_CYCLES must never silently shorten a campaign.
+namespace mflush::env {
+
+/// Parse `var` as an unsigned integer in [min, max]. Returns `fallback`
+/// when the variable is unset; throws std::runtime_error on any malformed
+/// or out-of-range value (from_chars overflow included — a value the
+/// caller would truncate is a typo, not a request).
+[[nodiscard]] inline std::uint64_t u64_or(
+    const char* var, std::uint64_t fallback, std::uint64_t min = 1,
+    std::uint64_t max = ~std::uint64_t{0}) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr) return fallback;
+  const std::string_view s(raw);
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || v < min ||
+      v > max) {
+    throw std::runtime_error(std::string(var) +
+                             ": expected an integer in [" +
+                             std::to_string(min) + ", " +
+                             std::to_string(max) + "], got '" +
+                             std::string(s) + "'");
+  }
+  return v;
+}
+
+}  // namespace mflush::env

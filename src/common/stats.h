@@ -90,6 +90,8 @@ class Histogram {
   /// Merge another histogram with identical geometry (asserts on mismatch).
   void merge(const Histogram& other);
 
+  bool operator==(const Histogram&) const = default;
+
   void save(ArchiveWriter& ar) const {
     ar.put_vec(bins_);
     ar.put(overflow_);

@@ -56,15 +56,27 @@ std::optional<PolicySpec> PolicySpec::parse(std::string_view s) {
 
   if (lower.starts_with("mflush-h")) {
     std::string_view tail = std::string_view(lower).substr(8);
-    McRegAgg agg = McRegAgg::Avg;
+    // Mirror label() exactly so every label round-trips through parse():
+    // optional trailing "-np", then the aggregation suffix (none = Last),
+    // then the history depth.
+    bool preventive = true;
+    if (tail.ends_with("-np")) {
+      preventive = false;
+      tail.remove_suffix(3);
+    }
+    McRegAgg agg = McRegAgg::Last;
     if (tail.ends_with("max")) {
       agg = McRegAgg::Max;
       tail.remove_suffix(3);
     } else if (tail.ends_with("avg")) {
+      agg = McRegAgg::Avg;
       tail.remove_suffix(3);
     }
-    if (const auto h = parse_number(tail))
-      return mflush_history(static_cast<std::uint32_t>(*h), agg);
+    if (const auto h = parse_number(tail)) {
+      PolicySpec p = mflush_history(static_cast<std::uint32_t>(*h), agg);
+      p.preventive = preventive;
+      return p;
+    }
     return std::nullopt;
   }
   if (lower.starts_with("flush-s")) {
@@ -120,6 +132,31 @@ std::unique_ptr<FetchPolicy> make_policy(const PolicySpec& spec,
     }
   }
   return nullptr;
+}
+
+std::span<const PolicyFamily> policy_families() {
+  static constexpr PolicyFamily kFamilies[] = {
+      {"icount", "icount",
+       "ICOUNT priority fetch (fewest in-flight instructions first)"},
+      {"brcount", "brcount",
+       "priority by fewest unresolved branches in flight"},
+      {"l1dmisscount", "l1dmisscount",
+       "priority by fewest outstanding L1D misses"},
+      {"flush-s<N>", "flush-s30",
+       "speculative FLUSH: squash a thread whose load is outstanding "
+       "longer than N cycles"},
+      {"flush-ns", "flush-ns",
+       "non-speculative FLUSH: squash only on a confirmed L2 miss"},
+      {"stall-s<N>", "stall-s30",
+       "STALL response: gate fetch (no squash) after N outstanding cycles"},
+      {"mflush", "mflush",
+       "the paper's MFLUSH: per-bank Barrier deadline + Preventive State"},
+      {"mflush-np", "mflush-np", "MFLUSH ablation without Preventive State"},
+      {"mflush-h<N>[max|avg]", "mflush-h4avg",
+       "MFLUSH with an MCReg history queue of depth N, aggregated by "
+       "last/max/avg (section 4.1 extension)"},
+  };
+  return kFamilies;
 }
 
 }  // namespace mflush

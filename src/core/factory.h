@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -74,5 +75,16 @@ struct PolicySpec {
 /// Instantiate the policy for one core of an `cfg.num_cores`-core chip.
 [[nodiscard]] std::unique_ptr<FetchPolicy> make_policy(const PolicySpec& spec,
                                                        const SimConfig& cfg);
+
+/// One row of the policy registry: the PolicySpec::parse syntax, a parsable
+/// example, and what the policy does. This is the single authoritative list
+/// behind `mflushsim --list-policies`, kept next to parse()/make_policy so
+/// spec files can be authored without reading source.
+struct PolicyFamily {
+  std::string_view syntax;
+  std::string_view example;
+  std::string_view description;
+};
+[[nodiscard]] std::span<const PolicyFamily> policy_families();
 
 }  // namespace mflush

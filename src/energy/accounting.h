@@ -24,6 +24,8 @@ struct EnergyReport {
                ? flush_wasted_units / committed_units * 1000.0
                : 0.0;
   }
+
+  bool operator==(const EnergyReport&) const = default;
 };
 
 /// Wasted units for a per-stage squash histogram: each squashed instruction

@@ -1,0 +1,475 @@
+#include "sim/backend.h"
+
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "sim/parallel.h"
+
+extern char** environ;
+
+namespace mflush {
+namespace {
+
+// ------------------------------------------------- RunResult serialization
+//
+// Doubles are written as raw little-endian bytes, so a result that crosses
+// the process boundary compares bit-identical to one computed in-process —
+// the property the cross-backend determinism test pins down.
+
+void put_metrics(ArchiveWriter& ar, const SimMetrics& m) {
+  ar.put(m.cycles);
+  ar.put(m.committed);
+  ar.put(m.ipc);
+  ar.put_vec(m.per_thread_ipc);
+  ar.put(m.flush_events);
+  ar.put(m.flushed_instructions);
+  ar.put(m.branches_resolved);
+  ar.put(m.mispredicts);
+  ar.put(m.l2_hit_time_mean);
+  ar.put(m.l2_hit_time_p50);
+  ar.put(m.l2_hit_time_p90);
+  ar.put(m.l2_hits_observed);
+  ar.put(m.l2_misses_observed);
+  ar.put(m.policy_flushes_on_miss);
+  ar.put(m.policy_flushes_on_hit);
+  ar.put(m.policy_flushes_on_l1);
+  ar.put(m.policy_stall_events);
+  ar.put(m.policy_gate_cycles);
+  m.l2_hit_time_hist.save(ar);
+  ar.put(m.energy.committed_units);
+  ar.put(m.energy.flush_wasted_units);
+  ar.put(m.energy.branch_wasted_units);
+}
+
+SimMetrics get_metrics(ArchiveReader& ar) {
+  SimMetrics m;
+  m.cycles = ar.get<Cycle>();
+  m.committed = ar.get<std::uint64_t>();
+  m.ipc = ar.get<double>();
+  ar.get_vec(m.per_thread_ipc);
+  m.flush_events = ar.get<std::uint64_t>();
+  m.flushed_instructions = ar.get<std::uint64_t>();
+  m.branches_resolved = ar.get<std::uint64_t>();
+  m.mispredicts = ar.get<std::uint64_t>();
+  m.l2_hit_time_mean = ar.get<double>();
+  m.l2_hit_time_p50 = ar.get<double>();
+  m.l2_hit_time_p90 = ar.get<double>();
+  m.l2_hits_observed = ar.get<std::uint64_t>();
+  m.l2_misses_observed = ar.get<std::uint64_t>();
+  m.policy_flushes_on_miss = ar.get<std::uint64_t>();
+  m.policy_flushes_on_hit = ar.get<std::uint64_t>();
+  m.policy_flushes_on_l1 = ar.get<std::uint64_t>();
+  m.policy_stall_events = ar.get<std::uint64_t>();
+  m.policy_gate_cycles = ar.get<std::uint64_t>();
+  m.l2_hit_time_hist.load(ar);
+  m.energy.committed_units = ar.get<double>();
+  m.energy.flush_wasted_units = ar.get<double>();
+  m.energy.branch_wasted_units = ar.get<double>();
+  return m;
+}
+
+void put_result(ArchiveWriter& ar, std::uint32_t id, const RunResult& r) {
+  ar.put(id);
+  ar.put_string(r.workload);
+  ar.put_string(r.policy);
+  put_metrics(ar, r.metrics);
+  ar.put(r.wall_seconds);
+  ar.put(r.simulated_cycles);
+}
+
+std::pair<std::uint32_t, RunResult> get_result(ArchiveReader& ar) {
+  const auto id = ar.get<std::uint32_t>();
+  RunResult r;
+  r.workload = ar.get_string();
+  r.policy = ar.get_string();
+  r.metrics = get_metrics(ar);
+  r.wall_seconds = ar.get<double>();
+  r.simulated_cycles = ar.get<Cycle>();
+  return {id, std::move(r)};
+}
+
+// ------------------------------------------------------- protocol file IO
+
+constexpr std::uint64_t kJobMagic = 0x4d464c55534a4f42ull;     // "MFLUSJOB"
+constexpr std::uint64_t kResultMagic = 0x4d464c5553524553ull;  // "MFLUSRES"
+
+void write_archive_file(const std::string& path, ArchiveWriter&& ar) {
+  ar.put(fnv1a(ar.bytes()));
+  const std::vector<std::uint8_t> bytes = ar.take();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<std::uint8_t> read_checked_file(const std::string& path,
+                                            std::uint64_t magic,
+                                            const char* what) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in)
+    throw std::runtime_error(std::string("cannot open ") + what + ": " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in)
+    throw std::runtime_error(std::string(what) + " read failed: " + path);
+
+  if (bytes.size() < sizeof(std::uint64_t))
+    throw std::runtime_error(std::string(what) + " truncated: " + path);
+  const std::size_t body = bytes.size() - sizeof(std::uint64_t);
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + body, sizeof(stored));
+  if (fnv1a({bytes.data(), body}) != stored) {
+    throw std::runtime_error(std::string(what) + " checksum mismatch: " +
+                             path);
+  }
+  bytes.resize(body);
+
+  std::uint64_t seen = 0;
+  if (bytes.size() >= sizeof(seen))
+    std::memcpy(&seen, bytes.data(), sizeof(seen));
+  if (seen != magic)
+    throw std::runtime_error(std::string("not a ") + what + ": " + path);
+  return bytes;
+}
+
+// ------------------------------------------------------ process spawning
+
+/// Run `bin argv...` to completion; returns the exit code, or throws on
+/// spawn failure / death by signal.
+int spawn_and_wait(const std::string& bin,
+                   const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(bin.c_str()));
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  pid_t pid = 0;
+  if (const int rc = ::posix_spawn(&pid, bin.c_str(), nullptr, nullptr,
+                                   argv.data(), environ);
+      rc != 0) {
+    throw std::runtime_error("failed to spawn worker '" + bin +
+                             "': " + std::strerror(rc));
+  }
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR)
+      throw std::runtime_error("waitpid failed for worker '" + bin +
+                               "': " + std::strerror(errno));
+  }
+  if (WIFSIGNALED(status)) {
+    throw std::runtime_error("worker '" + bin + "' killed by signal " +
+                             std::to_string(WTERMSIG(status)));
+  }
+  return WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+}
+
+/// Per-process unique scratch-file stem (pid + monotonic counter + job id).
+std::string scratch_stem(const std::filesystem::path& dir,
+                         std::uint32_t job_id) {
+  static std::atomic<std::uint64_t> counter{0};
+  return (dir / ("mflush-" + std::to_string(::getpid()) + "-" +
+                 std::to_string(counter.fetch_add(1)) + "-job" +
+                 std::to_string(job_id)))
+      .string();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- ResultSink
+
+void ResultSink::push(const JobSpec& job, RunResult result) {
+  const std::lock_guard lk(m_);
+  if (job.id >= slots_.size()) slots_.resize(job.id + 1);
+  if (slots_[job.id].has_value()) {
+    throw std::runtime_error("ResultSink: duplicate result for job " +
+                             std::to_string(job.id));
+  }
+  slots_[job.id] = std::move(result);
+  if (on_result_) on_result_(job, *slots_[job.id]);
+}
+
+std::size_t ResultSink::completed() const {
+  const std::lock_guard lk(m_);
+  std::size_t n = 0;
+  for (const auto& s : slots_)
+    if (s.has_value()) ++n;
+  return n;
+}
+
+RunResult ResultSink::at(std::size_t id) const {
+  const std::lock_guard lk(m_);
+  if (id >= slots_.size() || !slots_[id].has_value()) {
+    throw std::runtime_error("ResultSink: no result for job " +
+                             std::to_string(id));
+  }
+  return *slots_[id];
+}
+
+std::vector<RunResult> ResultSink::collect() const {
+  const std::lock_guard lk(m_);
+  std::vector<RunResult> out;
+  out.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].has_value()) {
+      throw std::runtime_error("ResultSink: missing result for job " +
+                               std::to_string(i));
+    }
+    out.push_back(*slots_[i]);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- backends
+
+std::vector<RunResult> ExperimentBackend::run_collect(
+    const std::vector<JobSpec>& jobs) {
+  ResultSink sink;
+  run(jobs, sink);
+  return sink.collect();
+}
+
+void SerialBackend::run(const std::vector<JobSpec>& jobs, ResultSink& sink) {
+  for (const JobSpec& job : jobs) sink.push(job, run_job(job));
+}
+
+InProcessBackend::InProcessBackend() : pool_(&ParallelRunner::shared()) {}
+
+void InProcessBackend::run(const std::vector<JobSpec>& jobs,
+                           ResultSink& sink) {
+  pool_->for_each_index(jobs.size(), [&](std::size_t i) {
+    sink.push(jobs[i], run_job(jobs[i]));
+  });
+}
+
+WorkerBackend::WorkerBackend() : WorkerBackend(Options()) {}
+
+WorkerBackend::WorkerBackend(Options options) : opts_(std::move(options)) {}
+
+void WorkerBackend::run(const std::vector<JobSpec>& jobs, ResultSink& sink) {
+  if (jobs.empty()) return;
+  const std::string bin =
+      opts_.worker_binary.empty() ? default_worker_binary()
+                                  : opts_.worker_binary;
+  if (bin.empty()) {
+    throw std::runtime_error(
+        "WorkerBackend: cannot locate the mflushsim worker binary (set "
+        "MFLUSH_WORKER_BIN or Options::worker_binary)");
+  }
+  const std::filesystem::path scratch =
+      opts_.scratch_dir.empty() ? std::filesystem::temp_directory_path()
+                                : std::filesystem::path(opts_.scratch_dir);
+
+  unsigned procs =
+      opts_.max_processes != 0 ? opts_.max_processes
+                               : ParallelRunner::default_jobs();
+  procs = static_cast<unsigned>(
+      std::min<std::size_t>(procs, jobs.size()));
+
+  // The pool threads only write files and block in waitpid — the actual
+  // simulation work happens in the spawned processes.
+  ParallelRunner pool(procs);
+  pool.for_each_index(jobs.size(), [&](std::size_t i) {
+    const JobSpec& job = jobs[i];
+    const std::string stem = scratch_stem(scratch, job.id);
+    const std::string job_path = stem + ".mfj";
+    const std::string result_path = stem + ".mfr";
+
+    worker::write_job_file(job_path, {job});
+    const int code =
+        spawn_and_wait(bin, {"--worker", job_path, "--worker-out",
+                             result_path});
+    if (code != 0) {
+      throw std::runtime_error("worker exited with code " +
+                               std::to_string(code) + " on job " +
+                               std::to_string(job.id) + " (" + job_path +
+                               ")");
+    }
+    auto results = worker::read_result_file(result_path);
+    if (results.size() != 1 || results.front().first != job.id) {
+      throw std::runtime_error("worker result file " + result_path +
+                               " does not answer job " +
+                               std::to_string(job.id));
+    }
+    if (!opts_.keep_files) {
+      std::error_code ec;
+      std::filesystem::remove(job_path, ec);
+      std::filesystem::remove(result_path, ec);
+    }
+    sink.push(job, std::move(results.front().second));
+  });
+}
+
+std::string default_worker_binary() {
+  if (const char* env = std::getenv("MFLUSH_WORKER_BIN")) return env;
+  std::error_code ec;
+  const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) return {};
+  if (self.filename() == "mflushsim") return self.string();
+  const auto sibling = self.parent_path() / "mflushsim";
+  if (std::filesystem::exists(sibling, ec)) return sibling.string();
+  return {};
+}
+
+// ----------------------------------------------------------- run_experiment
+
+std::vector<RunResult> run_experiment(const ExperimentSpec& spec,
+                                      ExperimentBackend& backend,
+                                      ResultSink& sink) {
+  std::vector<JobSpec> jobs = spec.expand();
+  backend.run(jobs, sink);
+  if (spec.mode != RunMode::Sampled || spec.sampled.target_half_width <= 0.0)
+    return sink.collect();
+
+  // SMARTS-style stopping rule: grow each point's fork set until the mean
+  // IPC is tight enough. All statistics derive from job results only, so
+  // the round structure — and therefore the final result vector — is
+  // identical for every backend.
+  const Cycle stride = spec.sampled.fork_stride != 0 ? spec.sampled.fork_stride
+                                                     : spec.measure / 2;
+  const std::size_t points = spec.num_points();
+  const std::uint32_t forks = spec.sampled.forks;
+  std::vector<std::vector<std::uint32_t>> point_jobs(points);
+  std::vector<JobSpec> tmpl(points);  // carries each point's snapshot handle
+  for (const JobSpec& j : jobs) {
+    const std::size_t p = j.id / forks;
+    if (point_jobs[p].empty()) tmpl[p] = j;
+    point_jobs[p].push_back(j.id);
+  }
+
+  std::uint32_t next_id = static_cast<std::uint32_t>(jobs.size());
+  for (std::uint32_t round = 1; round < spec.sampled.max_rounds; ++round) {
+    std::vector<JobSpec> more;
+    for (std::size_t p = 0; p < points; ++p) {
+      const auto& ids = point_jobs[p];
+      const auto n = static_cast<double>(ids.size());
+      double sum = 0.0;
+      for (const std::uint32_t id : ids) sum += sink.at(id).metrics.ipc;
+      const double mean = sum / n;
+      double ss = 0.0;
+      for (const std::uint32_t id : ids) {
+        const double d = sink.at(id).metrics.ipc - mean;
+        ss += d * d;
+      }
+      const double half_width =
+          1.96 * std::sqrt(ss / (n - 1.0) / n);  // 95% CI, n >= 2
+      if (mean <= 0.0 || half_width / mean <= spec.sampled.target_half_width)
+        continue;
+      // Capture the fork count before appending: ids aliases point_jobs[p],
+      // so reading ids.size() inside the loop would skip/duplicate strides.
+      const std::size_t have = ids.size();
+      for (std::uint32_t k = 0; k < forks; ++k) {
+        JobSpec j = tmpl[p];
+        j.id = next_id++;
+        j.fork_advance = static_cast<Cycle>(have + k) * stride;
+        point_jobs[p].push_back(j.id);
+        more.push_back(std::move(j));
+      }
+    }
+    if (more.empty()) break;
+    backend.run(more, sink);
+  }
+  return sink.collect();
+}
+
+std::vector<RunResult> run_experiment(const ExperimentSpec& spec,
+                                      ExperimentBackend& backend) {
+  ResultSink sink;
+  return run_experiment(spec, backend, sink);
+}
+
+// ------------------------------------------------------------------- worker
+
+namespace worker {
+
+void write_job_file(const std::string& path,
+                    const std::vector<JobSpec>& jobs) {
+  ArchiveWriter ar;
+  ar.put(kJobMagic);
+  ar.put(kProtocolVersion);
+  ar.put<std::uint64_t>(jobs.size());
+  for (const JobSpec& j : jobs) j.save(ar);
+  write_archive_file(path, std::move(ar));
+}
+
+std::vector<JobSpec> read_job_file(const std::string& path) {
+  const auto bytes = read_checked_file(path, kJobMagic, "mflush job file");
+  ArchiveReader ar(bytes);
+  (void)ar.get<std::uint64_t>();  // magic, verified above
+  if (const auto v = ar.get<std::uint32_t>(); v != kProtocolVersion) {
+    throw std::runtime_error("job file protocol version " +
+                             std::to_string(v) + " incompatible with " +
+                             std::to_string(kProtocolVersion));
+  }
+  const auto n = ar.get<std::uint64_t>();
+  std::vector<JobSpec> jobs;
+  jobs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) jobs.push_back(JobSpec::load(ar));
+  if (!ar.done())
+    throw std::runtime_error("job file has trailing bytes: " + path);
+  return jobs;
+}
+
+void write_result_file(
+    const std::string& path,
+    const std::vector<std::pair<std::uint32_t, RunResult>>& results) {
+  ArchiveWriter ar;
+  ar.put(kResultMagic);
+  ar.put(kProtocolVersion);
+  ar.put<std::uint64_t>(results.size());
+  for (const auto& [id, r] : results) put_result(ar, id, r);
+  write_archive_file(path, std::move(ar));
+}
+
+std::vector<std::pair<std::uint32_t, RunResult>> read_result_file(
+    const std::string& path) {
+  const auto bytes =
+      read_checked_file(path, kResultMagic, "mflush result file");
+  ArchiveReader ar(bytes);
+  (void)ar.get<std::uint64_t>();  // magic, verified above
+  if (const auto v = ar.get<std::uint32_t>(); v != kProtocolVersion) {
+    throw std::runtime_error("result file protocol version " +
+                             std::to_string(v) + " incompatible with " +
+                             std::to_string(kProtocolVersion));
+  }
+  const auto n = ar.get<std::uint64_t>();
+  std::vector<std::pair<std::uint32_t, RunResult>> results;
+  results.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) results.push_back(get_result(ar));
+  if (!ar.done())
+    throw std::runtime_error("result file has trailing bytes: " + path);
+  return results;
+}
+
+int run_worker(const std::string& job_path, const std::string& result_path) {
+  try {
+    const std::vector<JobSpec> jobs = read_job_file(job_path);
+    std::vector<std::pair<std::uint32_t, RunResult>> results;
+    results.reserve(jobs.size());
+    // Jobs run serially: the worker *process* is the unit of parallelism,
+    // and serial execution keeps the worker bit-identical to run_job.
+    for (const JobSpec& job : jobs) results.emplace_back(job.id, run_job(job));
+    write_result_file(result_path, results);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mflushsim --worker: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace worker
+}  // namespace mflush

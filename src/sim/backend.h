@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment_spec.h"
+
+/// Interchangeable execution backends for expanded experiments.
+///
+/// The contract every backend honours: given the same job vector, the
+/// RunResult for each job id is bit-identical (full SimMetrics equality) to
+/// executing run_job(job) in a plain serial loop — only wall-clock timing
+/// fields may differ. Results stream into a ResultSink as jobs finish (any
+/// order); collect() restores job-id order, so a sweep's output never
+/// depends on scheduling. Tested by BackendTest.CrossBackendDeterminism.
+namespace mflush {
+
+class ParallelRunner;
+
+/// Streaming result collection: an optional on_result callback fires as
+/// each job completes (completion order, serialized — never concurrently),
+/// and collect() returns every result ordered by job id.
+class ResultSink {
+ public:
+  using OnResult = std::function<void(const JobSpec&, const RunResult&)>;
+
+  ResultSink() = default;
+  explicit ResultSink(OnResult on_result)
+      : on_result_(std::move(on_result)) {}
+
+  /// Record the result of `job` (thread-safe; slot = job.id). Fires the
+  /// callback while holding the sink lock, so callbacks must not re-enter
+  /// the sink or block on the backend.
+  void push(const JobSpec& job, RunResult result);
+
+  [[nodiscard]] std::size_t completed() const;
+
+  /// Copy of the result in slot `id`; throws if that job has not finished.
+  [[nodiscard]] RunResult at(std::size_t id) const;
+
+  /// All results ordered by job id; throws if any slot is still empty
+  /// (a backend bug — backends only return from run() when every job is
+  /// done). Leaves the sink intact, so sampled-mode rounds can keep
+  /// appending after an intermediate collect.
+  [[nodiscard]] std::vector<RunResult> collect() const;
+
+ private:
+  mutable std::mutex m_;
+  std::vector<std::optional<RunResult>> slots_;
+  OnResult on_result_;
+};
+
+/// Executes a batch of jobs. run() returns once every job's result has been
+/// pushed into the sink; the first job failure is rethrown after the batch
+/// drains.
+class ExperimentBackend {
+ public:
+  virtual ~ExperimentBackend() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void run(const std::vector<JobSpec>& jobs, ResultSink& sink) = 0;
+
+  /// Convenience: run into a fresh sink and return the ordered results.
+  [[nodiscard]] std::vector<RunResult> run_collect(
+      const std::vector<JobSpec>& jobs);
+};
+
+/// The reference loop: jobs run one after another on the calling thread, in
+/// vector order. Every other backend is tested against this one.
+class SerialBackend final : public ExperimentBackend {
+ public:
+  [[nodiscard]] std::string name() const override { return "serial"; }
+  void run(const std::vector<JobSpec>& jobs, ResultSink& sink) override;
+};
+
+/// Jobs fan out across a ParallelRunner thread pool within this process.
+class InProcessBackend final : public ExperimentBackend {
+ public:
+  /// Default: the process-wide shared pool (MFLUSH_JOBS threads).
+  InProcessBackend();
+  explicit InProcessBackend(ParallelRunner& pool) : pool_(&pool) {}
+
+  [[nodiscard]] std::string name() const override { return "inprocess"; }
+  void run(const std::vector<JobSpec>& jobs, ResultSink& sink) override;
+
+ private:
+  ParallelRunner* pool_;
+};
+
+/// Jobs shell out to `mflushsim --worker` subprocesses, one process per
+/// job, speaking the job-file-in / result-file-out protocol below. This is
+/// the stepping stone to multi-machine distribution: a job file plus the
+/// mflushsim binary is everything a remote host needs, and this backend is
+/// the local transport for it.
+class WorkerBackend final : public ExperimentBackend {
+ public:
+  struct Options {
+    /// Worker binary; empty means default_worker_binary().
+    std::string worker_binary;
+    /// Concurrent worker processes; 0 means ParallelRunner::default_jobs().
+    unsigned max_processes = 0;
+    /// Directory for job/result files; empty means the system temp dir.
+    std::string scratch_dir;
+    /// Keep the protocol files after the run (debugging).
+    bool keep_files = false;
+  };
+
+  WorkerBackend();  ///< default Options
+  explicit WorkerBackend(Options options);
+
+  [[nodiscard]] std::string name() const override { return "worker"; }
+  void run(const std::vector<JobSpec>& jobs, ResultSink& sink) override;
+
+ private:
+  Options opts_;
+};
+
+/// Resolve the worker binary: $MFLUSH_WORKER_BIN if set, else this
+/// executable when it *is* mflushsim, else a sibling `mflushsim` of this
+/// executable (the build tree layout). Empty string when none exists.
+[[nodiscard]] std::string default_worker_binary();
+
+/// Execute a full spec on a backend. FullRun specs are expand()ed and run
+/// as one batch. Sampled specs run round by round: after each round the
+/// 95% confidence half-width of every point's mean IPC is computed from
+/// its fork results, and points whose relative half-width still exceeds
+/// sampled.target_half_width get another round of forks (continuing the
+/// fork_advance stride off the same parent snapshot) until they converge
+/// or sampled.max_rounds is reached — the SMARTS-style stopping rule.
+/// Deterministic for any backend: the rule only consumes job results,
+/// which are themselves backend-independent.
+///
+/// Returns all results ordered by job id (sampled mode: round-0 forks for
+/// every point first, then continuation rounds in creation order).
+std::vector<RunResult> run_experiment(const ExperimentSpec& spec,
+                                      ExperimentBackend& backend,
+                                      ResultSink& sink);
+
+/// run_experiment into a sink with no callback.
+[[nodiscard]] std::vector<RunResult> run_experiment(
+    const ExperimentSpec& spec, ExperimentBackend& backend);
+
+// ------------------------------------------------------ worker protocol
+//
+// Both files are flat ArchiveWriter streams: magic, version, u64 count,
+// the entries, and a trailing FNV-1a checksum over everything before it.
+// Readers reject bad magic, version skew, checksum mismatch and trailing
+// bytes outright — a corrupt job must fail loudly, never half-run.
+namespace worker {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+void write_job_file(const std::string& path,
+                    const std::vector<JobSpec>& jobs);
+[[nodiscard]] std::vector<JobSpec> read_job_file(const std::string& path);
+
+void write_result_file(
+    const std::string& path,
+    const std::vector<std::pair<std::uint32_t, RunResult>>& results);
+[[nodiscard]] std::vector<std::pair<std::uint32_t, RunResult>>
+read_result_file(const std::string& path);
+
+/// The `mflushsim --worker` entry point: read the job file, run every job,
+/// write the result file. Returns a process exit code (0 on success).
+int run_worker(const std::string& job_path, const std::string& result_path);
+
+}  // namespace worker
+}  // namespace mflush

@@ -255,6 +255,12 @@ SimMetrics CmpSimulator::metrics() const {
     m.branches_resolved += s.branches_resolved;
     m.mispredicts += s.mispredicts;
     m.energy = energy::merge(m.energy, energy::report_for(s));
+    const FetchPolicy::Counters pc = core->policy().counters();
+    m.policy_flushes_on_miss += pc.flushes_on_miss;
+    m.policy_flushes_on_hit += pc.flushes_on_hit;
+    m.policy_flushes_on_l1 += pc.flushes_on_l1;
+    m.policy_stall_events += pc.stall_events;
+    m.policy_gate_cycles += pc.gate_cycles;
   }
   m.ipc = m.cycles ? static_cast<double>(m.committed) /
                          static_cast<double>(m.cycles)
@@ -266,6 +272,7 @@ SimMetrics CmpSimulator::metrics() const {
   m.l2_hit_time_p90 = ms.l2_load_hit_time.quantile(0.9);
   m.l2_hits_observed = ms.l2_load_hit_time.count();
   m.l2_misses_observed = ms.l2_load_miss_time.count();
+  m.l2_hit_time_hist = ms.l2_load_hit_time;
   return m;
 }
 

@@ -1,35 +1,19 @@
 #include "sim/experiment.h"
 
-#include <charconv>
 #include <chrono>
-#include <cstdlib>
-#include <string_view>
 
-#include "sim/parallel.h"
+#include "common/env.h"
+#include "sim/backend.h"
 #include "sim/snapshot.h"
 
 namespace mflush {
-namespace {
-
-Cycle env_cycles(const char* var, Cycle fallback) {
-  const char* raw = std::getenv(var);
-  if (raw == nullptr) return fallback;
-  const std::string_view s(raw);
-  Cycle v = 0;
-  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-  if (ec != std::errc{} || ptr != s.data() + s.size() || v == 0)
-    return fallback;
-  return v;
-}
-
-}  // namespace
 
 Cycle bench_cycles(Cycle fallback) {
-  return env_cycles("MFLUSH_BENCH_CYCLES", fallback);
+  return env::u64_or("MFLUSH_BENCH_CYCLES", fallback);
 }
 
 Cycle warmup_cycles(Cycle fallback) {
-  return env_cycles("MFLUSH_WARMUP_CYCLES", fallback);
+  return env::u64_or("MFLUSH_WARMUP_CYCLES", fallback);
 }
 
 RunResult run_point(const Workload& workload, const PolicySpec& policy,
@@ -66,11 +50,42 @@ std::vector<RunResult> run_sweep(const Workload& workload,
                                  const std::vector<PolicySpec>& policies,
                                  std::uint64_t seed, Cycle warmup,
                                  Cycle measure) {
-  std::vector<SweepPoint> points;
-  points.reserve(policies.size());
-  for (const PolicySpec& p : policies)
-    points.push_back({workload, p, seed, warmup, measure});
-  return ParallelRunner::shared().run(points);
+  ExperimentSpec spec;
+  spec.name = "sweep";
+  spec.workloads = {workload};
+  spec.policies = policies;
+  spec.seeds = {seed};
+  spec.warmup = warmup;
+  spec.measure = measure;
+  InProcessBackend backend;
+  return run_experiment(spec, backend);
+}
+
+std::vector<std::vector<RunResult>> run_grid(
+    const std::vector<Workload>& workloads,
+    const std::vector<PolicySpec>& policies, std::uint64_t seed, Cycle warmup,
+    Cycle measure) {
+  ExperimentSpec spec;
+  spec.name = "grid";
+  spec.workloads = workloads;
+  spec.policies = policies;
+  spec.seeds = {seed};
+  spec.warmup = warmup;
+  spec.measure = measure;
+  InProcessBackend backend;
+  std::vector<RunResult> flat = run_experiment(spec, backend);
+
+  std::vector<std::vector<RunResult>> rows;
+  rows.reserve(workloads.size());
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const auto begin =
+        flat.begin() + static_cast<std::ptrdiff_t>(w * policies.size());
+    rows.emplace_back(
+        std::make_move_iterator(begin),
+        std::make_move_iterator(begin +
+                                static_cast<std::ptrdiff_t>(policies.size())));
+  }
+  return rows;
 }
 
 }  // namespace mflush

@@ -1,0 +1,479 @@
+#include "sim/experiment_spec.h"
+
+#include <cctype>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/cmp.h"
+#include "sim/parallel.h"
+#include "sim/snapshot.h"
+
+namespace mflush {
+namespace {
+
+constexpr std::uint64_t kSpecMagic = 0x4d464c5553504543ull;  // "MFLUSPEC"
+constexpr std::uint32_t kSpecVersion = 1;
+
+void put_workload(ArchiveWriter& ar, const Workload& w) {
+  ar.put_string(w.name);
+  ar.put_vec(w.codes);
+}
+
+Workload get_workload(ArchiveReader& ar) {
+  Workload w;
+  w.name = ar.get_string();
+  ar.get_vec(w.codes);
+  return w;
+}
+
+void put_policy(ArchiveWriter& ar, const PolicySpec& p) {
+  ar.put(static_cast<std::uint8_t>(p.kind));
+  ar.put(p.trigger);
+  ar.put(p.mcreg_history);
+  ar.put(static_cast<std::uint8_t>(p.mcreg_agg));
+  ar.put(p.preventive);
+}
+
+PolicySpec get_policy(ArchiveReader& ar) {
+  PolicySpec p;
+  p.kind = static_cast<PolicySpec::Kind>(ar.get<std::uint8_t>());
+  p.trigger = ar.get<Cycle>();
+  p.mcreg_history = ar.get<std::uint32_t>();
+  p.mcreg_agg = static_cast<PolicySpec::McRegAgg>(ar.get<std::uint8_t>());
+  p.preventive = ar.get<bool>();
+  return p;
+}
+
+// BenchmarkProfile is written field-wise in declaration order; any profile
+// field added/removed must bump the enclosing format version (spec/job).
+void put_profile(ArchiveWriter& ar, const BenchmarkProfile& p) {
+  ar.put_string(p.name);
+  ar.put(p.code);
+  ar.put(p.f_load);
+  ar.put(p.f_store);
+  ar.put(p.f_branch);
+  ar.put(p.f_call_ret);
+  ar.put(p.f_fp);
+  ar.put(p.f_mul);
+  ar.put(p.strands);
+  ar.put(p.dep_mean);
+  ar.put(p.p_chase);
+  ar.put(p.predictability);
+  ar.put(p.taken_bias);
+  ar.put(p.pattern_period);
+  ar.put(p.hot_lines);
+  ar.put(p.l2_lines);
+  ar.put(p.mem_lines);
+  ar.put(p.p_l2);
+  ar.put(p.p_mem);
+  ar.put(p.p_stream);
+  ar.put(p.stream_lines);
+  ar.put(p.icache_lines);
+  ar.put(p.mean_bb_len);
+}
+
+BenchmarkProfile get_profile(ArchiveReader& ar) {
+  BenchmarkProfile p;
+  p.name = ar.get_string();
+  p.code = ar.get<char>();
+  p.f_load = ar.get<double>();
+  p.f_store = ar.get<double>();
+  p.f_branch = ar.get<double>();
+  p.f_call_ret = ar.get<double>();
+  p.f_fp = ar.get<double>();
+  p.f_mul = ar.get<double>();
+  p.strands = ar.get<std::uint32_t>();
+  p.dep_mean = ar.get<double>();
+  p.p_chase = ar.get<double>();
+  p.predictability = ar.get<double>();
+  p.taken_bias = ar.get<double>();
+  p.pattern_period = ar.get<std::uint32_t>();
+  p.hot_lines = ar.get<std::uint32_t>();
+  p.l2_lines = ar.get<std::uint32_t>();
+  p.mem_lines = ar.get<std::uint32_t>();
+  p.p_l2 = ar.get<double>();
+  p.p_mem = ar.get<double>();
+  p.p_stream = ar.get<double>();
+  p.stream_lines = ar.get<std::uint32_t>();
+  p.icache_lines = ar.get<std::uint32_t>();
+  p.mean_bb_len = ar.get<std::uint32_t>();
+  return p;
+}
+
+/// Throwing wrapper over the shared workloads::resolve front door.
+Workload resolve_workload(const std::string& token) {
+  if (const auto w = workloads::resolve(token)) return *w;
+  throw std::runtime_error(
+      "experiment spec: unknown workload '" + token +
+      "' (catalog name or an even-length string of benchmark codes)");
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ JobSpec
+
+void JobSpec::save(ArchiveWriter& ar) const {
+  ar.put(id);
+  put_workload(ar, workload);
+  ar.put<std::uint64_t>(profiles.size());
+  for (const BenchmarkProfile& p : profiles) put_profile(ar, p);
+  put_policy(ar, policy);
+  ar.put(seed);
+  ar.put(warmup);
+  ar.put(measure);
+  ar.put(fork_advance);
+  ar.put<std::uint8_t>(snapshot ? 1 : 0);
+  if (snapshot) ar.put_vec(*snapshot);
+}
+
+JobSpec JobSpec::load(ArchiveReader& ar) {
+  JobSpec j;
+  j.id = ar.get<std::uint32_t>();
+  j.workload = get_workload(ar);
+  const auto num_profiles = ar.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < num_profiles; ++i)
+    j.profiles.push_back(get_profile(ar));
+  j.policy = get_policy(ar);
+  j.seed = ar.get<std::uint64_t>();
+  j.warmup = ar.get<Cycle>();
+  j.measure = ar.get<Cycle>();
+  j.fork_advance = ar.get<Cycle>();
+  if (ar.get<std::uint8_t>() != 0) {
+    std::vector<std::uint8_t> bytes;
+    ar.get_vec(bytes);
+    j.snapshot =
+        std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  }
+  return j;
+}
+
+RunResult run_job(const JobSpec& job) {
+  if (job.snapshot)
+    return run_point_from_snapshot(*job.snapshot, job.fork_advance,
+                                   job.measure);
+  if (!job.profiles.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    CmpSimulator sim(job.profiles, job.policy, job.seed);
+    sim.run(job.warmup);
+    sim.reset_stats();
+    sim.run(job.measure);
+    RunResult r{job.workload.name.empty() ? sim.workload().name
+                                          : job.workload.name,
+                job.policy.label(), sim.metrics()};
+    r.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    r.simulated_cycles = job.warmup + job.measure;
+    return r;
+  }
+  return run_point(job.workload, job.policy, job.seed, job.warmup,
+                   job.measure);
+}
+
+// ----------------------------------------------------------- ExperimentSpec
+
+void ExperimentSpec::validate() const {
+  if (workloads.empty())
+    throw std::runtime_error("experiment spec: no workloads");
+  if (policies.empty()) throw std::runtime_error("experiment spec: no policies");
+  if (seeds.empty()) throw std::runtime_error("experiment spec: no seeds");
+  if (measure == 0)
+    throw std::runtime_error("experiment spec: measure must be > 0");
+  for (const Workload& w : workloads) {
+    if (w.codes.empty() || w.codes.size() % 2 != 0) {
+      throw std::runtime_error("experiment spec: workload '" + w.name +
+                               "' needs an even, non-zero thread count");
+    }
+  }
+  if (mode == RunMode::Sampled) {
+    if (sampled.forks == 0)
+      throw std::runtime_error("experiment spec: sampled.forks must be > 0");
+    if (sampled.target_half_width < 0.0 || sampled.target_half_width >= 1.0) {
+      throw std::runtime_error(
+          "experiment spec: target_half_width must be in [0, 1)");
+    }
+    if (sampled.max_rounds == 0)
+      throw std::runtime_error("experiment spec: max_rounds must be > 0");
+  }
+}
+
+std::vector<JobSpec> ExperimentSpec::expand() const {
+  validate();
+  std::vector<JobSpec> jobs;
+
+  if (mode == RunMode::FullRun) {
+    jobs.reserve(num_points());
+    std::uint32_t id = 0;
+    for (const std::uint64_t seed : seeds) {
+      for (const Workload& w : workloads) {
+        for (const PolicySpec& p : policies) {
+          JobSpec j;
+          j.id = id++;
+          j.workload = w;
+          j.policy = p;
+          j.seed = seed;
+          j.warmup = warmup;
+          j.measure = measure;
+          jobs.push_back(std::move(j));
+        }
+      }
+    }
+    return jobs;
+  }
+
+  // Sampled: warm one parent chip per point (in parallel — each parent is an
+  // independent deterministic simulation) and checkpoint it once; the forks
+  // share the snapshot bytes and skip the warm-up entirely.
+  const Cycle stride =
+      sampled.fork_stride != 0 ? sampled.fork_stride : measure / 2;
+  const std::size_t points = num_points();
+  const std::size_t num_w = workloads.size();
+  const std::size_t num_p = policies.size();
+  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> snaps(points);
+  ParallelRunner::shared().for_each_index(points, [&](std::size_t i) {
+    const Workload& w = workloads[(i / num_p) % num_w];
+    const PolicySpec& p = policies[i % num_p];
+    const std::uint64_t seed = seeds[i / (num_w * num_p)];
+    CmpSimulator parent(w, p, seed);
+    parent.run(warmup);
+    snaps[i] = std::make_shared<const std::vector<std::uint8_t>>(
+        snapshot::capture(parent));
+  });
+
+  jobs.reserve(points * sampled.forks);
+  for (std::size_t i = 0; i < points; ++i) {
+    for (std::uint32_t k = 0; k < sampled.forks; ++k) {
+      JobSpec j;
+      j.id = static_cast<std::uint32_t>(i * sampled.forks + k);
+      j.workload = workloads[(i / num_p) % num_w];
+      j.policy = policies[i % num_p];
+      j.seed = seeds[i / (num_w * num_p)];
+      j.measure = measure;
+      j.fork_advance = static_cast<Cycle>(k) * stride;
+      j.snapshot = snaps[i];
+      jobs.push_back(std::move(j));
+    }
+  }
+  return jobs;
+}
+
+std::vector<std::uint8_t> ExperimentSpec::to_bytes() const {
+  ArchiveWriter ar;
+  ar.put(kSpecMagic);
+  ar.put(kSpecVersion);
+  ar.put_string(name);
+  ar.put<std::uint64_t>(workloads.size());
+  for (const Workload& w : workloads) put_workload(ar, w);
+  ar.put<std::uint64_t>(policies.size());
+  for (const PolicySpec& p : policies) put_policy(ar, p);
+  ar.put_vec(seeds);
+  ar.put(warmup);
+  ar.put(measure);
+  ar.put(static_cast<std::uint8_t>(mode));
+  ar.put(sampled.forks);
+  ar.put(sampled.fork_stride);
+  ar.put(sampled.target_half_width);
+  ar.put(sampled.max_rounds);
+  ar.put(fnv1a(ar.bytes()));
+  return ar.take();
+}
+
+ExperimentSpec ExperimentSpec::from_bytes(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < sizeof(std::uint64_t))
+    throw std::runtime_error("experiment spec: truncated");
+  const auto body = bytes.first(bytes.size() - sizeof(std::uint64_t));
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + body.size(), sizeof(stored));
+  if (fnv1a(body) != stored)
+    throw std::runtime_error(
+        "experiment spec: checksum mismatch (corrupt file?)");
+
+  ArchiveReader ar(body);
+  if (ar.get<std::uint64_t>() != kSpecMagic)
+    throw std::runtime_error("experiment spec: bad magic");
+  if (const auto v = ar.get<std::uint32_t>(); v != kSpecVersion) {
+    throw std::runtime_error("experiment spec: format version " +
+                             std::to_string(v) + " incompatible with " +
+                             std::to_string(kSpecVersion));
+  }
+  ExperimentSpec spec;
+  spec.name = ar.get_string();
+  const auto num_w = ar.get<std::uint64_t>();
+  spec.workloads.clear();
+  for (std::uint64_t i = 0; i < num_w; ++i)
+    spec.workloads.push_back(get_workload(ar));
+  const auto num_p = ar.get<std::uint64_t>();
+  spec.policies.clear();
+  for (std::uint64_t i = 0; i < num_p; ++i)
+    spec.policies.push_back(get_policy(ar));
+  ar.get_vec(spec.seeds);
+  spec.warmup = ar.get<Cycle>();
+  spec.measure = ar.get<Cycle>();
+  spec.mode = static_cast<RunMode>(ar.get<std::uint8_t>());
+  spec.sampled.forks = ar.get<std::uint32_t>();
+  spec.sampled.fork_stride = ar.get<Cycle>();
+  spec.sampled.target_half_width = ar.get<double>();
+  spec.sampled.max_rounds = ar.get<std::uint32_t>();
+  if (!ar.done())
+    throw std::runtime_error("experiment spec: trailing bytes (corrupt?)");
+  spec.validate();
+  return spec;
+}
+
+std::string ExperimentSpec::to_text() const {
+  std::ostringstream os;
+  os << "# mflush experiment spec (text form, v" << kSpecVersion << ")\n"
+     << "# run with: mflushsim --spec FILE [--backend inprocess|worker]\n"
+     << "name " << name << '\n'
+     << "mode " << (mode == RunMode::Sampled ? "sampled" : "full_run") << '\n'
+     << "warmup " << warmup << '\n'
+     << "measure " << measure << '\n';
+  os << "seeds";
+  for (const std::uint64_t s : seeds) os << ' ' << s;
+  os << '\n';
+  for (const Workload& w : workloads) os << "workload " << w.name << '\n';
+  for (const PolicySpec& p : policies) {
+    std::string label = p.label();
+    for (char& c : label) c = static_cast<char>(std::tolower(c));
+    os << "policy " << label << '\n';
+  }
+  if (mode == RunMode::Sampled) {
+    os << "forks " << sampled.forks << '\n'
+       << "fork_stride " << sampled.fork_stride << '\n'
+       << "target_half_width " << sampled.target_half_width << '\n'
+       << "max_rounds " << sampled.max_rounds << '\n';
+  }
+  return os.str();
+}
+
+ExperimentSpec ExperimentSpec::from_text(std::string_view text) {
+  ExperimentSpec spec;
+  spec.seeds.clear();
+  std::istringstream is{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments and surrounding whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank line
+
+    const auto fail = [&](const std::string& why) {
+      throw std::runtime_error("experiment spec line " +
+                               std::to_string(lineno) + ": " + why);
+    };
+    // Strict non-negative integer tokens: istream >> uint64 would wrap
+    // "-1" into 2^64-1 instead of failing, so parse via from_chars.
+    const auto parse_u64 = [&](const std::string& token,
+                               std::uint64_t& out) -> bool {
+      const auto [ptr, ec] = std::from_chars(
+          token.data(), token.data() + token.size(), out);
+      return ec == std::errc{} && ptr == token.data() + token.size();
+    };
+    const auto value_u64 = [&]() -> std::uint64_t {
+      std::string token;
+      std::uint64_t v = 0;
+      if (!(ls >> token) || !parse_u64(token, v))
+        fail("'" + key + "' expects a non-negative integer");
+      return v;
+    };
+
+    if (key == "name") {
+      if (!(ls >> spec.name)) fail("'name' expects a value");
+    } else if (key == "mode") {
+      std::string m;
+      if (!(ls >> m)) fail("'mode' expects full_run or sampled");
+      if (m == "full_run") {
+        spec.mode = RunMode::FullRun;
+      } else if (m == "sampled") {
+        spec.mode = RunMode::Sampled;
+      } else {
+        fail("unknown mode '" + m + "' (full_run or sampled)");
+      }
+    } else if (key == "warmup") {
+      spec.warmup = value_u64();
+    } else if (key == "measure") {
+      spec.measure = value_u64();
+    } else if (key == "seeds" || key == "seed") {
+      std::string token;
+      while (ls >> token) {
+        std::uint64_t s = 0;
+        if (!parse_u64(token, s))
+          fail("'seeds' expects non-negative integers, got '" + token + "'");
+        spec.seeds.push_back(s);
+      }
+      if (spec.seeds.empty()) fail("'seeds' expects at least one integer");
+    } else if (key == "workload") {
+      std::string token;
+      if (!(ls >> token)) fail("'workload' expects a name or code string");
+      spec.workloads.push_back(resolve_workload(token));
+    } else if (key == "policy") {
+      std::string token;
+      if (!(ls >> token)) fail("'policy' expects a policy spec");
+      const auto p = PolicySpec::parse(token);
+      if (!p) fail("unknown policy '" + token + "'");
+      spec.policies.push_back(*p);
+    } else if (key == "forks") {
+      spec.sampled.forks = static_cast<std::uint32_t>(value_u64());
+    } else if (key == "fork_stride") {
+      spec.sampled.fork_stride = value_u64();
+    } else if (key == "target_half_width") {
+      double v = 0.0;
+      if (!(ls >> v)) fail("'target_half_width' expects a number");
+      spec.sampled.target_half_width = v;
+    } else if (key == "max_rounds") {
+      spec.sampled.max_rounds = static_cast<std::uint32_t>(value_u64());
+    } else {
+      fail("unknown key '" + key + "'");
+    }
+    std::string extra;
+    if (ls >> extra) fail("trailing junk '" + extra + "'");
+  }
+  if (spec.seeds.empty()) spec.seeds.push_back(1);
+  spec.validate();
+  return spec;
+}
+
+ExperimentSpec ExperimentSpec::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in)
+    throw std::runtime_error("cannot open experiment spec: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error("experiment spec read failed: " + path);
+
+  std::uint64_t magic = 0;
+  if (bytes.size() >= sizeof(magic))
+    std::memcpy(&magic, bytes.data(), sizeof(magic));
+  if (magic == kSpecMagic) return from_bytes(bytes);
+  return from_text(
+      std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                       bytes.size()));
+}
+
+void ExperimentSpec::write_file(const std::string& path, bool binary) const {
+  validate();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("cannot open experiment spec for write: " + path);
+  if (binary) {
+    const std::vector<std::uint8_t> bytes = to_bytes();
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  } else {
+    out << to_text();
+  }
+  if (!out) throw std::runtime_error("experiment spec write failed: " + path);
+}
+
+}  // namespace mflush

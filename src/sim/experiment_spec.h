@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/archive.h"
+#include "core/factory.h"
+#include "sim/experiment.h"
+#include "sim/workloads.h"
+#include "trace/profile.h"
+
+/// Experiments as data.
+///
+/// Every paper figure is a sweep of independent (workload, policy, seed)
+/// simulation points. An ExperimentSpec is the *description* of such a
+/// study — serializable (binary archive and a line-oriented text form meant
+/// to be written by hand), expandable into a flat vector of self-contained
+/// JobSpec units, and executable by any ExperimentBackend (sim/backend.h):
+/// in-process on the thread pool, or fanned out to `mflushsim --worker`
+/// subprocesses. A job file plus the binary is everything a remote host
+/// needs, which is what makes the spec the unit of distribution.
+namespace mflush {
+
+/// How the measured interval of each point is obtained.
+enum class RunMode : std::uint8_t {
+  /// Warm up `warmup` cycles, then measure `measure` cycles — the paper's
+  /// fixed-interval methodology.
+  FullRun = 0,
+  /// SMARTS-style sampled simulation: warm one parent chip per point,
+  /// checkpoint it, and fork measured intervals off the snapshot (each
+  /// advanced a different stride past the checkpoint). With a target
+  /// confidence half-width set, rounds of forks are added until the
+  /// interval-mean IPC is estimated tightly enough (see SampledConfig).
+  Sampled = 1,
+};
+
+/// Sampled-mode knobs.
+struct SampledConfig {
+  /// Forks per point and per round.
+  std::uint32_t forks = 8;
+  /// Cycles between consecutive forks' measurement starts (de-correlates
+  /// the sampled intervals). 0 means measure/2.
+  Cycle fork_stride = 0;
+  /// SMARTS-style stopping rule: keep adding rounds of `forks` intervals
+  /// until the 95% confidence half-width of the mean IPC, relative to the
+  /// mean, drops to this value. 0 disables the rule (single fixed round).
+  double target_half_width = 0.0;
+  /// Hard cap on rounds when the stopping rule is active.
+  std::uint32_t max_rounds = 4;
+
+  bool operator==(const SampledConfig&) const = default;
+};
+
+/// One self-contained simulation unit — everything a worker (thread or
+/// subprocess, local or remote) needs to produce one RunResult.
+///
+/// Exactly one of three shapes:
+///  * catalog job: `workload` codes resolve against the SPEC2000 catalog;
+///  * profile job: `profiles` non-empty — an ad-hoc chip built from custom
+///    BenchmarkProfiles (workload.name is just the display label);
+///  * fork job: `snapshot` set — reconstruct the embedded pre-warmed chip,
+///    advance `fork_advance` cycles, then measure (workload/policy/seed/
+///    warmup travel inside the snapshot and are ignored here).
+struct JobSpec {
+  std::uint32_t id = 0;  ///< dense result-slot index within one experiment
+  Workload workload;
+  std::vector<BenchmarkProfile> profiles;
+  PolicySpec policy;
+  std::uint64_t seed = 1;
+  Cycle warmup = 0;
+  Cycle measure = 0;
+  Cycle fork_advance = 0;
+  std::shared_ptr<const std::vector<std::uint8_t>> snapshot;
+
+  /// Serialize/deserialize for the worker job-file protocol. The snapshot
+  /// bytes (when present) are embedded inline.
+  void save(ArchiveWriter& ar) const;
+  [[nodiscard]] static JobSpec load(ArchiveReader& ar);
+};
+
+/// Execute one job to completion (the single definition of "run a point"
+/// every backend shares — cross-backend bit-identity rests on this).
+[[nodiscard]] RunResult run_job(const JobSpec& job);
+
+/// A full study: workload set x policy set x seed set x interval x mode.
+struct ExperimentSpec {
+  std::string name = "experiment";
+  std::vector<Workload> workloads;
+  std::vector<PolicySpec> policies;
+  std::vector<std::uint64_t> seeds = {1};
+  Cycle warmup = 30'000;
+  Cycle measure = 120'000;
+  RunMode mode = RunMode::FullRun;
+  SampledConfig sampled;
+
+  /// Points = seeds x workloads x policies (seed-major, policy-minor: the
+  /// flat index of (s, w, p) is (s*W + w)*P + p, so a single-seed spec
+  /// expands in the classic run_grid row-major layout).
+  [[nodiscard]] std::size_t num_points() const noexcept {
+    return seeds.size() * workloads.size() * policies.size();
+  }
+
+  /// Throws std::runtime_error naming the first problem (empty sets,
+  /// zero measure, bad sampled config).
+  void validate() const;
+
+  /// Expand into self-contained jobs, ids 0..n-1 in point order.
+  ///
+  /// FullRun: one job per point. Sampled: `sampled.forks` fork jobs per
+  /// point, each carrying a snapshot of the point's parent chip — the
+  /// parents are warmed here (in parallel on the shared pool) and
+  /// checkpointed once, so forks skip re-simulating the warm-up. The
+  /// stopping rule lives in run_experiment (sim/backend.h), which builds
+  /// additional fork rounds from the round-0 jobs' snapshot handles.
+  [[nodiscard]] std::vector<JobSpec> expand() const;
+
+  // --- serialization -----------------------------------------------------
+  // Binary: magic/version/fields/FNV-checksum archive, rejected on any
+  // corruption or version skew. Text: the hand-authorable line format
+  // ("key value" lines, '#' comments — see to_text() output or
+  // examples/quickstart). read_file sniffs the magic to pick the decoder.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+  [[nodiscard]] static ExperimentSpec from_bytes(
+      std::span<const std::uint8_t> bytes);
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static ExperimentSpec from_text(std::string_view text);
+  [[nodiscard]] static ExperimentSpec read_file(const std::string& path);
+  void write_file(const std::string& path, bool binary = false) const;
+};
+
+}  // namespace mflush

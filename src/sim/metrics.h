@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/types.h"
 #include "energy/accounting.h"
 
@@ -37,8 +38,24 @@ struct SimMetrics {
   std::uint64_t l2_hits_observed = 0;
   std::uint64_t l2_misses_observed = 0;
 
+  // Policy detection-quality counters summed over the chip's cores
+  // (false-miss analysis, Fig. 5 / the MFLUSH ablation).
+  std::uint64_t policy_flushes_on_miss = 0;
+  std::uint64_t policy_flushes_on_hit = 0;  ///< "false miss" flushes
+  std::uint64_t policy_flushes_on_l1 = 0;
+  std::uint64_t policy_stall_events = 0;
+  std::uint64_t policy_gate_cycles = 0;
+
+  /// Full L2 load-hit-time distribution (Fig. 4 dispersion analysis);
+  /// geometry mirrors MemStats::l2_load_hit_time.
+  Histogram l2_hit_time_hist{5.0, 80};
+
   // Energy (Fig. 11 inputs).
   energy::EnergyReport energy{};
+
+  /// Exact equality over every field — the cross-backend / serial-parallel
+  /// determinism contract ("bit-identical") made testable.
+  bool operator==(const SimMetrics&) const = default;
 };
 
 }  // namespace mflush

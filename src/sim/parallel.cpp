@@ -1,15 +1,16 @@
 #include "sim/parallel.h"
 
 #include <atomic>
-#include <charconv>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <stop_token>
-#include <string_view>
 #include <thread>
+#include <vector>
+
+#include "common/env.h"
 
 namespace mflush {
 
@@ -136,27 +137,14 @@ void ParallelRunner::for_each_index(
   if (err) std::rethrow_exception(err);
 }
 
-std::vector<RunResult> ParallelRunner::run(
-    const std::vector<SweepPoint>& points) {
-  std::vector<RunResult> out(points.size());
-  for_each_index(points.size(), [&](std::size_t i) {
-    const SweepPoint& p = points[i];
-    out[i] = p.snapshot
-                 ? run_point_from_snapshot(*p.snapshot, p.fork_advance,
-                                           p.measure)
-                 : run_point(p.workload, p.policy, p.seed, p.warmup,
-                             p.measure);
-  });
-  return out;
-}
-
-unsigned ParallelRunner::default_jobs() noexcept {
-  if (const char* raw = std::getenv("MFLUSH_JOBS")) {
-    const std::string_view s(raw);
-    unsigned v = 0;
-    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-    if (ec == std::errc{} && ptr == s.data() + s.size() && v >= 1) return v;
-  }
+unsigned ParallelRunner::default_jobs() {
+  // 0 as the "unset" sentinel: a literal MFLUSH_JOBS=0 is malformed (min 1)
+  // and throws rather than silently meaning "all hardware threads". The max
+  // keeps the value castable: a count the cast would truncate must error.
+  if (const std::uint64_t v = env::u64_or(
+          "MFLUSH_JOBS", 0, 1, std::numeric_limits<unsigned>::max());
+      v != 0)
+    return static_cast<unsigned>(v);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
@@ -164,30 +152,6 @@ unsigned ParallelRunner::default_jobs() noexcept {
 ParallelRunner& ParallelRunner::shared() {
   static ParallelRunner runner;
   return runner;
-}
-
-std::vector<std::vector<RunResult>> run_grid(
-    const std::vector<Workload>& workloads,
-    const std::vector<PolicySpec>& policies, std::uint64_t seed, Cycle warmup,
-    Cycle measure) {
-  std::vector<SweepPoint> points;
-  points.reserve(workloads.size() * policies.size());
-  for (const Workload& w : workloads)
-    for (const PolicySpec& p : policies)
-      points.push_back({w, p, seed, warmup, measure});
-  std::vector<RunResult> flat = ParallelRunner::shared().run(points);
-
-  std::vector<std::vector<RunResult>> rows;
-  rows.reserve(workloads.size());
-  for (std::size_t w = 0; w < workloads.size(); ++w) {
-    const auto begin =
-        flat.begin() + static_cast<std::ptrdiff_t>(w * policies.size());
-    rows.emplace_back(
-        std::make_move_iterator(begin),
-        std::make_move_iterator(begin +
-                                static_cast<std::ptrdiff_t>(policies.size())));
-  }
-  return rows;
 }
 
 }  // namespace mflush

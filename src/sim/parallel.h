@@ -1,44 +1,21 @@
 #pragma once
 
 #include <cstddef>
-#include <cstdint>
 #include <functional>
 #include <memory>
-#include <vector>
 
-#include "sim/experiment.h"
-
-/// Parallel experiment engine.
+/// Persistent thread pool under the experiment backends.
 ///
-/// Every paper figure is a sweep of independent (workload, policy, seed)
-/// simulation points; each point is a self-contained CmpSimulator whose
-/// output is fully determined by its (config, seed) pair. The engine fans
-/// those points across a persistent pool of hardware threads. Because no
-/// state is shared between points and results are written to per-point
-/// slots, a parallel sweep is bit-identical to the serial loop regardless
-/// of scheduling — tested by ParallelRunner.MatchesSerialSweep.
+/// The experiment layer (sim/experiment_spec.h + sim/backend.h) expands a
+/// study into independent jobs; InProcessBackend fans them across this
+/// pool. Because no state is shared between jobs and results land in
+/// per-job slots, a parallel batch is bit-identical to the serial loop
+/// regardless of scheduling — tested by BackendTest.CrossBackendDeterminism.
 ///
-/// Thread count: the MFLUSH_JOBS environment variable when set (>= 1),
-/// otherwise std::thread::hardware_concurrency().
+/// Thread count: the MFLUSH_JOBS environment variable when set (>= 1,
+/// malformed values are a hard error), otherwise
+/// std::thread::hardware_concurrency().
 namespace mflush {
-
-/// One independent simulation point of a sweep.
-///
-/// With `snapshot` set the point forks a pre-warmed chip instead of
-/// simulating its own warm-up: the simulator is reconstructed from the
-/// snapshot bytes, advanced `fork_advance` cycles (to de-correlate
-/// intervals sampled from one parent), stats are reset, and `measure`
-/// cycles run. workload/policy/seed/warmup are then ignored — the snapshot
-/// embeds them.
-struct SweepPoint {
-  Workload workload;
-  PolicySpec policy;
-  std::uint64_t seed = 1;
-  Cycle warmup = 0;
-  Cycle measure = 0;
-  std::shared_ptr<const std::vector<std::uint8_t>> snapshot;
-  Cycle fork_advance = 0;
-};
 
 /// Persistent std::jthread pool with an index-claiming work queue.
 ///
@@ -64,15 +41,11 @@ class ParallelRunner {
   void for_each_index(std::size_t n,
                       const std::function<void(std::size_t)>& fn);
 
-  /// Run every sweep point; results in input order, bit-identical to
-  /// calling run_point serially.
-  [[nodiscard]] std::vector<RunResult> run(
-      const std::vector<SweepPoint>& points);
-
   /// MFLUSH_JOBS environment override, else hardware concurrency (>= 1).
-  [[nodiscard]] static unsigned default_jobs() noexcept;
+  /// Throws std::runtime_error when MFLUSH_JOBS is set but malformed.
+  [[nodiscard]] static unsigned default_jobs();
 
-  /// Process-wide pool shared by run_sweep and the bench drivers.
+  /// Process-wide pool shared by InProcessBackend and the bench drivers.
   [[nodiscard]] static ParallelRunner& shared();
 
  private:
@@ -80,13 +53,5 @@ class ParallelRunner {
   std::unique_ptr<Impl> impl_;
   unsigned jobs_;
 };
-
-/// Fan a full workload x policy cross-product through the shared pool.
-/// Row i holds `workloads[i]` under every policy, in policy order — the
-/// layout report::print_throughput expects.
-[[nodiscard]] std::vector<std::vector<RunResult>> run_grid(
-    const std::vector<Workload>& workloads,
-    const std::vector<PolicySpec>& policies, std::uint64_t seed, Cycle warmup,
-    Cycle measure);
 
 }  // namespace mflush

@@ -1,8 +1,10 @@
 #include "sim/report.h"
 
 #include <cassert>
+#include <memory>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/stats.h"
 #include "common/table.h"
@@ -29,6 +31,51 @@ std::string rate_str(double cycles_per_sec) {
 }
 
 }  // namespace
+
+std::vector<std::vector<RunResult>> as_grid(std::vector<RunResult> flat,
+                                            std::size_t columns) {
+  if (columns == 0 || flat.size() % columns != 0) {
+    throw std::invalid_argument(
+        "report::as_grid: result count is not a multiple of the column "
+        "count");
+  }
+  std::vector<std::vector<RunResult>> rows;
+  rows.reserve(flat.size() / columns);
+  for (std::size_t r = 0; r < flat.size() / columns; ++r) {
+    const auto begin =
+        flat.begin() + static_cast<std::ptrdiff_t>(r * columns);
+    rows.emplace_back(
+        std::make_move_iterator(begin),
+        std::make_move_iterator(begin + static_cast<std::ptrdiff_t>(columns)));
+  }
+  return rows;
+}
+
+ResultSink::OnResult progress_printer(std::ostream& os, std::size_t total) {
+  // The sink serializes callbacks, so the shared counter needs no lock.
+  const auto done = std::make_shared<std::size_t>(0);
+  return [&os, total, done](const JobSpec&, const RunResult& r) {
+    ++*done;
+    os << '[' << *done << '/';
+    if (total == 0)
+      os << '?';
+    else
+      os << total;
+    os << "] " << r.workload << ' ' << r.policy << ": IPC "
+       << Table::num(r.metrics.ipc) << '\n';
+  };
+}
+
+void print_throughput(std::ostream& os, const std::vector<RunResult>& flat,
+                      std::size_t columns) {
+  print_throughput(os, as_grid(flat, columns));
+}
+
+void print_wasted_energy(std::ostream& os,
+                         const std::vector<RunResult>& flat,
+                         std::size_t columns) {
+  print_wasted_energy(os, as_grid(flat, columns));
+}
 
 void print_throughput(std::ostream& os,
                       const std::vector<std::vector<RunResult>>& by_workload) {

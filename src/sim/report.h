@@ -1,14 +1,32 @@
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "sim/backend.h"
 #include "sim/cmp.h"
 #include "sim/experiment.h"
 
-/// Bench-output helpers: paper-style tables over RunResults.
+/// Bench-output helpers: paper-style tables over RunResults — fed either a
+/// pre-shaped workload-row grid or, for backend-driven sweeps, the flat
+/// job-id-ordered vector a ResultSink collects.
 namespace mflush::report {
+
+/// Reshape a flat backend result vector (ExperimentSpec::expand order,
+/// policies minor) into workload rows of `columns` policies each. Throws
+/// when the size is not a multiple of `columns`.
+[[nodiscard]] std::vector<std::vector<RunResult>> as_grid(
+    std::vector<RunResult> flat, std::size_t columns);
+
+/// ResultSink callback printing one progress line per finished job
+/// ("[done/total] workload policy: IPC …") — long sweeps report
+/// incrementally instead of going silent until the batch drains. Pass
+/// total == 0 when the job count is open-ended (adaptive sampled runs);
+/// the denominator prints as "?".
+[[nodiscard]] ResultSink::OnResult progress_printer(std::ostream& os,
+                                                    std::size_t total);
 
 /// Detailed component dump of a finished simulation (caches, predictor,
 /// queues, per-thread commit) — the debugging view.
@@ -20,10 +38,20 @@ void print_debug(std::ostream& os, const CmpSimulator& sim);
 void print_throughput(std::ostream& os,
                       const std::vector<std::vector<RunResult>>& by_workload);
 
+/// Sink-fed overload: flat job-id-ordered results, `columns` policies per
+/// workload row.
+void print_throughput(std::ostream& os, const std::vector<RunResult>& flat,
+                      std::size_t columns);
+
 /// Wasted-energy table (Fig. 11): wasted units per 1000 committed
 /// instructions, per workload × policy, plus averages.
 void print_wasted_energy(
     std::ostream& os, const std::vector<std::vector<RunResult>>& by_workload);
+
+/// Sink-fed overload of the wasted-energy table.
+void print_wasted_energy(std::ostream& os,
+                         const std::vector<RunResult>& flat,
+                         std::size_t columns);
 
 /// One-line run summary (examples/quickstart), including the simulator's
 /// own throughput (wall-clock and simulated cycles per second) when the

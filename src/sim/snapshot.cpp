@@ -11,15 +11,6 @@ namespace {
 
 constexpr std::uint64_t kMagic = 0x4d464c5553534e50ull;  // "MFLUSSNP"
 
-std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept {
-  std::uint64_t h = 14695981039346656037ull;
-  for (const std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 // SimConfig is written field-wise (not memcpy'd) so struct padding never
 // leaks into the stream and the config echo compares byte-exactly.
 void put_config(ArchiveWriter& ar, const SimConfig& cfg) {

@@ -60,8 +60,21 @@ std::span<const Workload> all() { return catalog(); }
 std::optional<Workload> by_name(std::string_view name) {
   for (const auto& w : catalog())
     if (w.name == name) return w;
-  if (name == "bzip2-twolf") return bzip2_twolf_special();
+  if (name == "bzip2-twolf" || name == bzip2_twolf_special().name)
+    return bzip2_twolf_special();
   return std::nullopt;
+}
+
+std::optional<Workload> resolve(std::string_view token) {
+  if (auto w = by_name(token)) return w;
+  if (token.empty() || token.size() % 2 != 0) return std::nullopt;
+  Workload w;
+  w.name = std::string(token);
+  for (const char c : token) {
+    if (!spec2000::by_code(c)) return std::nullopt;
+    w.codes.push_back(c);
+  }
+  return w;
 }
 
 std::vector<Workload> of_size(std::uint32_t num_threads) {

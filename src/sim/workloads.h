@@ -32,8 +32,17 @@ namespace workloads {
 /// All 20 xWy workloads in Fig. 1 order (2W1..2W5, 4W1..4W5, ...).
 [[nodiscard]] std::span<const Workload> all();
 
-/// Lookup by name ("6W2"); nullopt when unknown.
+/// Lookup by name ("6W2"); nullopt when unknown. The Fig. 5(b) special is
+/// reachable as both "bzip2-twolf" and its own name "8Wbt", so every
+/// catalog workload's name round-trips through by_name (spec files depend
+/// on this).
 [[nodiscard]] std::optional<Workload> by_name(std::string_view name);
+
+/// Resolve a CLI / spec-file token: catalog name first, then an
+/// even-length string of valid benchmark codes (two per core, validated
+/// against the SPEC2000 catalog). nullopt when neither fits — the shared
+/// front door for `mflushsim --workload` and `workload` spec lines.
+[[nodiscard]] std::optional<Workload> resolve(std::string_view token);
 
 /// The five workloads of a given thread count (2, 4, 6 or 8).
 [[nodiscard]] std::vector<Workload> of_size(std::uint32_t num_threads);

@@ -1,18 +1,32 @@
 /// mflushsim — command-line driver for the simulator.
 ///
 ///   mflushsim [options]
-///     --workload NAME|CODES   paper workload (8W3) or code string (dlna)
+///     --workload NAMES|CODES  paper workload (8W3) or code string (dlna);
+///                             a comma-separated list sweeps every workload
 ///     --policy SPEC[,SPEC..]  icount | brcount | l1dmisscount | flush-sN |
 ///                             flush-ns | stall-sN | mflush[-np|-hN[max]];
 ///                             a comma-separated list sweeps every policy
-///                             in parallel
 ///     --cycles N              measured cycles            (default 120000)
 ///     --warmup N              warm-up cycles             (default 30000)
 ///     --seed N                simulation seed            (default 1)
-///     --jobs N                sweep threads (default MFLUSH_JOBS or all
-///                             hardware threads)
+///     --jobs N                parallel width: pool threads (inprocess) or
+///                             worker processes (worker backend)
+///     --spec FILE             run an experiment spec file (text or binary)
+///                             instead of describing the sweep with flags
+///     --emit-spec FILE        write the flag-described sweep as a text
+///                             spec file ("-" = stdout) and exit
+///     --backend NAME          serial | inprocess (default) | worker
+///     --worker JOBFILE        worker mode: run a job file, write the
+///                             result file, exit (the WorkerBackend
+///                             subprocess entry point)
+///     --worker-out FILE       result path for --worker
+///                             (default JOBFILE.result)
+///     --worker-bin PATH       worker binary for --backend worker
+///                             (default: this executable)
+///     --list-workloads        print the Fig. 1 workload catalog and exit
+///     --list-policies         print the policy registry and exit
 ///     --save-snapshot PATH    warm up, checkpoint the chip to PATH, then
-///                             measure as usual (single-policy runs only)
+///                             measure as usual (single-point runs only)
 ///     --load-snapshot PATH    restore the chip from PATH (skips warm-up;
 ///                             workload/policy/seed come from the file)
 ///     --no-event-skip         force lockstep execution (disable the
@@ -20,17 +34,21 @@
 ///                             results are bit-identical either way)
 ///     --csv                   machine-readable one-line-per-run output
 ///     --debug                 full component dump after the run
-///                             (single-policy runs only)
+///                             (single-point runs only)
 #include <charconv>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/table.h"
 #include "core/factory.h"
+#include "sim/backend.h"
 #include "sim/cmp.h"
 #include "sim/parallel.h"
 #include "sim/report.h"
@@ -39,21 +57,23 @@
 
 namespace {
 
+using namespace mflush;
+
 void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
-      << " [--workload NAME|CODES] [--policy SPEC[,SPEC...]] [--cycles N]\n"
-         "       [--warmup N] [--seed N] [--jobs N] [--save-snapshot PATH]\n"
-         "       [--load-snapshot PATH] [--no-event-skip] [--csv] [--debug]\n\n"
-         "workloads: 2W1..8W5 (Fig. 1), bzip2-twolf, or a string of\n"
-         "benchmark codes (a=gzip .. z=mgrid), two per core.\n"
-         "policies: icount, brcount, l1dmisscount, flush-s<N>, flush-ns,\n"
-         "          stall-s<N>, mflush, mflush-np, mflush-h<N>[max|avg]\n"
-         "a comma-separated --policy list runs as a parallel sweep.\n";
+      << " [--workload NAMES|CODES] [--policy SPEC[,SPEC...]] [--cycles N]\n"
+         "       [--warmup N] [--seed N] [--jobs N] [--spec FILE]\n"
+         "       [--emit-spec FILE|-] [--backend serial|inprocess|worker]\n"
+         "       [--worker JOBFILE [--worker-out FILE]] [--worker-bin PATH]\n"
+         "       [--list-workloads] [--list-policies]\n"
+         "       [--save-snapshot PATH] [--load-snapshot PATH]\n"
+         "       [--no-event-skip] [--csv] [--debug]\n\n"
+         "see --list-workloads / --list-policies for what can go in a\n"
+         "sweep or spec file.\n";
 }
 
-void print_results(const std::vector<mflush::RunResult>& results, bool csv) {
-  using namespace mflush;
+void print_results(const std::vector<RunResult>& results, bool csv) {
   if (csv) {
     std::cout << "workload,policy,cycles,committed,ipc,flushes,"
                  "flushed_instrs,wasted_units,l2_hit_mean,wall_s\n";
@@ -71,19 +91,62 @@ void print_results(const std::vector<mflush::RunResult>& results, bool csv) {
   }
 }
 
+int list_workloads() {
+  Table table({"name", "threads", "cores", "benchmarks"});
+  for (const Workload& w : workloads::all()) {
+    table.add_row({w.name, std::to_string(w.num_threads()),
+                   std::to_string(w.num_cores()), w.describe()});
+  }
+  const Workload special = workloads::bzip2_twolf_special();
+  table.add_row({"bzip2-twolf", std::to_string(special.num_threads()),
+                 std::to_string(special.num_cores()), special.describe()});
+  table.print(std::cout);
+  std::cout << "\nAd-hoc workloads: any even-length string of benchmark\n"
+               "codes (two per core), e.g. --workload dlna.\n";
+  return 0;
+}
+
+int list_policies() {
+  Table table({"syntax", "example", "description"});
+  for (const PolicyFamily& f : policy_families()) {
+    table.add_row({std::string(f.syntax), std::string(f.example),
+                   std::string(f.description)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThese tokens are valid for --policy and for 'policy'\n"
+               "lines in experiment spec files (--spec).\n";
+  return 0;
+}
+
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> out;
+  for (std::size_t pos = 0; pos <= list.size();) {
+    const std::size_t comma = list.find(',', pos);
+    out.push_back(list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace mflush;
-
   std::string workload_arg = "8W3";
   std::string policy_arg = "mflush";
+  std::string spec_file;
+  std::string emit_spec;
+  std::string backend_arg = "inprocess";
+  std::string worker_job;
+  std::string worker_out;
+  std::string worker_bin;
   std::string save_snapshot;
   std::string load_snapshot;
   Cycle cycles = 120'000;
   Cycle warmup = 30'000;
   std::uint64_t seed = 1;
-  unsigned jobs = 0;  // 0 = ParallelRunner default (MFLUSH_JOBS / hardware)
+  unsigned jobs = 0;  // 0 = default (MFLUSH_JOBS / hardware threads)
   bool csv = false;
   bool debug = false;
 
@@ -119,13 +182,30 @@ int main(int argc, char** argv) {
         return 2;
       }
       jobs = v;
+    } else if (arg == "--spec") {
+      spec_file = value();
+    } else if (arg == "--emit-spec") {
+      emit_spec = value();
+    } else if (arg == "--backend") {
+      backend_arg = value();
+    } else if (arg == "--worker") {
+      worker_job = value();
+    } else if (arg == "--worker-out") {
+      worker_out = value();
+    } else if (arg == "--worker-bin") {
+      worker_bin = value();
+    } else if (arg == "--list-workloads") {
+      return list_workloads();
+    } else if (arg == "--list-policies") {
+      return list_policies();
     } else if (arg == "--save-snapshot") {
       save_snapshot = value();
     } else if (arg == "--load-snapshot") {
       load_snapshot = value();
     } else if (arg == "--no-event-skip") {
-      // Every CmpSimulator (including those built inside the parallel
-      // sweep) reads this on construction.
+      // Every CmpSimulator (including those built inside worker
+      // subprocesses, which inherit the environment) reads this on
+      // construction.
       setenv("MFLUSH_NO_EVENT_SKIP", "1", 1);
     } else if (arg == "--csv") {
       csv = true;
@@ -137,52 +217,66 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto wl = workloads::by_name(workload_arg);
-  if (!wl && workload_arg.size() % 2 == 0 && !workload_arg.empty()) {
-    Workload w;
-    w.name = workload_arg;
-    for (const char c : workload_arg) w.codes.push_back(c);
-    wl = w;
-  }
-  if (!wl) {
-    std::cerr << "unknown workload: " << workload_arg << '\n';
-    return 2;
-  }
-  // A comma-separated --policy list becomes a parallel sweep.
-  std::vector<PolicySpec> policies;
-  for (std::size_t pos = 0; pos <= policy_arg.size();) {
-    const std::size_t comma = policy_arg.find(',', pos);
-    const std::string one =
-        policy_arg.substr(pos, comma == std::string::npos ? std::string::npos
-                                                          : comma - pos);
-    const auto p = PolicySpec::parse(one);
-    if (!p) {
-      std::cerr << "unknown policy: " << one << '\n';
-      return 2;
-    }
-    policies.push_back(*p);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  if (!save_snapshot.empty() && policies.size() > 1) {
-    // Without this check, each policy of the sweep would checkpoint to the
-    // same file and the last writer would win silently.
-    std::cerr << "error: --save-snapshot with a multi-policy sweep would "
-                 "write every policy's chip to the same file (last one "
-                 "wins); run one --policy per snapshot\n";
-    return 2;
-  }
-  if (debug && policies.size() > 1) {
-    std::cerr << "error: --debug needs a single policy (the component dump "
-                 "covers one chip)\n";
-    return 2;
-  }
-  if (!save_snapshot.empty() && !load_snapshot.empty()) {
-    std::cerr << "--save-snapshot and --load-snapshot are exclusive\n";
-    return 2;
+  // Worker mode: the WorkerBackend subprocess entry point. Everything the
+  // run needs is inside the job file.
+  if (!worker_job.empty()) {
+    return worker::run_worker(
+        worker_job, worker_out.empty() ? worker_job + ".result" : worker_out);
   }
 
   try {
+    // ---------------------------------------------------- spec assembly
+    ExperimentSpec spec;
+    if (!spec_file.empty()) {
+      spec = ExperimentSpec::read_file(spec_file);
+    } else {
+      spec.name = "mflushsim";
+      for (const std::string& token : split_commas(workload_arg)) {
+        const auto w = workloads::resolve(token);
+        if (!w) {
+          std::cerr << "unknown workload: " << token
+                    << " (see --list-workloads)\n";
+          return 2;
+        }
+        spec.workloads.push_back(*w);
+      }
+      spec.policies.clear();
+      for (const std::string& token : split_commas(policy_arg)) {
+        const auto p = PolicySpec::parse(token);
+        if (!p) {
+          std::cerr << "unknown policy: " << token << '\n';
+          return 2;
+        }
+        spec.policies.push_back(*p);
+      }
+      spec.seeds = {seed};
+      spec.warmup = warmup;
+      spec.measure = cycles;
+    }
+
+    if (!emit_spec.empty()) {
+      if (emit_spec == "-") {
+        spec.validate();
+        std::cout << spec.to_text();
+      } else {
+        spec.write_file(emit_spec);
+      }
+      return 0;
+    }
+
+    const std::size_t num_jobs =
+        spec.mode == RunMode::Sampled ? spec.num_points() * spec.sampled.forks
+                                      : spec.num_points();
+    // With the stopping rule active the job count grows round by round, so
+    // the progress denominator is unknown up front (printed as "?").
+    const bool adaptive = spec.mode == RunMode::Sampled &&
+                          spec.sampled.target_half_width > 0.0;
+
+    // ------------------------------------------------- single-point paths
+    if (!save_snapshot.empty() && !load_snapshot.empty()) {
+      std::cerr << "--save-snapshot and --load-snapshot are exclusive\n";
+      return 2;
+    }
     if (!load_snapshot.empty()) {
       // The snapshot embeds (config, workload, policy): restore and jump
       // straight into the measured interval, no warm-up.
@@ -201,16 +295,25 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (debug || !save_snapshot.empty()) {
+      if (num_jobs > 1) {
+        // Without this check, each policy of a sweep would checkpoint to
+        // the same file (last writer wins), and the component dump only
+        // covers one chip.
+        std::cerr << "error: --debug / --save-snapshot need a single-point "
+                     "run (one workload, one policy, one seed)\n";
+        return 2;
+      }
       const auto t0 = std::chrono::steady_clock::now();
-      CmpSimulator sim(*wl, policies.front(), seed);
-      sim.run(warmup);
+      CmpSimulator sim(spec.workloads.front(), spec.policies.front(),
+                       spec.seeds.front());
+      sim.run(spec.warmup);
       if (!save_snapshot.empty()) snapshot::save_file(save_snapshot, sim);
       sim.reset_stats();
-      sim.run(cycles);
+      sim.run(spec.measure);
       if (!save_snapshot.empty()) {
         RunResult r{sim.workload().name, sim.policy().label(),
                     sim.metrics()};
-        r.simulated_cycles = warmup + cycles;
+        r.simulated_cycles = spec.warmup + spec.measure;
         r.wall_seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
@@ -219,12 +322,37 @@ int main(int argc, char** argv) {
       if (debug) report::print_debug(std::cout, sim);
       return 0;
     }
-    ParallelRunner runner(jobs);
-    std::vector<SweepPoint> points;
-    points.reserve(policies.size());
-    for (const PolicySpec& p : policies)
-      points.push_back({*wl, p, seed, warmup, cycles});
-    print_results(runner.run(points), csv);
+
+    // ----------------------------------------------------- backend sweep
+    std::unique_ptr<ParallelRunner> pool;  // only for an explicit --jobs
+    std::unique_ptr<ExperimentBackend> backend;
+    if (backend_arg == "serial") {
+      backend = std::make_unique<SerialBackend>();
+    } else if (backend_arg == "inprocess") {
+      if (jobs != 0) {
+        pool = std::make_unique<ParallelRunner>(jobs);
+        backend = std::make_unique<InProcessBackend>(*pool);
+      } else {
+        backend = std::make_unique<InProcessBackend>();
+      }
+    } else if (backend_arg == "worker") {
+      WorkerBackend::Options opts;
+      opts.worker_binary = worker_bin;
+      opts.max_processes = jobs;
+      backend = std::make_unique<WorkerBackend>(std::move(opts));
+    } else {
+      std::cerr << "unknown backend: " << backend_arg
+                << " (serial, inprocess, worker)\n";
+      return 2;
+    }
+
+    // Stream progress to stderr for long sweeps; stdout stays a
+    // deterministic job-id-ordered report either way.
+    ResultSink sink(num_jobs > 1 && !csv
+                        ? report::progress_printer(std::cerr,
+                                                   adaptive ? 0 : num_jobs)
+                        : ResultSink::OnResult{});
+    print_results(run_experiment(spec, *backend, sink), csv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

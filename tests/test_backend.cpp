@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "sim/backend.h"
+#include "sim/cmp.h"
+#include "sim/snapshot.h"
+#include "sim/workloads.h"
+#include "trace/spec2000.h"
+
+namespace mflush {
+namespace {
+
+// -------------------------------------------------------------- ResultSink
+
+TEST(ResultSink, CollectRestoresJobIdOrder) {
+  ResultSink sink;
+  JobSpec j1, j0;
+  j0.id = 0;
+  j1.id = 1;
+  RunResult a, b;
+  a.workload = "A";
+  b.workload = "B";
+  sink.push(j1, b);  // completion order != id order
+  sink.push(j0, a);
+  EXPECT_EQ(sink.completed(), 2u);
+  const auto out = sink.collect();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].workload, "A");
+  EXPECT_EQ(out[1].workload, "B");
+  EXPECT_EQ(sink.at(1).workload, "B");
+}
+
+TEST(ResultSink, StreamsResultsThroughCallback) {
+  std::atomic<int> calls{0};
+  ResultSink sink([&](const JobSpec& job, const RunResult& r) {
+    ++calls;
+    EXPECT_EQ(job.workload.name, r.workload);
+  });
+  JobSpec j;
+  j.id = 0;
+  j.workload.name = "X";
+  RunResult r;
+  r.workload = "X";
+  sink.push(j, r);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ResultSink, RejectsGapsAndDuplicates) {
+  ResultSink sink;
+  JobSpec j;
+  j.id = 2;
+  sink.push(j, RunResult{});
+  EXPECT_THROW((void)sink.collect(), std::runtime_error);  // 0 and 1 missing
+  EXPECT_THROW((void)sink.at(0), std::runtime_error);
+  EXPECT_THROW(sink.push(j, RunResult{}), std::runtime_error);  // duplicate
+}
+
+// --------------------------------------------------------- worker protocol
+
+TEST(WorkerProtocol, JobFileRoundTrip) {
+  // One of each job shape: catalog, ad-hoc profiles, snapshot fork.
+  JobSpec catalog;
+  catalog.id = 0;
+  catalog.workload = *workloads::by_name("2W1");
+  catalog.policy = PolicySpec::flush_spec(40);
+  catalog.seed = 7;
+  catalog.warmup = 123;
+  catalog.measure = 456;
+
+  JobSpec custom;
+  custom.id = 1;
+  custom.workload.name = "custom-pair";
+  custom.profiles = {*spec2000::by_name("mcf"), *spec2000::by_name("gzip")};
+  custom.policy = PolicySpec::mflush();
+  custom.measure = 789;
+
+  CmpSimulator donor(*workloads::by_name("2W1"), PolicySpec::mflush(), 1);
+  donor.run(500);
+  JobSpec fork;
+  fork.id = 2;
+  fork.workload = donor.workload();
+  fork.policy = donor.policy();
+  fork.measure = 1'000;
+  fork.fork_advance = 250;
+  fork.snapshot = std::make_shared<const std::vector<std::uint8_t>>(
+      snapshot::capture(donor));
+
+  const std::string path = ::testing::TempDir() + "jobs.mfj";
+  worker::write_job_file(path, {catalog, custom, fork});
+  const std::vector<JobSpec> loaded = worker::read_job_file(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].workload.name, "2W1");
+  EXPECT_EQ(loaded[0].workload.codes, catalog.workload.codes);
+  EXPECT_EQ(loaded[0].policy, catalog.policy);
+  EXPECT_EQ(loaded[0].seed, 7u);
+  EXPECT_EQ(loaded[0].warmup, 123u);
+  EXPECT_EQ(loaded[0].measure, 456u);
+  EXPECT_EQ(loaded[0].snapshot, nullptr);
+
+  ASSERT_EQ(loaded[1].profiles.size(), 2u);
+  EXPECT_EQ(loaded[1].profiles[0].name, "mcf");
+  EXPECT_EQ(loaded[1].profiles[0].f_load, custom.profiles[0].f_load);
+  EXPECT_EQ(loaded[1].profiles[1].mem_lines, custom.profiles[1].mem_lines);
+
+  ASSERT_NE(loaded[2].snapshot, nullptr);
+  EXPECT_EQ(*loaded[2].snapshot, *fork.snapshot);
+  EXPECT_EQ(loaded[2].fork_advance, 250u);
+}
+
+TEST(WorkerProtocol, ResultFileRoundTripIsBitExact) {
+  const RunResult r =
+      run_point(*workloads::by_name("2W1"), PolicySpec::mflush(), 1, 500,
+                1'500);
+  const std::string path = ::testing::TempDir() + "results.mfr";
+  worker::write_result_file(path, {{4u, r}});
+  const auto loaded = worker::read_result_file(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].first, 4u);
+  EXPECT_EQ(loaded[0].second.workload, r.workload);
+  EXPECT_EQ(loaded[0].second.policy, r.policy);
+  // Full SimMetrics equality: doubles cross the file boundary bit-exact.
+  EXPECT_TRUE(loaded[0].second.metrics == r.metrics);
+  EXPECT_EQ(loaded[0].second.wall_seconds, r.wall_seconds);
+  EXPECT_EQ(loaded[0].second.simulated_cycles, r.simulated_cycles);
+}
+
+TEST(WorkerProtocol, RejectsCorruptAndMismatchedFiles) {
+  JobSpec job;
+  job.workload = *workloads::by_name("2W1");
+  job.policy = PolicySpec::icount();
+  job.measure = 100;
+  const std::string path = ::testing::TempDir() + "corrupt.mfj";
+  worker::write_job_file(path, {job});
+
+  // Flip one byte in the middle: the checksum must catch it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(30);
+    char c = 0;
+    f.seekg(30);
+    f.get(c);
+    f.seekp(30);
+    f.put(static_cast<char>(c ^ 0x20));
+  }
+  EXPECT_THROW((void)worker::read_job_file(path), std::runtime_error);
+  // A failing worker run must report failure, not write a result file.
+  const std::string out = path + ".result";
+  EXPECT_NE(worker::run_worker(path, out), 0);
+  std::remove(path.c_str());
+
+  // A result file is not a job file.
+  const std::string res_path = ::testing::TempDir() + "not_a_job.mfr";
+  worker::write_result_file(res_path, {});
+  EXPECT_THROW((void)worker::read_job_file(res_path), std::runtime_error);
+  std::remove(res_path.c_str());
+}
+
+// ---------------------------------------------- cross-backend determinism
+
+void expect_identical_runs(const std::vector<RunResult>& a,
+                           const std::vector<RunResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    EXPECT_EQ(a[i].workload, b[i].workload);
+    EXPECT_EQ(a[i].policy, b[i].policy);
+    // Full SimMetrics equality (operator== covers every field, including
+    // the policy counters and the L2 hit-time histogram).
+    EXPECT_TRUE(a[i].metrics == b[i].metrics);
+  }
+}
+
+TEST(Backend, CrossBackendDeterminism) {
+  // The redesign's core guarantee: serial loop == SerialBackend ==
+  // InProcessBackend == WorkerBackend over a workload x policy grid,
+  // full SimMetrics equality.
+  ExperimentSpec spec;
+  spec.name = "xbackend";
+  spec.workloads = {*workloads::by_name("2W1"), *workloads::by_name("2W3")};
+  spec.policies = {PolicySpec::icount(), PolicySpec::flush_spec(30),
+                   PolicySpec::mflush()};
+  spec.warmup = 500;
+  spec.measure = 1'500;
+  const std::vector<JobSpec> jobs = spec.expand();
+
+  // Hand-rolled serial reference loop, the pre-redesign ground truth.
+  std::vector<RunResult> reference;
+  for (const JobSpec& j : jobs)
+    reference.push_back(
+        run_point(j.workload, j.policy, j.seed, j.warmup, j.measure));
+
+  SerialBackend serial;
+  expect_identical_runs(reference, serial.run_collect(jobs));
+
+  InProcessBackend inprocess;
+  expect_identical_runs(reference, inprocess.run_collect(jobs));
+
+  if (default_worker_binary().empty()) {
+    GTEST_SKIP() << "mflushsim binary not found next to the test binary";
+  }
+  WorkerBackend worker;
+  expect_identical_runs(reference, worker.run_collect(jobs));
+}
+
+TEST(Backend, WorkerBackendRunsProfileAndForkJobs) {
+  if (default_worker_binary().empty()) {
+    GTEST_SKIP() << "mflushsim binary not found next to the test binary";
+  }
+  // Both non-catalog job shapes must survive the process boundary.
+  JobSpec custom;
+  custom.id = 0;
+  custom.workload.name = "custom";
+  custom.profiles = {*spec2000::by_name("twolf"), *spec2000::by_name("vpr")};
+  custom.policy = PolicySpec::mflush();
+  custom.warmup = 400;
+  custom.measure = 1'200;
+
+  CmpSimulator donor(*workloads::by_name("2W1"), PolicySpec::icount(), 3);
+  donor.run(600);
+  JobSpec fork;
+  fork.id = 1;
+  fork.workload = donor.workload();
+  fork.policy = donor.policy();
+  fork.measure = 1'000;
+  fork.fork_advance = 300;
+  fork.snapshot = std::make_shared<const std::vector<std::uint8_t>>(
+      snapshot::capture(donor));
+
+  SerialBackend serial;
+  WorkerBackend worker;
+  expect_identical_runs(serial.run_collect({custom, fork}),
+                        worker.run_collect({custom, fork}));
+}
+
+// ------------------------------------------------------------ sampled mode
+
+TEST(Backend, SampledStoppingRuleIsBackendIndependent) {
+  ExperimentSpec spec;
+  spec.name = "sampled";
+  spec.workloads = {*workloads::by_name("2W1")};
+  spec.policies = {PolicySpec::icount(), PolicySpec::mflush()};
+  spec.warmup = 600;
+  spec.measure = 800;
+  spec.mode = RunMode::Sampled;
+  spec.sampled.forks = 2;
+  spec.sampled.fork_stride = 400;
+  spec.sampled.target_half_width = 1e-6;  // practically unreachable
+  spec.sampled.max_rounds = 3;
+
+  SerialBackend serial;
+  InProcessBackend inprocess;
+  // Capture the stride schedule through the sink: continuation rounds must
+  // extend each point's fork_advance sequence contiguously (0, s, 2s, ...)
+  // with no duplicates — a duplicated advance would double-count one
+  // sample in the CI statistics.
+  std::vector<std::vector<Cycle>> advances(2);
+  ResultSink sink([&](const JobSpec& job, const RunResult& r) {
+    advances[r.policy == "ICOUNT" ? 0 : 1].push_back(job.fork_advance);
+  });
+  const std::vector<RunResult> a = run_experiment(spec, serial, sink);
+  const std::vector<RunResult> b = run_experiment(spec, inprocess);
+  expect_identical_runs(a, b);
+
+  // The unreachable target forces every round: 2 points x 2 forks x 3.
+  EXPECT_EQ(a.size(), 12u);
+  for (auto& per_point : advances) {
+    std::sort(per_point.begin(), per_point.end());
+    ASSERT_EQ(per_point.size(), 6u);
+    for (std::size_t k = 0; k < per_point.size(); ++k)
+      EXPECT_EQ(per_point[k], k * spec.sampled.fork_stride);
+  }
+}
+
+TEST(Backend, SampledFixedForksMatchesDirectForkRuns) {
+  ExperimentSpec spec;
+  spec.workloads = {*workloads::by_name("2W1")};
+  spec.policies = {PolicySpec::mflush()};
+  spec.warmup = 500;
+  spec.measure = 1'000;
+  spec.mode = RunMode::Sampled;
+  spec.sampled.forks = 3;
+  spec.sampled.fork_stride = 250;
+
+  SerialBackend serial;
+  const std::vector<RunResult> sampled = run_experiment(spec, serial);
+  ASSERT_EQ(sampled.size(), 3u);
+
+  // Reference: warm the parent by hand and fork directly.
+  CmpSimulator parent(spec.workloads[0], spec.policies[0], 1);
+  parent.run(spec.warmup);
+  const std::vector<std::uint8_t> snap = snapshot::capture(parent);
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    const RunResult direct =
+        run_point_from_snapshot(snap, k * 250, spec.measure);
+    EXPECT_TRUE(direct.metrics == sampled[k].metrics) << "fork " << k;
+  }
+}
+
+// -------------------------------------------------------------- the sweep
+// conveniences stay routed through the backend machinery
+
+TEST(Backend, RunExperimentStreamsProgress) {
+  ExperimentSpec spec;
+  spec.workloads = {*workloads::by_name("2W1")};
+  spec.policies = {PolicySpec::icount(), PolicySpec::mflush()};
+  spec.warmup = 300;
+  spec.measure = 900;
+
+  std::atomic<int> seen{0};
+  ResultSink sink([&](const JobSpec&, const RunResult&) { ++seen; });
+  SerialBackend serial;
+  const auto results = run_experiment(spec, serial, sink);
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_EQ(seen.load(), 2);
+}
+
+}  // namespace
+}  // namespace mflush

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/factory.h"
 #include "sim/cmp.h"
 #include "sim/experiment.h"
@@ -147,13 +149,21 @@ TEST(Experiment, SweepCoversAllPolicies) {
 TEST(Experiment, EnvOverridesCycles) {
   setenv("MFLUSH_BENCH_CYCLES", "12345", 1);
   EXPECT_EQ(bench_cycles(999), 12345u);
+  // Malformed values are a hard error (common/env.h), not a silent
+  // fallback that would shorten a campaign unnoticed.
   setenv("MFLUSH_BENCH_CYCLES", "garbage", 1);
-  EXPECT_EQ(bench_cycles(999), 999u);
+  EXPECT_THROW((void)bench_cycles(999), std::runtime_error);
+  setenv("MFLUSH_BENCH_CYCLES", "0", 1);
+  EXPECT_THROW((void)bench_cycles(999), std::runtime_error);
+  setenv("MFLUSH_BENCH_CYCLES", "123tail", 1);
+  EXPECT_THROW((void)bench_cycles(999), std::runtime_error);
   unsetenv("MFLUSH_BENCH_CYCLES");
   EXPECT_EQ(bench_cycles(999), 999u);
 
   setenv("MFLUSH_WARMUP_CYCLES", "77", 1);
   EXPECT_EQ(warmup_cycles(5), 77u);
+  setenv("MFLUSH_WARMUP_CYCLES", "", 1);
+  EXPECT_THROW((void)warmup_cycles(5), std::runtime_error);
   unsetenv("MFLUSH_WARMUP_CYCLES");
 }
 

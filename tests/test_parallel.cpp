@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/factory.h"
+#include "sim/backend.h"
 #include "sim/parallel.h"
 #include "sim/workloads.h"
 
@@ -63,10 +64,17 @@ TEST(ParallelRunner, PropagatesTaskException) {
 TEST(ParallelRunner, DefaultJobsHonoursEnv) {
   setenv("MFLUSH_JOBS", "3", 1);
   EXPECT_EQ(ParallelRunner::default_jobs(), 3u);
+  // Malformed values are a hard error (common/env.h), not a silent
+  // fallback: a typo must never quietly change the sweep width.
   setenv("MFLUSH_JOBS", "garbage", 1);
-  EXPECT_GE(ParallelRunner::default_jobs(), 1u);
+  EXPECT_THROW((void)ParallelRunner::default_jobs(), std::runtime_error);
   setenv("MFLUSH_JOBS", "0", 1);
-  EXPECT_GE(ParallelRunner::default_jobs(), 1u);
+  EXPECT_THROW((void)ParallelRunner::default_jobs(), std::runtime_error);
+  setenv("MFLUSH_JOBS", "4x", 1);
+  EXPECT_THROW((void)ParallelRunner::default_jobs(), std::runtime_error);
+  // A value the unsigned cast would truncate is an error, not 0 threads.
+  setenv("MFLUSH_JOBS", "4294967296", 1);
+  EXPECT_THROW((void)ParallelRunner::default_jobs(), std::runtime_error);
   unsetenv("MFLUSH_JOBS");
   EXPECT_GE(ParallelRunner::default_jobs(), 1u);
 }
@@ -97,26 +105,25 @@ void expect_bit_identical(const RunResult& a, const RunResult& b) {
 }
 
 TEST(ParallelRunner, MatchesSerialSweep) {
-  // 2-core workload x 3 policies x 2 seeds: the parallel engine must be
-  // bit-identical to the serial reference, point for point.
-  const Workload w = *workloads::by_name("4W1");  // 2 cores, 4 contexts
-  const std::vector<PolicySpec> policies = {
-      PolicySpec::icount(), PolicySpec::flush_spec(30), PolicySpec::mflush()};
-  const std::vector<std::uint64_t> seeds = {1, 42};
-  constexpr Cycle kWarm = 1'000;
-  constexpr Cycle kMeasure = 3'000;
+  // 2-core workload x 3 policies x 2 seeds: the in-process backend on a
+  // real pool must be bit-identical to the serial reference, job for job.
+  ExperimentSpec spec;
+  spec.workloads = {*workloads::by_name("4W1")};  // 2 cores, 4 contexts
+  spec.policies = {PolicySpec::icount(), PolicySpec::flush_spec(30),
+                   PolicySpec::mflush()};
+  spec.seeds = {1, 42};
+  spec.warmup = 1'000;
+  spec.measure = 3'000;
+  const std::vector<JobSpec> jobs = spec.expand();
 
-  std::vector<SweepPoint> points;
   std::vector<RunResult> serial;
-  for (const std::uint64_t seed : seeds) {
-    for (const PolicySpec& p : policies) {
-      points.push_back({w, p, seed, kWarm, kMeasure});
-      serial.push_back(run_point(w, p, seed, kWarm, kMeasure));
-    }
-  }
+  for (const JobSpec& j : jobs)
+    serial.push_back(run_point(j.workload, j.policy, j.seed, j.warmup,
+                               j.measure));
 
   ParallelRunner runner(4);  // force real pool execution even on small hosts
-  const std::vector<RunResult> parallel = runner.run(points);
+  InProcessBackend backend(runner);
+  const std::vector<RunResult> parallel = backend.run_collect(jobs);
 
   ASSERT_EQ(parallel.size(), serial.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {

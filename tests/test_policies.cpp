@@ -194,10 +194,18 @@ TEST(PolicySpec, Labels) {
 }
 
 TEST(PolicySpec, ParseRoundTrip) {
+  PolicySpec history_np =
+      PolicySpec::mflush_history(4, PolicySpec::McRegAgg::Avg);
+  history_np.preventive = false;
   for (const auto& spec :
        {PolicySpec::icount(), PolicySpec::flush_spec(30),
         PolicySpec::flush_spec(150), PolicySpec::flush_ns(),
-        PolicySpec::stall(40), PolicySpec::mflush()}) {
+        PolicySpec::stall(40), PolicySpec::mflush(),
+        PolicySpec::mflush_no_preventive(),
+        PolicySpec::mflush_history(4, PolicySpec::McRegAgg::Avg),
+        PolicySpec::mflush_history(8, PolicySpec::McRegAgg::Max),
+        PolicySpec::mflush_history(2, PolicySpec::McRegAgg::Last),
+        history_np}) {
     const auto parsed = PolicySpec::parse(spec.label());
     ASSERT_TRUE(parsed.has_value()) << spec.label();
     EXPECT_EQ(*parsed, spec);

@@ -6,8 +6,8 @@
 #include <vector>
 
 #include "core/factory.h"
+#include "sim/backend.h"
 #include "sim/cmp.h"
-#include "sim/parallel.h"
 #include "sim/snapshot.h"
 #include "sim/workloads.h"
 
@@ -107,24 +107,26 @@ TEST(Snapshot, ForksAreIndependentAndIdentical) {
   expect_same_metrics(fork_a->metrics(), fork_b->metrics());
 }
 
-TEST(Snapshot, SweepPointForksMatchDirectForks) {
+TEST(Snapshot, ForkJobsMatchDirectForks) {
   CmpSimulator donor(*workloads::by_name("2W3"), PolicySpec::mflush(),
                      /*seed=*/1);
   donor.run(kWarm);
   const auto snap = std::make_shared<const std::vector<std::uint8_t>>(
       snapshot::capture(donor));
 
-  std::vector<SweepPoint> points(3);
-  for (std::size_t k = 0; k < points.size(); ++k) {
-    points[k].measure = 8'000;
-    points[k].snapshot = snap;
-    points[k].fork_advance = static_cast<Cycle>(k) * 2'000;
+  std::vector<JobSpec> jobs(3);
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    jobs[k].id = static_cast<std::uint32_t>(k);
+    jobs[k].measure = 8'000;
+    jobs[k].snapshot = snap;
+    jobs[k].fork_advance = static_cast<Cycle>(k) * 2'000;
   }
-  const std::vector<RunResult> swept = ParallelRunner::shared().run(points);
-  ASSERT_EQ(swept.size(), points.size());
-  for (std::size_t k = 0; k < points.size(); ++k) {
+  InProcessBackend backend;
+  const std::vector<RunResult> swept = backend.run_collect(jobs);
+  ASSERT_EQ(swept.size(), jobs.size());
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
     const RunResult direct = run_point_from_snapshot(
-        *snap, points[k].fork_advance, points[k].measure);
+        *snap, jobs[k].fork_advance, jobs[k].measure);
     expect_same_metrics(direct.metrics, swept[k].metrics);
     EXPECT_EQ(swept[k].workload, "2W3");
     EXPECT_EQ(swept[k].policy, "MFLUSH");
