@@ -15,6 +15,7 @@
 #include <stdexcept>
 
 #include "sim/parallel.h"
+#include "sim/remote.h"
 
 extern char** environ;
 
@@ -146,49 +147,57 @@ std::vector<std::uint8_t> read_checked_file(const std::string& path,
   return bytes;
 }
 
+/// argv[0] recorded at startup (record_argv0), the off-Linux fallback for
+/// default_worker_binary.
+std::string& argv0_recorded() {
+  static std::string path;
+  return path;
+}
+
+}  // namespace
+
 // ------------------------------------------------------ process spawning
 
-/// Run `bin argv...` to completion; returns the exit code, or throws on
-/// spawn failure / death by signal.
+namespace proc {
+
 int spawn_and_wait(const std::string& bin,
-                   const std::vector<std::string>& args) {
+                   const std::vector<std::string>& args,
+                   const std::string& what) {
   std::vector<char*> argv;
   argv.reserve(args.size() + 2);
   argv.push_back(const_cast<char*>(bin.c_str()));
-  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  for (const std::string& a : args)
+    argv.push_back(const_cast<char*>(a.c_str()));
   argv.push_back(nullptr);
+  const std::string context = what.empty() ? "" : " on " + what;
 
   pid_t pid = 0;
-  if (const int rc = ::posix_spawn(&pid, bin.c_str(), nullptr, nullptr,
-                                   argv.data(), environ);
+  if (const int rc = ::posix_spawnp(&pid, bin.c_str(), nullptr, nullptr,
+                                    argv.data(), environ);
       rc != 0) {
-    throw std::runtime_error("failed to spawn worker '" + bin +
-                             "': " + std::strerror(rc));
+    throw std::runtime_error("failed to spawn worker '" + bin + "'" +
+                             context + ": " + std::strerror(rc));
   }
   int status = 0;
   while (::waitpid(pid, &status, 0) < 0) {
     if (errno != EINTR)
-      throw std::runtime_error("waitpid failed for worker '" + bin +
-                               "': " + std::strerror(errno));
+      throw std::runtime_error("waitpid failed for worker '" + bin + "'" +
+                               context + ": " + std::strerror(errno));
   }
   if (WIFSIGNALED(status)) {
     throw std::runtime_error("worker '" + bin + "' killed by signal " +
-                             std::to_string(WTERMSIG(status)));
+                             std::to_string(WTERMSIG(status)) + context);
   }
   return WIFEXITED(status) ? WEXITSTATUS(status) : 1;
 }
 
-/// Per-process unique scratch-file stem (pid + monotonic counter + job id).
-std::string scratch_stem(const std::filesystem::path& dir,
-                         std::uint32_t job_id) {
-  static std::atomic<std::uint64_t> counter{0};
-  return (dir / ("mflush-" + std::to_string(::getpid()) + "-" +
-                 std::to_string(counter.fetch_add(1)) + "-job" +
-                 std::to_string(job_id)))
-      .string();
-}
+}  // namespace proc
 
-}  // namespace
+ScratchGuard::~ScratchGuard() {
+  if (keep_) return;
+  std::error_code ec;
+  for (const std::string& p : paths_) std::filesystem::remove(p, ec);
+}
 
 // --------------------------------------------------------------- ResultSink
 
@@ -262,67 +271,58 @@ WorkerBackend::WorkerBackend(Options options) : opts_(std::move(options)) {}
 
 void WorkerBackend::run(const std::vector<JobSpec>& jobs, ResultSink& sink) {
   if (jobs.empty()) return;
-  const std::string bin =
-      opts_.worker_binary.empty() ? default_worker_binary()
-                                  : opts_.worker_binary;
-  if (bin.empty()) {
-    throw std::runtime_error(
-        "WorkerBackend: cannot locate the mflushsim worker binary (set "
-        "MFLUSH_WORKER_BIN or Options::worker_binary)");
+  // One loopback host with max_processes slots: the batched remote
+  // scheduler replaces the old one-subprocess-plus-two-files-per-job loop,
+  // and its retry/scratch-guard error paths apply here for free.
+  remote::HostSpec local;
+  local.name = "local";
+  local.slots = opts_.max_processes != 0 ? opts_.max_processes
+                                         : ParallelRunner::default_jobs();
+
+  RemoteBackend::Options o;
+  o.hosts = {local};
+  o.worker_binary = opts_.worker_binary;
+  o.scratch_dir = opts_.scratch_dir;
+  o.batch_jobs = opts_.batch_jobs;
+  o.max_attempts = opts_.max_attempts;
+  o.keep_files = opts_.keep_files;
+  o.on_event = opts_.on_event;
+  RemoteBackend(std::move(o)).run(jobs, sink);
+}
+
+void record_argv0(const char* argv0) {
+  if (argv0 == nullptr || *argv0 == '\0') return;
+  std::error_code ec;
+  const auto abs = std::filesystem::absolute(argv0, ec);
+  if (!ec) argv0_recorded() = abs.string();
+}
+
+std::string worker_binary_near(const std::string& exe) {
+  if (exe.empty()) return {};
+  std::error_code ec;
+  const std::filesystem::path path(exe);
+  if (path.filename() == "mflushsim" &&
+      std::filesystem::exists(path, ec)) {
+    return path.string();
   }
-  const std::filesystem::path scratch =
-      opts_.scratch_dir.empty() ? std::filesystem::temp_directory_path()
-                                : std::filesystem::path(opts_.scratch_dir);
-
-  unsigned procs =
-      opts_.max_processes != 0 ? opts_.max_processes
-                               : ParallelRunner::default_jobs();
-  procs = static_cast<unsigned>(
-      std::min<std::size_t>(procs, jobs.size()));
-
-  // The pool threads only write files and block in waitpid — the actual
-  // simulation work happens in the spawned processes.
-  ParallelRunner pool(procs);
-  pool.for_each_index(jobs.size(), [&](std::size_t i) {
-    const JobSpec& job = jobs[i];
-    const std::string stem = scratch_stem(scratch, job.id);
-    const std::string job_path = stem + ".mfj";
-    const std::string result_path = stem + ".mfr";
-
-    worker::write_job_file(job_path, {job});
-    const int code =
-        spawn_and_wait(bin, {"--worker", job_path, "--worker-out",
-                             result_path});
-    if (code != 0) {
-      throw std::runtime_error("worker exited with code " +
-                               std::to_string(code) + " on job " +
-                               std::to_string(job.id) + " (" + job_path +
-                               ")");
-    }
-    auto results = worker::read_result_file(result_path);
-    if (results.size() != 1 || results.front().first != job.id) {
-      throw std::runtime_error("worker result file " + result_path +
-                               " does not answer job " +
-                               std::to_string(job.id));
-    }
-    if (!opts_.keep_files) {
-      std::error_code ec;
-      std::filesystem::remove(job_path, ec);
-      std::filesystem::remove(result_path, ec);
-    }
-    sink.push(job, std::move(results.front().second));
-  });
+  const auto sibling = path.parent_path() / "mflushsim";
+  if (std::filesystem::exists(sibling, ec)) return sibling.string();
+  return {};
 }
 
 std::string default_worker_binary() {
   if (const char* env = std::getenv("MFLUSH_WORKER_BIN")) return env;
   std::error_code ec;
   const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
-  if (ec) return {};
-  if (self.filename() == "mflushsim") return self.string();
-  const auto sibling = self.parent_path() / "mflushsim";
-  if (std::filesystem::exists(sibling, ec)) return sibling.string();
-  return {};
+  if (!ec) {
+    if (std::string found = worker_binary_near(self.string());
+        !found.empty()) {
+      return found;
+    }
+  }
+  // /proc/self/exe absent (non-Linux) or the tool was renamed: fall back
+  // to the argv[0] recorded at startup instead of silently giving up.
+  return worker_binary_near(argv0_recorded());
 }
 
 // ----------------------------------------------------------- run_experiment
@@ -395,6 +395,15 @@ std::vector<RunResult> run_experiment(const ExperimentSpec& spec,
 // ------------------------------------------------------------------- worker
 
 namespace worker {
+
+std::string scratch_stem(const std::string& dir, std::uint32_t job_id) {
+  static std::atomic<std::uint64_t> counter{0};
+  return (std::filesystem::path(dir) /
+          ("mflush-" + std::to_string(::getpid()) + "-" +
+           std::to_string(counter.fetch_add(1)) + "-job" +
+           std::to_string(job_id)))
+      .string();
+}
 
 void write_job_file(const std::string& path,
                     const std::vector<JobSpec>& jobs) {

@@ -91,11 +91,12 @@ class InProcessBackend final : public ExperimentBackend {
   ParallelRunner* pool_;
 };
 
-/// Jobs shell out to `mflushsim --worker` subprocesses, one process per
-/// job, speaking the job-file-in / result-file-out protocol below. This is
-/// the stepping stone to multi-machine distribution: a job file plus the
-/// mflushsim binary is everything a remote host needs, and this backend is
-/// the local transport for it.
+/// Jobs shell out to `mflushsim --worker` subprocesses speaking the
+/// job-file-in / result-file-out protocol below. Since the distributed
+/// sweep work this is a thin veneer over RemoteBackend (sim/remote.h) with
+/// a single loopback host: jobs run in *batches* per subprocess (not one
+/// process plus two files per job), failed batches retry with a fresh
+/// scratch stem, and the protocol files are scrubbed on every error path.
 class WorkerBackend final : public ExperimentBackend {
  public:
   struct Options {
@@ -107,6 +108,17 @@ class WorkerBackend final : public ExperimentBackend {
     std::string scratch_dir;
     /// Keep the protocol files after the run (debugging).
     bool keep_files = false;
+    /// Jobs per worker invocation; 0 means the scheduler's auto sizing,
+    /// 1 reproduces the old one-subprocess-per-job pattern.
+    std::size_t batch_jobs = 0;
+    /// Total attempts per batch (>= 1) before the sweep fails. A worker
+    /// that exits nonzero, dies by signal, or writes a corrupt result is
+    /// retried on a fresh scratch stem up to this bound.
+    unsigned max_attempts = 3;
+    /// Serialized scheduler narration (batch failures and retries) —
+    /// without it a transient worker crash is retried away invisibly.
+    /// Same contract as RemoteBackend::Options::on_event.
+    std::function<void(const std::string&)> on_event;
   };
 
   WorkerBackend();  ///< default Options
@@ -119,9 +131,52 @@ class WorkerBackend final : public ExperimentBackend {
   Options opts_;
 };
 
-/// Resolve the worker binary: $MFLUSH_WORKER_BIN if set, else this
-/// executable when it *is* mflushsim, else a sibling `mflushsim` of this
-/// executable (the build tree layout). Empty string when none exists.
+/// Removes its paths on destruction unless told to keep them — the worker
+/// and remote backends wrap every scratch .mfj/.mfr pair in one of these so
+/// protocol files cannot leak when a worker dies, writes a corrupt result,
+/// or a transport throws (the old post-success remove() calls were
+/// unreachable on those paths).
+class ScratchGuard {
+ public:
+  explicit ScratchGuard(std::vector<std::string> paths, bool keep = false)
+      : paths_(std::move(paths)), keep_(keep) {}
+  ~ScratchGuard();
+  ScratchGuard(const ScratchGuard&) = delete;
+  ScratchGuard& operator=(const ScratchGuard&) = delete;
+
+ private:
+  std::vector<std::string> paths_;
+  bool keep_;
+};
+
+namespace proc {
+
+/// Run `bin args...` to completion (PATH lookup via posix_spawnp) and
+/// return its exit code. Throws on spawn failure or death by signal; a
+/// non-empty `what` (e.g. "batch 2 (jobs 4-7)") is woven into those
+/// messages so a dead worker names the work it was running, not just the
+/// binary.
+int spawn_and_wait(const std::string& bin,
+                   const std::vector<std::string>& args,
+                   const std::string& what = {});
+
+}  // namespace proc
+
+/// Record argv[0] at process startup (mflushsim does this first thing in
+/// main). default_worker_binary falls back to it where /proc/self/exe is
+/// unavailable (non-Linux) — without it, discovery silently returned empty
+/// there and the backend error fired even though the binary was findable.
+void record_argv0(const char* argv0);
+
+/// Resolve a worker binary near the executable at `exe`: `exe` itself when
+/// it is named mflushsim, else a sibling `mflushsim` in the same directory
+/// (the build-tree layout, which is how the test binaries find the worker).
+/// Empty string when neither exists.
+[[nodiscard]] std::string worker_binary_near(const std::string& exe);
+
+/// Resolve the worker binary, first match wins: $MFLUSH_WORKER_BIN;
+/// worker_binary_near(/proc/self/exe); worker_binary_near(recorded
+/// argv[0]). Empty string only when every source genuinely fails.
 [[nodiscard]] std::string default_worker_binary();
 
 /// Execute a full spec on a backend. FullRun specs are expand()ed and run
@@ -153,6 +208,12 @@ std::vector<RunResult> run_experiment(const ExperimentSpec& spec,
 namespace worker {
 
 inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Per-process unique scratch-file stem inside `dir` (pid + monotonic
+/// counter + leading job id), shared by the worker and remote backends so
+/// concurrent attempts can never collide on a file name.
+[[nodiscard]] std::string scratch_stem(const std::string& dir,
+                                       std::uint32_t job_id);
 
 void write_job_file(const std::string& path,
                     const std::vector<JobSpec>& jobs);

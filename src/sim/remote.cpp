@@ -1,0 +1,536 @@
+#include "sim/remote.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "sim/parallel.h"
+
+namespace mflush {
+namespace remote {
+namespace {
+
+[[noreturn]] void bad_host(const std::string& entry, const std::string& why) {
+  throw std::runtime_error("bad host entry '" + entry + "': " + why);
+}
+
+unsigned parse_count(const std::string& entry, std::string_view key,
+                     std::string_view value, bool allow_zero) {
+  std::uint64_t out = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9')
+      bad_host(entry, std::string(key) + " expects an integer, got '" +
+                          std::string(value) + "'");
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+    if (out > std::numeric_limits<unsigned>::max())
+      bad_host(entry, std::string(key) + " value out of range: '" +
+                          std::string(value) + "'");
+  }
+  if (value.empty())
+    bad_host(entry, std::string(key) + " expects an integer");
+  if (out == 0 && !allow_zero)
+    bad_host(entry, std::string(key) + " must be >= 1");
+  return static_cast<unsigned>(out);
+}
+
+/// Quote for the remote shell ssh runs the command line through: single
+/// quotes, with embedded ones rewritten as '\'' so a hostile or merely
+/// odd dir= value can neither break the command nor inject one.
+std::string shq(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'')
+      out += "'\\''";
+    else
+      out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
+}
+
+std::string remote_worker_bin(const HostSpec& host) {
+  // Suffixed with the pool index: duplicate entries naming the same ssh
+  // host each ship their own copy, so concurrent prepare() scps can never
+  // overwrite a binary another entry is executing.
+  return host.remote_dir + "/mflushsim." + std::to_string(host.index);
+}
+
+/// ssh flags: never prompt (a password prompt would hang a sweep), fail
+/// fast on unreachable hosts so their batches re-queue promptly.
+const std::vector<std::string> kSshOpts = {
+    "-o", "BatchMode=yes", "-o", "ConnectTimeout=10"};
+
+void run_tool_or_throw(const std::string& tool,
+                       std::vector<std::string> args, const HostSpec& host,
+                       const std::string& what) {
+  int code = 0;
+  try {
+    code = proc::spawn_and_wait(tool, args, what);
+  } catch (const std::exception& e) {
+    throw TransportError(host.label() + ": " + e.what());
+  }
+  if (code != 0) {
+    throw TransportError(host.label() + ": " + tool + " exited with code " +
+                         std::to_string(code) + " while " + what +
+                         (code == 255 ? " (ssh connection failure)" : ""));
+  }
+}
+
+}  // namespace
+
+HostSpec parse_host(std::string_view entry) {
+  const std::string text(entry);
+  std::istringstream in(text);
+  HostSpec host;
+  if (!(in >> host.name)) bad_host(text, "empty entry");
+  std::string field;
+  while (in >> field) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos)
+      bad_host(text, "expected key=value, got '" + field + "'");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "slots") {
+      host.slots = parse_count(text, key, value, /*allow_zero=*/false);
+    } else if (key == "fail") {
+      host.fail_batches = parse_count(text, key, value, /*allow_zero=*/true);
+    } else if (key == "dir") {
+      if (value.empty()) bad_host(text, "dir expects a path");
+      host.remote_dir = value;
+    } else {
+      bad_host(text, "unknown key '" + key + "' (slots, fail, dir)");
+    }
+  }
+  return host;
+}
+
+std::vector<HostSpec> parse_hosts(std::string_view text) {
+  std::vector<HostSpec> hosts;
+  std::string entry;
+  const auto flush_entry = [&] {
+    const std::size_t hash = entry.find('#');
+    if (hash != std::string::npos) entry.resize(hash);
+    if (entry.find_first_not_of(" \t\r") != std::string::npos)
+      hosts.push_back(parse_host(entry));
+    entry.clear();
+  };
+  for (const char c : text) {
+    if (c == '\n' || c == ',' || c == ';') {
+      // A '#' comment swallows separators to end of line, not past it.
+      if (c != '\n' && entry.find('#') != std::string::npos) {
+        entry.push_back(c);
+        continue;
+      }
+      flush_entry();
+    } else {
+      entry.push_back(c);
+    }
+  }
+  flush_entry();
+  for (std::size_t i = 0; i < hosts.size(); ++i) hosts[i].index = i;
+  return hosts;
+}
+
+std::vector<HostSpec> read_hosts_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open hosts file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::vector<HostSpec> hosts = parse_hosts(text.str());
+  if (hosts.empty()) {
+    // An explicitly named pool that parses empty (every entry commented
+    // out) must not silently degrade to a loopback run on one machine.
+    throw std::runtime_error("hosts file names no hosts: " + path);
+  }
+  return hosts;
+}
+
+std::vector<HostSpec> hosts_from_env() {
+  const char* env = std::getenv("MFLUSH_HOSTS");
+  if (env == nullptr) return {};
+  if (std::string_view(env).find('#') != std::string_view::npos) {
+    // Comments are line-scoped and an env var is one line: a mid-string
+    // '#' would silently comment out every later comma-separated entry,
+    // shrinking the pool. Refuse instead.
+    throw std::runtime_error(
+        "MFLUSH_HOSTS does not support '#' comments (use a hosts file)");
+  }
+  std::vector<HostSpec> hosts = parse_hosts(env);
+  if (hosts.empty() &&
+      std::string_view(env).find_first_not_of(" \t\r\n,;") !=
+          std::string_view::npos) {
+    throw std::runtime_error(
+        "MFLUSH_HOSTS is set but names no hosts: '" + std::string(env) +
+        "'");
+  }
+  return hosts;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> batch_ranges(
+    std::size_t jobs, std::size_t batch_jobs, std::size_t slots) {
+  if (jobs == 0) return {};
+  std::size_t per = batch_jobs;
+  if (per == 0)
+    per = std::max<std::size_t>(
+        1, jobs / std::max<std::size_t>(1, 4 * slots));
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve((jobs + per - 1) / per);
+  for (std::size_t begin = 0; begin < jobs; begin += per)
+    out.emplace_back(begin, std::min(jobs, begin + per));
+  return out;
+}
+
+// ------------------------------------------------------------- transports
+
+void LocalTransport::prepare(const HostSpec&) {}
+
+void LocalTransport::run_batch(const HostSpec& host,
+                               const std::string& job_path,
+                               const std::string& result_path,
+                               const std::string& what) {
+  if (dispatched_.fetch_add(1) < host.fail_batches) {
+    throw TransportError(host.label() + ": injected transport failure on " +
+                         what);
+  }
+  const int code = proc::spawn_and_wait(
+      bin_, {"--worker", job_path, "--worker-out", result_path}, what);
+  if (code != 0) {
+    throw TransportError("worker exited with code " + std::to_string(code) +
+                         " on " + what + " (" + job_path + ")");
+  }
+}
+
+void SshTransport::prepare(const HostSpec& host) {
+  std::vector<std::string> mkdir = kSshOpts;
+  mkdir.insert(mkdir.end(),
+               {host.name, "mkdir -p " + shq(host.remote_dir)});
+  run_tool_or_throw("ssh", mkdir, host, "preparing the scratch dir");
+
+  std::vector<std::string> ship = {"-q"};
+  ship.insert(ship.end(), kSshOpts.begin(), kSshOpts.end());
+  ship.insert(ship.end(), {bin_, host.name + ":" + remote_worker_bin(host)});
+  run_tool_or_throw("scp", ship, host, "shipping the worker binary");
+
+  std::vector<std::string> chmod = kSshOpts;
+  chmod.insert(chmod.end(),
+               {host.name, "chmod +x " + shq(remote_worker_bin(host))});
+  run_tool_or_throw("ssh", chmod, host, "marking the worker executable");
+}
+
+void SshTransport::run_batch(const HostSpec& host,
+                             const std::string& job_path,
+                             const std::string& result_path,
+                             const std::string& what) {
+  namespace fs = std::filesystem;
+  const std::string rjob =
+      host.remote_dir + "/" + fs::path(job_path).filename().string();
+  const std::string rres =
+      host.remote_dir + "/" + fs::path(result_path).filename().string();
+
+  std::vector<std::string> push = {"-q"};
+  push.insert(push.end(), kSshOpts.begin(), kSshOpts.end());
+  push.insert(push.end(), {job_path, host.name + ":" + rjob});
+  run_tool_or_throw("scp", push, host, "pushing " + what);
+
+  std::vector<std::string> exec = kSshOpts;
+  exec.insert(exec.end(),
+              {host.name, shq(remote_worker_bin(host)) + " --worker " +
+                              shq(rjob) + " --worker-out " + shq(rres)});
+  run_tool_or_throw("ssh", exec, host, "running " + what);
+
+  std::vector<std::string> pull = {"-q"};
+  pull.insert(pull.end(), kSshOpts.begin(), kSshOpts.end());
+  pull.insert(pull.end(), {host.name + ":" + rres, result_path});
+  run_tool_or_throw("scp", pull, host, "pulling results of " + what);
+
+  // Best-effort remote cleanup; a failure here is not a batch failure.
+  std::vector<std::string> clean = kSshOpts;
+  clean.insert(clean.end(),
+               {host.name, "rm -f " + shq(rjob) + " " + shq(rres)});
+  try {
+    (void)proc::spawn_and_wait("ssh", clean, what);
+  } catch (const std::exception&) {
+  }
+}
+
+}  // namespace remote
+
+// ---------------------------------------------------------- RemoteBackend
+
+namespace {
+
+using remote::HostSpec;
+using remote::Transport;
+
+/// A [begin, end) slice of the run's job vector: no JobSpec copies wait
+/// in the queue, which matters when thousands of sampled-mode jobs each
+/// embed a warmed snapshot.
+struct Batch {
+  std::size_t number = 0;  ///< stable index for event messages
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  unsigned attempts = 0;
+
+  [[nodiscard]] std::string describe(
+      const std::vector<JobSpec>& all_jobs) const {
+    if (end - begin == 1) {
+      return "batch " + std::to_string(number) + " (job " +
+             std::to_string(all_jobs[begin].id) + ")";
+    }
+    return "batch " + std::to_string(number) + " (jobs " +
+           std::to_string(all_jobs[begin].id) + "-" +
+           std::to_string(all_jobs[end - 1].id) + ")";
+  }
+};
+
+struct HostState {
+  HostSpec spec;
+  std::unique_ptr<Transport> transport;
+  std::mutex prepare_mutex;
+  bool prepared = false;
+  unsigned failures = 0;  // guarded by the scheduler mutex
+  bool dead = false;      // guarded by the scheduler mutex
+
+  void ensure_prepared() {
+    const std::lock_guard lk(prepare_mutex);
+    if (prepared) return;
+    transport->prepare(spec);
+    prepared = true;
+  }
+};
+
+/// Shared scheduler state: a queue of batches plus completion/abort
+/// bookkeeping. Work-stealing is the queue itself — every live host slot
+/// pulls the next batch, so a retired host's re-queued work drains onto
+/// whichever hosts stay healthy.
+struct Scheduler {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<Batch> queue;
+  std::size_t done = 0;
+  std::size_t total = 0;
+  std::size_t live_hosts = 0;
+  bool aborted = false;
+  std::exception_ptr first_error;
+  std::function<void(const std::string&)> on_event;
+
+  void event(const std::string& line) {
+    if (on_event) on_event(line);
+  }
+  [[nodiscard]] bool finished() const {
+    return aborted || done == total;
+  }
+};
+
+/// One attempt of one batch: stage the job file, move it through the
+/// transport, validate and stream the results. Throws on any failure with
+/// the batch untouched; the scratch pair never outlives the attempt.
+void run_batch_once(HostState& host, const Batch& batch,
+                    const std::vector<JobSpec>& all_jobs,
+                    const std::filesystem::path& scratch, bool keep_files,
+                    ResultSink& sink) {
+  host.ensure_prepared();
+  const auto first =
+      all_jobs.begin() + static_cast<std::ptrdiff_t>(batch.begin);
+  const auto last =
+      all_jobs.begin() + static_cast<std::ptrdiff_t>(batch.end);
+  const std::string stem =
+      worker::scratch_stem(scratch.string(), first->id) + "-a" +
+      std::to_string(batch.attempts);
+  const std::string job_path = stem + ".mfj";
+  const std::string result_path = stem + ".mfr";
+  const ScratchGuard guard({job_path, result_path}, keep_files);
+
+  // The only copy of the slice, alive just while staging the job file
+  // (the snapshot payloads inside are shared_ptr-shared, not duplicated).
+  worker::write_job_file(job_path, std::vector<JobSpec>(first, last));
+  host.transport->run_batch(host.spec, job_path, result_path,
+                            batch.describe(all_jobs));
+
+  auto results = worker::read_result_file(result_path);
+  const std::size_t expected = batch.end - batch.begin;
+  if (results.size() != expected) {
+    throw std::runtime_error("worker answered " +
+                             std::to_string(results.size()) + " of " +
+                             std::to_string(expected) + " jobs in " +
+                             batch.describe(all_jobs));
+  }
+  // Validate the whole answer set before streaming any of it: a malformed
+  // result file must fail the attempt cleanly, never half-poison the sink
+  // ahead of the retry.
+  std::unordered_map<std::uint32_t, const JobSpec*> by_id;
+  for (auto it = first; it != last; ++it) by_id.emplace(it->id, &*it);
+  std::vector<const JobSpec*> answered;
+  answered.reserve(results.size());
+  for (const auto& [id, result] : results) {
+    const auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      throw std::runtime_error("worker result for unexpected or duplicate "
+                               "job " +
+                               std::to_string(id) + " in " +
+                               batch.describe(all_jobs));
+    }
+    answered.push_back(it->second);
+    by_id.erase(it);
+  }
+  for (std::size_t i = 0; i < results.size(); ++i)
+    sink.push(*answered[i], std::move(results[i].second));
+}
+
+void host_slot_loop(Scheduler& sched, HostState& host,
+                    const std::vector<JobSpec>& all_jobs,
+                    const std::filesystem::path& scratch, bool keep_files,
+                    unsigned max_attempts, unsigned host_max_failures,
+                    ResultSink& sink) {
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock lk(sched.m);
+      sched.cv.wait(lk, [&] {
+        return sched.finished() || host.dead || !sched.queue.empty();
+      });
+      if (sched.finished() || host.dead) return;
+      batch = std::move(sched.queue.front());
+      sched.queue.pop_front();
+    }
+
+    ++batch.attempts;
+    std::exception_ptr error;
+    std::string error_text;
+    try {
+      run_batch_once(host, batch, all_jobs, scratch, keep_files, sink);
+    } catch (const std::exception& e) {
+      error = std::current_exception();
+      error_text = e.what();
+    }
+
+    std::unique_lock lk(sched.m);
+    if (!error) {
+      ++sched.done;
+      if (sched.finished()) sched.cv.notify_all();
+      continue;
+    }
+
+    ++host.failures;
+    sched.event(host.spec.label() + " failed " + batch.describe(all_jobs) +
+                " (attempt " + std::to_string(batch.attempts) + "/" +
+                std::to_string(max_attempts) + "): " + error_text);
+    if (batch.attempts >= max_attempts) {
+      if (!sched.first_error) sched.first_error = error;
+      sched.aborted = true;
+      sched.cv.notify_all();
+      return;
+    }
+    sched.queue.push_back(std::move(batch));
+    // Retire the host after repeated failures so its share of the sweep
+    // steals onto healthy hosts — but never the last one standing, whose
+    // batches should run out their attempts instead.
+    if (!host.dead && host.failures >= host_max_failures &&
+        sched.live_hosts > 1) {
+      host.dead = true;
+      --sched.live_hosts;
+      sched.event(host.spec.label() + " retired after " +
+                  std::to_string(host.failures) +
+                  " failures; re-queued work steals onto the remaining " +
+                  std::to_string(sched.live_hosts) + " host(s)");
+    }
+    sched.cv.notify_all();
+    if (host.dead) return;
+  }
+}
+
+}  // namespace
+
+RemoteBackend::RemoteBackend() : RemoteBackend(Options()) {}
+
+RemoteBackend::RemoteBackend(Options options) : opts_(std::move(options)) {}
+
+void RemoteBackend::run(const std::vector<JobSpec>& jobs, ResultSink& sink) {
+  if (jobs.empty()) return;
+  if (opts_.max_attempts == 0)
+    throw std::runtime_error("RemoteBackend: max_attempts must be >= 1");
+
+  std::vector<HostSpec> hosts = opts_.hosts;
+  if (hosts.empty()) {
+    HostSpec local;
+    local.name = "local";
+    local.slots = ParallelRunner::default_jobs();
+    hosts.push_back(local);
+  }
+  for (std::size_t i = 0; i < hosts.size(); ++i) hosts[i].index = i;
+
+  const std::string bin = opts_.worker_binary.empty()
+                              ? default_worker_binary()
+                              : opts_.worker_binary;
+  if (bin.empty()) {
+    throw std::runtime_error(
+        "RemoteBackend: cannot locate the mflushsim worker binary (set "
+        "MFLUSH_WORKER_BIN or Options::worker_binary)");
+  }
+  const std::filesystem::path scratch =
+      opts_.scratch_dir.empty() ? std::filesystem::temp_directory_path()
+                                : std::filesystem::path(opts_.scratch_dir);
+
+  std::size_t total_slots = 0;
+  for (const HostSpec& h : hosts) total_slots += h.slots;
+  const auto ranges =
+      remote::batch_ranges(jobs.size(), opts_.batch_jobs, total_slots);
+
+  Scheduler sched;
+  sched.total = ranges.size();
+  sched.live_hosts = hosts.size();
+  sched.on_event = opts_.on_event;
+  for (std::size_t b = 0; b < ranges.size(); ++b) {
+    Batch batch;
+    batch.number = b;
+    batch.begin = ranges[b].first;
+    batch.end = ranges[b].second;
+    sched.queue.push_back(batch);
+  }
+
+  std::vector<std::unique_ptr<HostState>> states;
+  states.reserve(hosts.size());
+  for (const HostSpec& h : hosts) {
+    auto state = std::make_unique<HostState>();
+    state->spec = h;
+    if (opts_.transport_factory) {
+      state->transport = opts_.transport_factory(h);
+    } else if (h.is_local()) {
+      state->transport = std::make_unique<remote::LocalTransport>(bin);
+    } else {
+      state->transport = std::make_unique<remote::SshTransport>(bin);
+    }
+    states.push_back(std::move(state));
+  }
+
+  std::vector<std::thread> slots;
+  slots.reserve(std::min<std::size_t>(total_slots, ranges.size()));
+  for (auto& state : states) {
+    HostState* const host = state.get();
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(host->spec.slots, ranges.size()));
+    for (unsigned s = 0; s < n; ++s) {
+      slots.emplace_back([&, host] {
+        host_slot_loop(sched, *host, jobs, scratch, opts_.keep_files,
+                       opts_.max_attempts, opts_.host_max_failures, sink);
+      });
+    }
+  }
+  for (std::thread& t : slots) t.join();
+
+  if (sched.first_error) std::rethrow_exception(sched.first_error);
+  if (sched.done != sched.total) {
+    throw std::runtime_error(
+        "RemoteBackend: sweep ended with unfinished batches");
+  }
+}
+
+}  // namespace mflush

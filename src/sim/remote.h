@@ -1,0 +1,197 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/backend.h"
+
+/// Fault-tolerant distributed sweep backend.
+///
+/// RemoteBackend schedules *batches* of JobSpecs over a pool of hosts
+/// through a pluggable Transport. A batch travels as one job file
+/// (MFLUSJOB), runs as one `mflushsim --worker` invocation on its host, and
+/// comes back as one result file (MFLUSRES) — amortizing process-spawn and
+/// serialization overhead that dominates one-subprocess-per-job fan-out.
+/// The scheduler work-steals: every host slot pulls the next batch from a
+/// shared queue, a failed or unreachable host's batch is re-queued onto
+/// healthy hosts (bounded attempts per batch), and a host that keeps
+/// failing is retired while at least one other host survives. Results
+/// stream into the ResultSink as each batch lands; the backend contract —
+/// full-SimMetrics bit-identity with SerialBackend — holds because every
+/// job still executes through run_job and doubles cross the wire as raw
+/// bytes.
+namespace mflush {
+namespace remote {
+
+/// One worker host in the pool.
+///
+/// Text grammar (hosts files, MFLUSH_HOSTS): entries separated by
+/// newlines, commas or semicolons; `#` comments to end of line. Each entry
+/// is `name [key=value ...]` with keys:
+///   slots=N   concurrent batches on this host (default 1)
+///   fail=N    test/CI fault injection — LocalTransport fails this host's
+///             first N batches, exercising the re-queue path (default 0)
+///   dir=PATH  ssh scratch directory on the host
+///             (default /tmp/mflush-remote)
+/// The name `local` (or `localhost`) selects the loopback LocalTransport;
+/// anything else is an ssh destination (`host`, `user@host`).
+struct HostSpec {
+  std::string name;
+  unsigned slots = 1;
+  unsigned fail_batches = 0;
+  std::string remote_dir = "/tmp/mflush-remote";
+  std::size_t index = 0;  ///< dense pool index, assigned by RemoteBackend
+
+  [[nodiscard]] bool is_local() const noexcept {
+    return name == "local" || name == "localhost";
+  }
+  /// "name#index" — stable even when the same name appears twice.
+  [[nodiscard]] std::string label() const {
+    return name + "#" + std::to_string(index);
+  }
+};
+
+/// Parse one host entry; throws std::runtime_error naming the first
+/// problem (empty name, slots=0, malformed value, unknown key — a typo
+/// must never silently shrink the pool).
+[[nodiscard]] HostSpec parse_host(std::string_view entry);
+
+/// Parse a whole hosts description (see the HostSpec grammar above).
+[[nodiscard]] std::vector<HostSpec> parse_hosts(std::string_view text);
+
+/// parse_hosts over a file's contents; throws when unreadable.
+[[nodiscard]] std::vector<HostSpec> read_hosts_file(const std::string& path);
+
+/// Hosts from $MFLUSH_HOSTS; empty vector when unset or blank. Throws
+/// when the variable is set but names no hosts, or contains a '#'
+/// (comments are line-scoped, so in a one-line env var one would
+/// silently comment out every later entry — use a hosts file instead).
+[[nodiscard]] std::vector<HostSpec> hosts_from_env();
+
+/// Contiguous [begin, end) job-index chunks for a sweep of `jobs` jobs.
+/// `batch_jobs` == 0 picks an automatic size aiming at ~4 batches per host
+/// slot, so work stealing has slack to rebalance around a slow or failed
+/// host (floor 1 job per batch).
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> batch_ranges(
+    std::size_t jobs, std::size_t batch_jobs, std::size_t slots);
+
+/// What a Transport throws: the batch is intact and may be re-queued.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Moves one batch through one host. Implementations must be safe to call
+/// concurrently from that host's slots; `what` describes the batch for
+/// error messages ("batch 2 (jobs 4-7)"). Any failure — spawn, network,
+/// nonzero exit, death by signal — throws TransportError so the scheduler
+/// can re-queue the batch.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One-time per-host setup (ship the worker binary, make the scratch
+  /// dir). Called before the host's first batch; a throw counts as a host
+  /// failure and is retried on the host's next batch.
+  virtual void prepare(const HostSpec& host) = 0;
+
+  /// Run the job file at `job_path` so that the result file appears at
+  /// `result_path` (both local paths).
+  virtual void run_batch(const HostSpec& host, const std::string& job_path,
+                         const std::string& result_path,
+                         const std::string& what) = 0;
+};
+
+/// Loopback transport: the batch runs as a `mflushsim --worker` subprocess
+/// on this machine (used by tests and CI, and the default for `local`
+/// hosts). Honours HostSpec::fail_batches by failing the host's first N
+/// batches before spawning anything — the CI fault-injection hook.
+class LocalTransport final : public Transport {
+ public:
+  explicit LocalTransport(std::string worker_binary)
+      : bin_(std::move(worker_binary)) {}
+
+  [[nodiscard]] std::string name() const override { return "local"; }
+  void prepare(const HostSpec& host) override;
+  void run_batch(const HostSpec& host, const std::string& job_path,
+                 const std::string& result_path,
+                 const std::string& what) override;
+
+ private:
+  std::string bin_;
+  std::atomic<unsigned> dispatched_{0};
+};
+
+/// ssh/scp transport: prepare() ships the worker binary once per host
+/// (mkdir -p; scp; chmod +x), run_batch() copies the job file over, runs
+/// the worker remotely, copies the result file back, and best-effort
+/// removes the remote pair. BatchMode ssh: an unreachable or
+/// password-prompting host fails fast and its batches re-queue elsewhere.
+class SshTransport final : public Transport {
+ public:
+  explicit SshTransport(std::string worker_binary)
+      : bin_(std::move(worker_binary)) {}
+
+  [[nodiscard]] std::string name() const override { return "ssh"; }
+  void prepare(const HostSpec& host) override;
+  void run_batch(const HostSpec& host, const std::string& job_path,
+                 const std::string& result_path,
+                 const std::string& what) override;
+
+ private:
+  std::string bin_;
+};
+
+}  // namespace remote
+
+/// The distributed ExperimentBackend (see the file comment for semantics).
+class RemoteBackend final : public ExperimentBackend {
+ public:
+  struct Options {
+    /// The pool; empty means one `local` host with
+    /// ParallelRunner::default_jobs() slots (loopback fan-out).
+    std::vector<remote::HostSpec> hosts;
+    /// Worker binary shipped/spawned; empty means default_worker_binary().
+    std::string worker_binary;
+    /// Local staging dir for job/result files; empty = system temp dir.
+    std::string scratch_dir;
+    /// Jobs per batch; 0 = auto (see remote::batch_ranges).
+    std::size_t batch_jobs = 0;
+    /// Total attempts per batch across all hosts (>= 1) before the sweep
+    /// fails with the batch's last error.
+    unsigned max_attempts = 3;
+    /// Failures before a host is retired. The last surviving host is
+    /// never retired — its batches just run out their attempts.
+    unsigned host_max_failures = 2;
+    /// Keep the local protocol files after the run (debugging).
+    bool keep_files = false;
+    /// Transport per host; null means LocalTransport for `local` hosts
+    /// and SshTransport otherwise. Tests inject failing transports here.
+    std::function<std::unique_ptr<remote::Transport>(
+        const remote::HostSpec&)>
+        transport_factory;
+    /// Serialized scheduler narration (batch failures, re-queues, host
+    /// retirements) — wire report::event_printer(std::cerr) for the CLI.
+    std::function<void(const std::string&)> on_event;
+  };
+
+  RemoteBackend();  ///< default Options
+  explicit RemoteBackend(Options options);
+
+  [[nodiscard]] std::string name() const override { return "remote"; }
+  void run(const std::vector<JobSpec>& jobs, ResultSink& sink) override;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace mflush

@@ -66,6 +66,12 @@ ResultSink::OnResult progress_printer(std::ostream& os, std::size_t total) {
   };
 }
 
+std::function<void(const std::string&)> event_printer(std::ostream& os) {
+  // The remote scheduler serializes on_event calls under its lock, so the
+  // stream needs no extra synchronization here.
+  return [&os](const std::string& line) { os << "remote: " << line << '\n'; };
+}
+
 void print_throughput(std::ostream& os, const std::vector<RunResult>& flat,
                       std::size_t columns) {
   print_throughput(os, as_grid(flat, columns));

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -27,6 +28,13 @@ namespace mflush::report {
 /// the denominator prints as "?".
 [[nodiscard]] ResultSink::OnResult progress_printer(std::ostream& os,
                                                     std::size_t total);
+
+/// Scheduler-event logger for RemoteBackend::Options::on_event: one
+/// "remote: ..." line per batch failure, re-queue, or host retirement, so
+/// a long distributed sweep narrates its fault handling on stderr instead
+/// of going silent until the batch drains.
+[[nodiscard]] std::function<void(const std::string&)> event_printer(
+    std::ostream& os);
 
 /// Detailed component dump of a finished simulation (caches, predictor,
 /// queues, per-thread commit) — the debugging view.

@@ -15,13 +15,22 @@
 ///                             instead of describing the sweep with flags
 ///     --emit-spec FILE        write the flag-described sweep as a text
 ///                             spec file ("-" = stdout) and exit
-///     --backend NAME          serial | inprocess (default) | worker
+///     --backend NAME          serial | inprocess (default) | worker |
+///                             remote (batched distributed sweep over a
+///                             host pool; see --hosts)
+///     --hosts FILE            host pool for --backend remote: one entry
+///                             per line, `name [slots=N] [fail=N]
+///                             [dir=PATH]`, `#` comments. `local` runs
+///                             loopback subprocesses; any other name is an
+///                             ssh destination (binary shipped once per
+///                             host). Default: $MFLUSH_HOSTS (entries
+///                             separated by commas), else one local host.
 ///     --worker JOBFILE        worker mode: run a job file, write the
-///                             result file, exit (the WorkerBackend
-///                             subprocess entry point)
+///                             result file, exit (the worker/remote
+///                             backend subprocess entry point)
 ///     --worker-out FILE       result path for --worker
 ///                             (default JOBFILE.result)
-///     --worker-bin PATH       worker binary for --backend worker
+///     --worker-bin PATH       worker binary for --backend worker/remote
 ///                             (default: this executable)
 ///     --list-workloads        print the Fig. 1 workload catalog and exit
 ///     --list-policies         print the policy registry and exit
@@ -51,6 +60,7 @@
 #include "sim/backend.h"
 #include "sim/cmp.h"
 #include "sim/parallel.h"
+#include "sim/remote.h"
 #include "sim/report.h"
 #include "sim/snapshot.h"
 #include "sim/workloads.h"
@@ -64,13 +74,19 @@ void usage(const char* argv0) {
       << "usage: " << argv0
       << " [--workload NAMES|CODES] [--policy SPEC[,SPEC...]] [--cycles N]\n"
          "       [--warmup N] [--seed N] [--jobs N] [--spec FILE]\n"
-         "       [--emit-spec FILE|-] [--backend serial|inprocess|worker]\n"
+         "       [--emit-spec FILE|-]\n"
+         "       [--backend serial|inprocess|worker|remote] [--hosts FILE]\n"
          "       [--worker JOBFILE [--worker-out FILE]] [--worker-bin PATH]\n"
          "       [--list-workloads] [--list-policies]\n"
          "       [--save-snapshot PATH] [--load-snapshot PATH]\n"
          "       [--no-event-skip] [--csv] [--debug]\n\n"
          "see --list-workloads / --list-policies for what can go in a\n"
-         "sweep or spec file.\n";
+         "sweep or spec file. --backend remote fans batches of jobs over\n"
+         "the --hosts pool (or $MFLUSH_HOSTS; default one local host):\n"
+         "`name [slots=N] [fail=N] [dir=PATH]` per entry, where `local`\n"
+         "runs loopback subprocesses and any other name is an ssh\n"
+         "destination (worker binary shipped once per host). Failed\n"
+         "batches re-queue onto healthy hosts with bounded retries.\n";
 }
 
 void print_results(const std::vector<RunResult>& results, bool csv) {
@@ -133,6 +149,10 @@ std::vector<std::string> split_commas(const std::string& list) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The worker-binary discovery fallback for platforms without
+  // /proc/self/exe (and for renamed tool binaries).
+  record_argv0(argv[0]);
+
   std::string workload_arg = "8W3";
   std::string policy_arg = "mflush";
   std::string spec_file;
@@ -141,6 +161,7 @@ int main(int argc, char** argv) {
   std::string worker_job;
   std::string worker_out;
   std::string worker_bin;
+  std::string hosts_file;
   std::string save_snapshot;
   std::string load_snapshot;
   Cycle cycles = 120'000;
@@ -194,6 +215,8 @@ int main(int argc, char** argv) {
       worker_out = value();
     } else if (arg == "--worker-bin") {
       worker_bin = value();
+    } else if (arg == "--hosts") {
+      hosts_file = value();
     } else if (arg == "--list-workloads") {
       return list_workloads();
     } else if (arg == "--list-policies") {
@@ -339,10 +362,27 @@ int main(int argc, char** argv) {
       WorkerBackend::Options opts;
       opts.worker_binary = worker_bin;
       opts.max_processes = jobs;
+      // Narrate retries to stderr: a transient worker crash must leave a
+      // trace even though the sweep survives it.
+      opts.on_event = report::event_printer(std::cerr);
       backend = std::make_unique<WorkerBackend>(std::move(opts));
+    } else if (backend_arg == "remote") {
+      RemoteBackend::Options opts;
+      opts.worker_binary = worker_bin;
+      opts.hosts = !hosts_file.empty() ? remote::read_hosts_file(hosts_file)
+                                       : remote::hosts_from_env();
+      if (opts.hosts.empty() && jobs != 0) {
+        // No pool described: loopback fan-out, --jobs concurrent workers.
+        remote::HostSpec local;
+        local.name = "local";
+        local.slots = jobs;
+        opts.hosts.push_back(local);
+      }
+      opts.on_event = report::event_printer(std::cerr);
+      backend = std::make_unique<RemoteBackend>(std::move(opts));
     } else {
       std::cerr << "unknown backend: " << backend_arg
-                << " (serial, inprocess, worker)\n";
+                << " (serial, inprocess, worker, remote)\n";
       return 2;
     }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <stdexcept>
@@ -307,6 +308,190 @@ TEST(Backend, SampledFixedForksMatchesDirectForkRuns) {
         run_point_from_snapshot(snap, k * 250, spec.measure);
     EXPECT_TRUE(direct.metrics == sampled[k].metrics) << "fork " << k;
   }
+}
+
+// ------------------------------------------------------ worker error paths
+//
+// Fake worker executables (shell scripts standing in for mflushsim) drive
+// every failure mode a real distributed sweep hits: death by signal,
+// nonzero exit, corrupt or truncated result files. After each, the scratch
+// directory must hold no leaked .mfj/.mfr protocol files — the RAII guard
+// fix — and the surfaced error must name the job, not just the binary.
+
+namespace fs = std::filesystem;
+
+class FakeWorkerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("fake-worker-") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Install an executable /bin/sh script as the "worker binary".
+  std::string write_script(const std::string& body) {
+    const fs::path path = dir_ / "fake-worker.sh";
+    {
+      std::ofstream out(path);
+      out << "#!/bin/sh\n" << body;
+    }
+    fs::permissions(path, fs::perms::owner_all, fs::perm_options::add);
+    return path.string();
+  }
+
+  /// Leaked protocol files in the scratch dir.
+  [[nodiscard]] std::size_t scratch_files() const {
+    std::size_t n = 0;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      const auto ext = entry.path().extension();
+      if (ext == ".mfj" || ext == ".mfr") ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] WorkerBackend::Options script_options(
+      const std::string& script) const {
+    WorkerBackend::Options o;
+    o.worker_binary = script;
+    o.scratch_dir = dir_.string();
+    o.max_processes = 1;
+    o.batch_jobs = 1;
+    o.max_attempts = 2;
+    return o;
+  }
+
+  [[nodiscard]] static std::vector<JobSpec> tiny_jobs() {
+    ExperimentSpec spec;
+    spec.workloads = {*workloads::by_name("2W1")};
+    spec.policies = {PolicySpec::icount(), PolicySpec::mflush()};
+    spec.warmup = 200;
+    spec.measure = 400;
+    return spec.expand();
+  }
+
+  void expect_failure_containing(WorkerBackend::Options opts,
+                                 const std::vector<std::string>& needles) {
+    WorkerBackend backend(std::move(opts));
+    try {
+      (void)backend.run_collect(tiny_jobs());
+      FAIL() << "expected the sweep to fail";
+    } catch (const std::exception& e) {
+      const std::string what = e.what();
+      for (const std::string& needle : needles) {
+        EXPECT_NE(what.find(needle), std::string::npos)
+            << "missing '" << needle << "' in: " << what;
+      }
+    }
+    EXPECT_EQ(scratch_files(), 0u)
+        << "error path leaked protocol files in " << dir_;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(FakeWorkerTest, SignalKilledWorkerNamesTheJobAndCleansScratch) {
+  const std::string script = write_script("kill -KILL $$\n");
+  expect_failure_containing(script_options(script),
+                            {"killed by signal", "job"});
+}
+
+TEST_F(FakeWorkerTest, NonzeroExitSurfacesTheCodeAndCleansScratch) {
+  const std::string script = write_script("exit 3\n");
+  expect_failure_containing(script_options(script), {"code 3", "job"});
+}
+
+TEST_F(FakeWorkerTest, CorruptResultFileIsRejectedAndCleaned) {
+  // The worker "succeeds" but writes garbage where the result file should
+  // be: the checksum gate must reject it, not half-read it.
+  const std::string script =
+      write_script("printf 'garbage-result' > \"$4\"\nexit 0\n");
+  expect_failure_containing(script_options(script), {"result file"});
+}
+
+TEST_F(FakeWorkerTest, TruncatedResultFileIsRejectedAndCleaned) {
+  const std::string script = write_script(": > \"$4\"\nexit 0\n");
+  expect_failure_containing(script_options(script), {"truncated"});
+}
+
+TEST_F(FakeWorkerTest, RetriesAreBoundedPerBatch) {
+  // One batch holding both jobs, always failing: exactly max_attempts
+  // invocations, then the error surfaces.
+  const std::string count = (dir_ / "invocations").string();
+  const std::string script =
+      write_script("echo x >> \"" + count + "\"\nexit 9\n");
+  WorkerBackend::Options opts = script_options(script);
+  opts.batch_jobs = 2;
+  opts.max_attempts = 2;
+  expect_failure_containing(std::move(opts), {"code 9"});
+
+  std::ifstream in(count);
+  std::size_t invocations = 0;
+  for (std::string line; std::getline(in, line);) ++invocations;
+  EXPECT_EQ(invocations, 2u);
+}
+
+TEST_F(FakeWorkerTest, TransientFailureRetriesThenSucceeds) {
+  const std::string real = default_worker_binary();
+  if (real.empty()) {
+    GTEST_SKIP() << "mflushsim binary not found next to the test binary";
+  }
+  // First invocation dies before touching the protocol files; the retry
+  // (fresh scratch stem) execs the real worker and the sweep completes
+  // bit-identical to serial.
+  const std::string marker = (dir_ / "first-attempt").string();
+  const std::string script = write_script(
+      "if [ ! -e \"" + marker + "\" ]; then : > \"" + marker +
+      "\"; exit 7; fi\nexec \"" + real + "\" \"$@\"\n");
+  WorkerBackend::Options opts = script_options(script);
+  opts.max_attempts = 3;
+  WorkerBackend backend(std::move(opts));
+  const std::vector<JobSpec> jobs = tiny_jobs();
+
+  SerialBackend serial;
+  expect_identical_runs(serial.run_collect(jobs),
+                        backend.run_collect(jobs));
+  EXPECT_TRUE(fs::exists(marker)) << "the failing first attempt never ran";
+  EXPECT_EQ(scratch_files(), 0u);
+}
+
+// ------------------------------------------------ worker binary discovery
+
+TEST(WorkerBinaryDiscovery, NearResolvesSelfAndSibling) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "worker-binary-near-test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    std::ofstream out(dir / "mflushsim");
+    out << "stub";
+  }
+
+  // The executable *is* mflushsim (possibly via a rename check on path).
+  EXPECT_EQ(worker_binary_near((dir / "mflushsim").string()),
+            (dir / "mflushsim").string());
+  // Another tool in the same directory finds the sibling — the argv[0]
+  // fallback path used where /proc/self/exe does not exist.
+  EXPECT_EQ(worker_binary_near((dir / "renamed-tool").string()),
+            (dir / "mflushsim").string());
+  EXPECT_EQ(worker_binary_near(""), "");
+
+  fs::remove_all(dir);
+  // No mflushsim anywhere near: discovery genuinely fails.
+  EXPECT_EQ(worker_binary_near((dir / "renamed-tool").string()), "");
+}
+
+TEST(WorkerBinaryDiscovery, RecordedArgv0IsAGracefulFallback) {
+  // record_argv0 must never break discovery that already works (the env
+  // var and /proc/self/exe take precedence), even fed odd values.
+  record_argv0(nullptr);
+  record_argv0("");
+  record_argv0("relative-name-not-on-disk");
+  const std::string before = default_worker_binary();
+  record_argv0("/nonexistent/dir/some-tool");
+  EXPECT_EQ(default_worker_binary(), before);
 }
 
 // -------------------------------------------------------------- the sweep
