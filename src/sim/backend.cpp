@@ -1,5 +1,6 @@
 #include "sim/backend.h"
 
+#include <signal.h>
 #include <spawn.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -7,13 +8,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <stdexcept>
+#include <thread>
 
+#include "common/fsio.h"
 #include "sim/parallel.h"
 #include "sim/remote.h"
 
@@ -105,37 +108,28 @@ std::pair<std::uint32_t, RunResult> get_result(ArchiveReader& ar) {
 constexpr std::uint64_t kJobMagic = 0x4d464c55534a4f42ull;     // "MFLUSJOB"
 constexpr std::uint64_t kResultMagic = 0x4d464c5553524553ull;  // "MFLUSRES"
 
+/// Appends the trailing checksum and publishes the file via write-temp +
+/// atomic rename, so a reader (or a crash) can never observe a partially
+/// written protocol file. Scratch protocol files skip the fsync (durable
+/// results are the campaign layer's job).
 void write_archive_file(const std::string& path, ArchiveWriter&& ar) {
   ar.put(fnv1a(ar.bytes()));
-  const std::vector<std::uint8_t> bytes = ar.take();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("write failed: " + path);
+  fsio::write_file_atomic(path, ar.bytes(), /*durable=*/false);
 }
 
-std::vector<std::uint8_t> read_checked_file(const std::string& path,
-                                            std::uint64_t magic,
-                                            const char* what) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in)
-    throw std::runtime_error(std::string("cannot open ") + what + ": " + path);
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!in)
-    throw std::runtime_error(std::string(what) + " read failed: " + path);
-
+/// Validate trailing checksum + leading magic on a complete archive byte
+/// stream; strips the checksum in place. `name` identifies the source
+/// (a path, usually) in error messages.
+void check_archive(std::vector<std::uint8_t>& bytes, std::uint64_t magic,
+                   const char* what, const std::string& name) {
   if (bytes.size() < sizeof(std::uint64_t))
-    throw std::runtime_error(std::string(what) + " truncated: " + path);
+    throw std::runtime_error(std::string(what) + " truncated: " + name);
   const std::size_t body = bytes.size() - sizeof(std::uint64_t);
   std::uint64_t stored = 0;
   std::memcpy(&stored, bytes.data() + body, sizeof(stored));
   if (fnv1a({bytes.data(), body}) != stored) {
     throw std::runtime_error(std::string(what) + " checksum mismatch: " +
-                             path);
+                             name);
   }
   bytes.resize(body);
 
@@ -143,7 +137,14 @@ std::vector<std::uint8_t> read_checked_file(const std::string& path,
   if (bytes.size() >= sizeof(seen))
     std::memcpy(&seen, bytes.data(), sizeof(seen));
   if (seen != magic)
-    throw std::runtime_error(std::string("not a ") + what + ": " + path);
+    throw std::runtime_error(std::string("not a ") + what + ": " + name);
+}
+
+std::vector<std::uint8_t> read_checked_file(const std::string& path,
+                                            std::uint64_t magic,
+                                            const char* what) {
+  std::vector<std::uint8_t> bytes = fsio::read_file_bytes(path, what);
+  check_archive(bytes, magic, what, path);
   return bytes;
 }
 
@@ -162,7 +163,7 @@ namespace proc {
 
 int spawn_and_wait(const std::string& bin,
                    const std::vector<std::string>& args,
-                   const std::string& what) {
+                   const std::string& what, unsigned timeout_s) {
   std::vector<char*> argv;
   argv.reserve(args.size() + 2);
   argv.push_back(const_cast<char*>(bin.c_str()));
@@ -178,11 +179,36 @@ int spawn_and_wait(const std::string& bin,
     throw std::runtime_error("failed to spawn worker '" + bin + "'" +
                              context + ": " + std::strerror(rc));
   }
+
   int status = 0;
-  while (::waitpid(pid, &status, 0) < 0) {
-    if (errno != EINTR)
-      throw std::runtime_error("waitpid failed for worker '" + bin + "'" +
-                               context + ": " + std::strerror(errno));
+  if (timeout_s == 0) {
+    while (::waitpid(pid, &status, 0) < 0) {
+      if (errno != EINTR)
+        throw std::runtime_error("waitpid failed for worker '" + bin + "'" +
+                                 context + ": " + std::strerror(errno));
+    }
+  } else {
+    // Deadline mode: poll with WNOHANG so a wedged child cannot block the
+    // scheduler forever; at the deadline, kill it and reap the corpse so
+    // the throw below leaves no zombie behind.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(timeout_s);
+    for (;;) {
+      const pid_t r = ::waitpid(pid, &status, WNOHANG);
+      if (r == pid) break;
+      if (r < 0 && errno != EINTR) {
+        throw std::runtime_error("waitpid failed for worker '" + bin + "'" +
+                                 context + ": " + std::strerror(errno));
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::kill(pid, SIGKILL);
+        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        throw std::runtime_error("worker '" + bin + "' timed out after " +
+                                 std::to_string(timeout_s) + "s" + context);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
   }
   if (WIFSIGNALED(status)) {
     throw std::runtime_error("worker '" + bin + "' killed by signal " +
@@ -433,22 +459,22 @@ std::vector<JobSpec> read_job_file(const std::string& path) {
   return jobs;
 }
 
-void write_result_file(
-    const std::string& path,
+std::vector<std::uint8_t> encode_results(
     const std::vector<std::pair<std::uint32_t, RunResult>>& results) {
   ArchiveWriter ar;
   ar.put(kResultMagic);
   ar.put(kProtocolVersion);
   ar.put<std::uint64_t>(results.size());
   for (const auto& [id, r] : results) put_result(ar, id, r);
-  write_archive_file(path, std::move(ar));
+  ar.put(fnv1a(ar.bytes()));
+  return ar.take();
 }
 
-std::vector<std::pair<std::uint32_t, RunResult>> read_result_file(
-    const std::string& path) {
-  const auto bytes =
-      read_checked_file(path, kResultMagic, "mflush result file");
-  ArchiveReader ar(bytes);
+std::vector<std::pair<std::uint32_t, RunResult>> decode_results(
+    std::span<const std::uint8_t> bytes, const std::string& what) {
+  std::vector<std::uint8_t> body(bytes.begin(), bytes.end());
+  check_archive(body, kResultMagic, "mflush result file", what);
+  ArchiveReader ar(body);
   (void)ar.get<std::uint64_t>();  // magic, verified above
   if (const auto v = ar.get<std::uint32_t>(); v != kProtocolVersion) {
     throw std::runtime_error("result file protocol version " +
@@ -460,8 +486,20 @@ std::vector<std::pair<std::uint32_t, RunResult>> read_result_file(
   results.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) results.push_back(get_result(ar));
   if (!ar.done())
-    throw std::runtime_error("result file has trailing bytes: " + path);
+    throw std::runtime_error("result file has trailing bytes: " + what);
   return results;
+}
+
+void write_result_file(
+    const std::string& path,
+    const std::vector<std::pair<std::uint32_t, RunResult>>& results) {
+  fsio::write_file_atomic(path, encode_results(results), /*durable=*/false);
+}
+
+std::vector<std::pair<std::uint32_t, RunResult>> read_result_file(
+    const std::string& path) {
+  return decode_results(fsio::read_file_bytes(path, "mflush result file"),
+                        path);
 }
 
 int run_worker(const std::string& job_path, const std::string& result_path) {

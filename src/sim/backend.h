@@ -4,6 +4,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -155,10 +156,13 @@ namespace proc {
 /// return its exit code. Throws on spawn failure or death by signal; a
 /// non-empty `what` (e.g. "batch 2 (jobs 4-7)") is woven into those
 /// messages so a dead worker names the work it was running, not just the
-/// binary.
+/// binary. A nonzero `timeout_s` is a wall-clock deadline: a child still
+/// running at the deadline is SIGKILLed, reaped, and reported as a throw
+/// naming the timeout — so a wedged subprocess (a hung ssh, a stuck
+/// worker) surfaces as an ordinary failure instead of blocking forever.
 int spawn_and_wait(const std::string& bin,
                    const std::vector<std::string>& args,
-                   const std::string& what = {});
+                   const std::string& what = {}, unsigned timeout_s = 0);
 
 }  // namespace proc
 
@@ -224,6 +228,18 @@ void write_result_file(
     const std::vector<std::pair<std::uint32_t, RunResult>>& results);
 [[nodiscard]] std::vector<std::pair<std::uint32_t, RunResult>>
 read_result_file(const std::string& path);
+
+/// In-memory forms of the result-file archive. encode produces the exact
+/// checksummed byte stream write_result_file writes; decode validates
+/// magic, version, checksum, and trailing bytes the same way
+/// read_result_file does, with `what` woven into errors in place of a
+/// path. The campaign result cache (sim/campaign.h) stores one-entry
+/// result archives, so a cache entry is readable by the same decoder the
+/// worker protocol trusts.
+[[nodiscard]] std::vector<std::uint8_t> encode_results(
+    const std::vector<std::pair<std::uint32_t, RunResult>>& results);
+[[nodiscard]] std::vector<std::pair<std::uint32_t, RunResult>>
+decode_results(std::span<const std::uint8_t> bytes, const std::string& what);
 
 /// The `mflushsim --worker` entry point: read the job file, run every job,
 /// write the result file. Returns a process exit code (0 on success).

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fsio.h"
 #include "sim/cmp.h"
 #include "sim/parallel.h"
 #include "sim/snapshot.h"
@@ -118,6 +119,10 @@ Workload resolve_workload(const std::string& token) {
 
 void JobSpec::save(ArchiveWriter& ar) const {
   ar.put(id);
+  save_content(ar);
+}
+
+void JobSpec::save_content(ArchiveWriter& ar) const {
   put_workload(ar, workload);
   ar.put<std::uint64_t>(profiles.size());
   for (const BenchmarkProfile& p : profiles) put_profile(ar, p);
@@ -463,17 +468,16 @@ ExperimentSpec ExperimentSpec::read_file(const std::string& path) {
 
 void ExperimentSpec::write_file(const std::string& path, bool binary) const {
   validate();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out)
-    throw std::runtime_error("cannot open experiment spec for write: " + path);
+  // Temp-then-rename: an interrupted emission must never leave a truncated
+  // spec that a later --spec run could half-parse as the study.
+  std::vector<std::uint8_t> bytes;
   if (binary) {
-    const std::vector<std::uint8_t> bytes = to_bytes();
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
+    bytes = to_bytes();
   } else {
-    out << to_text();
+    const std::string text = to_text();
+    bytes.assign(text.begin(), text.end());
   }
-  if (!out) throw std::runtime_error("experiment spec write failed: " + path);
+  fsio::write_file_atomic(path, bytes, /*durable=*/true);
 }
 
 }  // namespace mflush

@@ -80,6 +80,15 @@ struct JobSpec {
   /// bytes (when present) are embedded inline.
   void save(ArchiveWriter& ar) const;
   [[nodiscard]] static JobSpec load(ArchiveReader& ar);
+
+  /// Canonical *content* serialization: every field that determines the
+  /// job's RunResult — workload, profiles, policy, seed, intervals,
+  /// fork_advance, snapshot bytes — but NOT `id`, which is a result-slot
+  /// index, not content. Two jobs with equal content bytes produce
+  /// bit-identical metrics, which is what makes campaign::job_key
+  /// (sim/campaign.h) a safe cache key across specs and campaigns. Any
+  /// field added here must bump campaign::kFormatVersion.
+  void save_content(ArchiveWriter& ar) const;
 };
 
 /// Execute one job to completion (the single definition of "run a point"

@@ -12,6 +12,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/env.h"
 #include "sim/parallel.h"
 
 namespace mflush {
@@ -70,10 +71,10 @@ const std::vector<std::string> kSshOpts = {
 
 void run_tool_or_throw(const std::string& tool,
                        std::vector<std::string> args, const HostSpec& host,
-                       const std::string& what) {
+                       const std::string& what, unsigned timeout_s) {
   int code = 0;
   try {
-    code = proc::spawn_and_wait(tool, args, what);
+    code = proc::spawn_and_wait(tool, args, what, timeout_s);
   } catch (const std::exception& e) {
     throw TransportError(host.label() + ": " + e.what());
   }
@@ -208,21 +209,32 @@ void LocalTransport::run_batch(const HostSpec& host,
   }
 }
 
+SshTransport::SshTransport(std::string worker_binary, unsigned timeout_s)
+    : bin_(std::move(worker_binary)),
+      timeout_s_(timeout_s != 0
+                     ? timeout_s
+                     : static_cast<unsigned>(env::u64_or(
+                           "MFLUSH_SSH_TIMEOUT", 600, 1,
+                           std::numeric_limits<unsigned>::max()))) {}
+
 void SshTransport::prepare(const HostSpec& host) {
   std::vector<std::string> mkdir = kSshOpts;
   mkdir.insert(mkdir.end(),
                {host.name, "mkdir -p " + shq(host.remote_dir)});
-  run_tool_or_throw("ssh", mkdir, host, "preparing the scratch dir");
+  run_tool_or_throw("ssh", mkdir, host, "preparing the scratch dir",
+                    timeout_s_);
 
   std::vector<std::string> ship = {"-q"};
   ship.insert(ship.end(), kSshOpts.begin(), kSshOpts.end());
   ship.insert(ship.end(), {bin_, host.name + ":" + remote_worker_bin(host)});
-  run_tool_or_throw("scp", ship, host, "shipping the worker binary");
+  run_tool_or_throw("scp", ship, host, "shipping the worker binary",
+                    timeout_s_);
 
   std::vector<std::string> chmod = kSshOpts;
   chmod.insert(chmod.end(),
                {host.name, "chmod +x " + shq(remote_worker_bin(host))});
-  run_tool_or_throw("ssh", chmod, host, "marking the worker executable");
+  run_tool_or_throw("ssh", chmod, host, "marking the worker executable",
+                    timeout_s_);
 }
 
 void SshTransport::run_batch(const HostSpec& host,
@@ -238,25 +250,26 @@ void SshTransport::run_batch(const HostSpec& host,
   std::vector<std::string> push = {"-q"};
   push.insert(push.end(), kSshOpts.begin(), kSshOpts.end());
   push.insert(push.end(), {job_path, host.name + ":" + rjob});
-  run_tool_or_throw("scp", push, host, "pushing " + what);
+  run_tool_or_throw("scp", push, host, "pushing " + what, timeout_s_);
 
   std::vector<std::string> exec = kSshOpts;
   exec.insert(exec.end(),
               {host.name, shq(remote_worker_bin(host)) + " --worker " +
                               shq(rjob) + " --worker-out " + shq(rres)});
-  run_tool_or_throw("ssh", exec, host, "running " + what);
+  run_tool_or_throw("ssh", exec, host, "running " + what, timeout_s_);
 
   std::vector<std::string> pull = {"-q"};
   pull.insert(pull.end(), kSshOpts.begin(), kSshOpts.end());
   pull.insert(pull.end(), {host.name + ":" + rres, result_path});
-  run_tool_or_throw("scp", pull, host, "pulling results of " + what);
+  run_tool_or_throw("scp", pull, host, "pulling results of " + what,
+                    timeout_s_);
 
   // Best-effort remote cleanup; a failure here is not a batch failure.
   std::vector<std::string> clean = kSshOpts;
   clean.insert(clean.end(),
                {host.name, "rm -f " + shq(rjob) + " " + shq(rres)});
   try {
-    (void)proc::spawn_and_wait("ssh", clean, what);
+    (void)proc::spawn_and_wait("ssh", clean, what, timeout_s_);
   } catch (const std::exception&) {
   }
 }
@@ -317,6 +330,7 @@ struct Scheduler {
   std::deque<Batch> queue;
   std::size_t done = 0;
   std::size_t total = 0;
+  std::size_t next_batch_number = 0;  ///< for batches minted by splitting
   std::size_t live_hosts = 0;
   bool aborted = false;
   std::exception_ptr first_error;
@@ -429,7 +443,31 @@ void host_slot_loop(Scheduler& sched, HostState& host,
       sched.cv.notify_all();
       return;
     }
-    sched.queue.push_back(std::move(batch));
+    if (batch.end - batch.begin > 1) {
+      // Poison-job containment: a batch failure says *something* in the
+      // batch (or its host) is bad, not that every job is. Re-queueing the
+      // batch whole would let one crashing job burn the attempt budget of
+      // all its batch-mates; splitting halves the blast radius each retry
+      // until the poison job sits alone in a batch and fails on its own
+      // attempts. The halves are fresh batches with fresh budgets, so a
+      // lineage stays bounded: at most 2N-1 batches of max_attempts each.
+      Batch left, right;
+      left.number = sched.next_batch_number++;
+      left.begin = batch.begin;
+      left.end = batch.begin + (batch.end - batch.begin) / 2;
+      right.number = sched.next_batch_number++;
+      right.begin = left.end;
+      right.end = batch.end;
+      sched.event(batch.describe(all_jobs) + " split into " +
+                  left.describe(all_jobs) + " and " +
+                  right.describe(all_jobs) +
+                  " to isolate a possible poison job");
+      ++sched.total;  // one batch became two
+      sched.queue.push_back(left);
+      sched.queue.push_back(right);
+    } else {
+      sched.queue.push_back(std::move(batch));
+    }
     // Retire the host after repeated failures so its share of the sweep
     // steals onto healthy hosts — but never the last one standing, whose
     // batches should run out their attempts instead.
@@ -486,6 +524,7 @@ void RemoteBackend::run(const std::vector<JobSpec>& jobs, ResultSink& sink) {
 
   Scheduler sched;
   sched.total = ranges.size();
+  sched.next_batch_number = ranges.size();
   sched.live_hosts = hosts.size();
   sched.on_event = opts_.on_event;
   for (std::size_t b = 0; b < ranges.size(); ++b) {
@@ -506,7 +545,8 @@ void RemoteBackend::run(const std::vector<JobSpec>& jobs, ResultSink& sink) {
     } else if (h.is_local()) {
       state->transport = std::make_unique<remote::LocalTransport>(bin);
     } else {
-      state->transport = std::make_unique<remote::SshTransport>(bin);
+      state->transport =
+          std::make_unique<remote::SshTransport>(bin, opts_.ssh_timeout);
     }
     states.push_back(std::move(state));
   }

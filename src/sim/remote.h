@@ -136,10 +136,17 @@ class LocalTransport final : public Transport {
 /// the worker remotely, copies the result file back, and best-effort
 /// removes the remote pair. BatchMode ssh: an unreachable or
 /// password-prompting host fails fast and its batches re-queue elsewhere.
+///
+/// Every ssh/scp invocation runs under a wall-clock deadline on top of
+/// ConnectTimeout: ConnectTimeout only covers the TCP handshake, so a link
+/// that wedges *mid-transfer* (half-open connection, remote kernel hang)
+/// would otherwise stall a host slot forever. At the deadline the tool is
+/// killed and the failure re-queues the batch like any other host fault.
+/// `timeout_s` == 0 resolves MFLUSH_SSH_TIMEOUT (default 600; malformed
+/// values are a hard error, env.h policy).
 class SshTransport final : public Transport {
  public:
-  explicit SshTransport(std::string worker_binary)
-      : bin_(std::move(worker_binary)) {}
+  explicit SshTransport(std::string worker_binary, unsigned timeout_s = 0);
 
   [[nodiscard]] std::string name() const override { return "ssh"; }
   void prepare(const HostSpec& host) override;
@@ -149,6 +156,7 @@ class SshTransport final : public Transport {
 
  private:
   std::string bin_;
+  unsigned timeout_s_;
 };
 
 }  // namespace remote
@@ -172,6 +180,11 @@ class RemoteBackend final : public ExperimentBackend {
     /// Failures before a host is retired. The last surviving host is
     /// never retired — its batches just run out their attempts.
     unsigned host_max_failures = 2;
+    /// Per-ssh/scp-command wall-clock deadline in seconds for
+    /// SshTransport; 0 resolves MFLUSH_SSH_TIMEOUT (default 600). See the
+    /// SshTransport comment — this is what turns a wedged link into an
+    /// ordinary host failure.
+    unsigned ssh_timeout = 0;
     /// Keep the local protocol files after the run (debugging).
     bool keep_files = false;
     /// Transport per host; null means LocalTransport for `local` hosts

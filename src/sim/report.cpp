@@ -67,9 +67,17 @@ ResultSink::OnResult progress_printer(std::ostream& os, std::size_t total) {
 }
 
 std::function<void(const std::string&)> event_printer(std::ostream& os) {
-  // The remote scheduler serializes on_event calls under its lock, so the
-  // stream needs no extra synchronization here.
-  return [&os](const std::string& line) { os << "remote: " << line << '\n'; };
+  return event_printer(os, "remote: ");
+}
+
+std::function<void(const std::string&)> event_printer(std::ostream& os,
+                                                      std::string prefix) {
+  // Every event source serializes its on_event calls (the remote scheduler
+  // under its lock, CampaignStore under the journal mutex), so the stream
+  // needs no extra synchronization here.
+  return [&os, prefix = std::move(prefix)](const std::string& line) {
+    os << prefix << line << '\n';
+  };
 }
 
 void print_throughput(std::ostream& os, const std::vector<RunResult>& flat,

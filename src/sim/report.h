@@ -36,6 +36,12 @@ namespace mflush::report {
 [[nodiscard]] std::function<void(const std::string&)> event_printer(
     std::ostream& os);
 
+/// Same logger with a caller-chosen line prefix (e.g. "campaign: " for
+/// CampaignStore::Options::on_event), so each event source stays
+/// distinguishable when several narrate the same stream.
+[[nodiscard]] std::function<void(const std::string&)> event_printer(
+    std::ostream& os, std::string prefix);
+
 /// Detailed component dump of a finished simulation (caches, predictor,
 /// queues, per-thread commit) — the debugging view.
 void print_debug(std::ostream& os, const CmpSimulator& sim);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/archive.h"
+#include "common/fsio.h"
 
 namespace mflush::snapshot {
 namespace {
@@ -252,12 +253,10 @@ std::unique_ptr<CmpSimulator> make(std::span<const std::uint8_t> bytes) {
 }
 
 void save_file(const std::string& path, const CmpSimulator& sim) {
-  const std::vector<std::uint8_t> bytes = capture(sim);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open snapshot file: " + path);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("snapshot write failed: " + path);
+  // Atomic + durable: a snapshot is a long warm-up's savings, and a crash
+  // mid-write must leave either the old file or the new one — never a
+  // truncated archive the next run dies on.
+  fsio::write_file_atomic(path, capture(sim), /*durable=*/true);
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {

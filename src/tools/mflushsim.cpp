@@ -18,6 +18,15 @@
 ///     --backend NAME          serial | inprocess (default) | worker |
 ///                             remote (batched distributed sweep over a
 ///                             host pool; see --hosts)
+///     --campaign DIR          run the sweep durably: DIR holds the spec,
+///                             a write-ahead journal of job state, and a
+///                             content-addressed result cache, so a
+///                             killed run resumes with --resume and jobs
+///                             already cached (this campaign or an
+///                             overlapping earlier spec) are not re-run
+///     --resume                continue the campaign in --campaign DIR
+///                             from its journal (spec comes from DIR;
+///                             sweep flags are ignored)
 ///     --hosts FILE            host pool for --backend remote: one entry
 ///                             per line, `name [slots=N] [fail=N]
 ///                             [dir=PATH]`, `#` comments. `local` runs
@@ -58,6 +67,7 @@
 #include "common/table.h"
 #include "core/factory.h"
 #include "sim/backend.h"
+#include "sim/campaign.h"
 #include "sim/cmp.h"
 #include "sim/parallel.h"
 #include "sim/remote.h"
@@ -76,6 +86,7 @@ void usage(const char* argv0) {
          "       [--warmup N] [--seed N] [--jobs N] [--spec FILE]\n"
          "       [--emit-spec FILE|-]\n"
          "       [--backend serial|inprocess|worker|remote] [--hosts FILE]\n"
+         "       [--campaign DIR [--resume]]\n"
          "       [--worker JOBFILE [--worker-out FILE]] [--worker-bin PATH]\n"
          "       [--list-workloads] [--list-policies]\n"
          "       [--save-snapshot PATH] [--load-snapshot PATH]\n"
@@ -86,7 +97,11 @@ void usage(const char* argv0) {
          "`name [slots=N] [fail=N] [dir=PATH]` per entry, where `local`\n"
          "runs loopback subprocesses and any other name is an ssh\n"
          "destination (worker binary shipped once per host). Failed\n"
-         "batches re-queue onto healthy hosts with bounded retries.\n";
+         "batches re-queue onto healthy hosts with bounded retries.\n"
+         "--campaign DIR journals every job durably and caches results by\n"
+         "content, so a crashed or killed sweep continues with --resume\n"
+         "(finished jobs replay from the cache, bit-identical) and an\n"
+         "overlapping later spec pays only for its new jobs.\n";
 }
 
 void print_results(const std::vector<RunResult>& results, bool csv) {
@@ -162,6 +177,8 @@ int main(int argc, char** argv) {
   std::string worker_out;
   std::string worker_bin;
   std::string hosts_file;
+  std::string campaign_dir;
+  bool resume = false;
   std::string save_snapshot;
   std::string load_snapshot;
   Cycle cycles = 120'000;
@@ -217,6 +234,10 @@ int main(int argc, char** argv) {
       worker_bin = value();
     } else if (arg == "--hosts") {
       hosts_file = value();
+    } else if (arg == "--campaign") {
+      campaign_dir = value();
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg == "--list-workloads") {
       return list_workloads();
     } else if (arg == "--list-policies") {
@@ -285,6 +306,36 @@ int main(int argc, char** argv) {
         spec.write_file(emit_spec);
       }
       return 0;
+    }
+
+    // --------------------------------------------------- durable campaign
+    if (resume && campaign_dir.empty()) {
+      std::cerr << "error: --resume needs --campaign DIR\n";
+      return 2;
+    }
+    std::optional<CampaignStore> store;
+    if (!campaign_dir.empty()) {
+      if (debug || !save_snapshot.empty() || !load_snapshot.empty()) {
+        std::cerr << "error: --campaign drives a backend sweep; it cannot "
+                     "combine with --debug/--save-snapshot/--load-snapshot\n";
+        return 2;
+      }
+      CampaignStore::Options copts;
+      copts.on_event = report::event_printer(std::cerr, "campaign: ");
+      if (resume) {
+        store.emplace(CampaignStore::resume(campaign_dir, std::move(copts)));
+        if (!spec_file.empty() &&
+            spec.to_bytes() != store->spec().to_bytes()) {
+          std::cerr << "error: --resume runs the campaign's archived spec, "
+                       "but the given --spec differs from it (drop --spec, "
+                       "or start a fresh campaign with the new one)\n";
+          return 2;
+        }
+        spec = store->spec();
+      } else {
+        store.emplace(
+            CampaignStore::create(campaign_dir, spec, std::move(copts)));
+      }
     }
 
     const std::size_t num_jobs =
@@ -392,7 +443,9 @@ int main(int argc, char** argv) {
                         ? report::progress_printer(std::cerr,
                                                    adaptive ? 0 : num_jobs)
                         : ResultSink::OnResult{});
-    print_results(run_experiment(spec, *backend, sink), csv);
+    print_results(store ? run_experiment_durable(*store, *backend, sink)
+                        : run_experiment(spec, *backend, sink),
+                  csv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

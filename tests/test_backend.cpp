@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -416,9 +417,12 @@ TEST_F(FakeWorkerTest, TruncatedResultFileIsRejectedAndCleaned) {
   expect_failure_containing(script_options(script), {"truncated"});
 }
 
-TEST_F(FakeWorkerTest, RetriesAreBoundedPerBatch) {
-  // One batch holding both jobs, always failing: exactly max_attempts
-  // invocations, then the error surfaces.
+TEST_F(FakeWorkerTest, RetriesAreBoundedPerBatchWithSplitting) {
+  // One batch holding both jobs, always failing, one slot (deterministic
+  // order): the 2-job batch fails once and splits into two singles with
+  // fresh budgets; each single fails in turn until the first one exhausts
+  // its max_attempts and aborts the sweep. 1 + 1 + 1 + 1 = 4 invocations —
+  // bounded, and the poison job can only burn its own budget.
   const std::string count = (dir_ / "invocations").string();
   const std::string script =
       write_script("echo x >> \"" + count + "\"\nexit 9\n");
@@ -430,7 +434,45 @@ TEST_F(FakeWorkerTest, RetriesAreBoundedPerBatch) {
   std::ifstream in(count);
   std::size_t invocations = 0;
   for (std::string line; std::getline(in, line);) ++invocations;
-  EXPECT_EQ(invocations, 2u);
+  EXPECT_EQ(invocations, 4u);
+}
+
+TEST_F(FakeWorkerTest, PoisonJobOnlySinksItsOwnBatchMates) {
+  // A worker that fails whenever job 1's spec is in its batch, and execs
+  // the real worker otherwise. With both jobs sharing one batch, splitting
+  // isolates the poison job into its own single-job batch: job 0 still
+  // completes, and the surfaced error names the poisoned work.
+  const std::string real = default_worker_binary();
+  if (real.empty()) {
+    GTEST_SKIP() << "mflushsim binary not found next to the test binary";
+  }
+  // The scratch stem embeds the batch's first job id, so the script can
+  // tell the post-split poison single (-job1-) apart; the initial 2-job
+  // batch (-job0-, poisoned by membership) fails via the first-run marker.
+  const std::string marker = (dir_ / "pair-batch-ran").string();
+  const std::string script = write_script(
+      "case \"$2\" in *-job1-*) exit 9;; esac\n"
+      "if [ ! -e \"" + marker + "\" ]; then : > \"" + marker +
+      "\"; exit 9; fi\nexec \"" + real + "\" \"$@\"\n");
+  WorkerBackend::Options opts = script_options(script);
+  opts.batch_jobs = 2;
+  opts.max_attempts = 2;
+  WorkerBackend backend(std::move(opts));
+  const std::vector<JobSpec> jobs = tiny_jobs();
+
+  ResultSink sink;
+  try {
+    backend.run(jobs, sink);
+    FAIL() << "expected the poisoned sweep to fail";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("code 9"), std::string::npos)
+        << e.what();
+  }
+  // The healthy half of the split batch ran to completion before the
+  // poison single exhausted its attempts.
+  EXPECT_EQ(sink.completed(), 1u);
+  SerialBackend serial;
+  expect_identical_runs({serial.run_collect(jobs).front()}, {sink.at(0)});
 }
 
 TEST_F(FakeWorkerTest, TransientFailureRetriesThenSucceeds) {
@@ -455,6 +497,35 @@ TEST_F(FakeWorkerTest, TransientFailureRetriesThenSucceeds) {
                         backend.run_collect(jobs));
   EXPECT_TRUE(fs::exists(marker)) << "the failing first attempt never ran";
   EXPECT_EQ(scratch_files(), 0u);
+}
+
+// ------------------------------------------------------- spawn deadlines
+
+TEST(SpawnAndWait, DeadlineKillsAWedgedChild) {
+  // A child that would outlive the deadline is SIGKILLed, reaped, and
+  // reported as a timeout naming the work — the mechanism that turns a
+  // wedged ssh into an ordinary host failure instead of a hung sweep.
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    (void)proc::spawn_and_wait("/bin/sh", {"-c", "sleep 30"},
+                               "a wedged link", /*timeout_s=*/1);
+    FAIL() << "expected a timeout";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("timed out"), std::string::npos) << what;
+    EXPECT_NE(what.find("a wedged link"), std::string::npos) << what;
+  }
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(waited, 10.0) << "deadline did not cut the 30s sleep short";
+}
+
+TEST(SpawnAndWait, FastChildrenFinishUnderADeadline) {
+  EXPECT_EQ(proc::spawn_and_wait("/bin/sh", {"-c", "exit 7"}, "",
+                                 /*timeout_s=*/30),
+            7);
+  EXPECT_EQ(proc::spawn_and_wait("/bin/sh", {"-c", "exit 0"}, ""), 0);
 }
 
 // ------------------------------------------------ worker binary discovery

@@ -118,6 +118,21 @@ TEST(RemoteHosts, EnvPoolSetButEmptyOrCommentedIsAnError) {
   EXPECT_TRUE(remote::hosts_from_env().empty());
 }
 
+TEST(SshTransportTimeout, MalformedEnvIsAHardErrorAndValidOnesResolve) {
+  // env.h policy: a typo'd MFLUSH_SSH_TIMEOUT must fail construction
+  // loudly, never silently fall back to the default deadline.
+  ASSERT_EQ(setenv("MFLUSH_SSH_TIMEOUT", "soon", 1), 0);
+  EXPECT_THROW(remote::SshTransport("mflushsim"), std::runtime_error);
+  ASSERT_EQ(setenv("MFLUSH_SSH_TIMEOUT", "0", 1), 0);
+  EXPECT_THROW(remote::SshTransport("mflushsim"), std::runtime_error);
+  ASSERT_EQ(setenv("MFLUSH_SSH_TIMEOUT", "90", 1), 0);
+  EXPECT_EQ(remote::SshTransport("mflushsim").name(), "ssh");
+  ASSERT_EQ(unsetenv("MFLUSH_SSH_TIMEOUT"), 0);
+  // Unset env: the built-in default; an explicit Options deadline wins.
+  EXPECT_EQ(remote::SshTransport("mflushsim").name(), "ssh");
+  EXPECT_EQ(remote::SshTransport("mflushsim", 5).name(), "ssh");
+}
+
 // ---------------------------------------------------------------- batching
 
 TEST(RemoteBatching, RangesCoverEveryJobExactlyOnce) {
