@@ -17,8 +17,10 @@
 #include <thread>
 
 #include "common/fsio.h"
+#include "sim/campaign.h"
 #include "sim/parallel.h"
 #include "sim/remote.h"
+#include "sim/warmstore.h"
 
 extern char** environ;
 
@@ -90,6 +92,8 @@ void put_result(ArchiveWriter& ar, std::uint32_t id, const RunResult& r) {
   put_metrics(ar, r.metrics);
   ar.put(r.wall_seconds);
   ar.put(r.simulated_cycles);
+  ar.put<std::uint8_t>(r.payload ? 1 : 0);
+  if (r.payload) ar.put_vec(*r.payload);
 }
 
 std::pair<std::uint32_t, RunResult> get_result(ArchiveReader& ar) {
@@ -100,6 +104,12 @@ std::pair<std::uint32_t, RunResult> get_result(ArchiveReader& ar) {
   r.metrics = get_metrics(ar);
   r.wall_seconds = ar.get<double>();
   r.simulated_cycles = ar.get<Cycle>();
+  if (ar.get<std::uint8_t>() != 0) {
+    std::vector<std::uint8_t> payload;
+    ar.get_vec(payload);
+    r.payload = std::make_shared<const std::vector<std::uint8_t>>(
+        std::move(payload));
+  }
   return {id, std::move(r)};
 }
 
@@ -313,6 +323,7 @@ void WorkerBackend::run(const std::vector<JobSpec>& jobs, ResultSink& sink) {
   o.max_attempts = opts_.max_attempts;
   o.keep_files = opts_.keep_files;
   o.on_event = opts_.on_event;
+  o.warm_store = opts_.warm_store;
   RemoteBackend(std::move(o)).run(jobs, sink);
 }
 
@@ -353,10 +364,78 @@ std::string default_worker_binary() {
 
 // ----------------------------------------------------------- run_experiment
 
+void resolve_parent_snapshots(std::vector<JobSpec>& jobs,
+                              ExperimentBackend& backend,
+                              const RunOptions& options) {
+  // Distinct unresolved parents in deterministic first-seen order (job
+  // vectors are expanded deterministically, so warm job ids are too).
+  std::vector<std::uint64_t> order;
+  std::unordered_map<std::uint64_t, const JobSpec*> proto;
+  for (const JobSpec& j : jobs) {
+    if (j.parent_key == 0 || j.snapshot) continue;
+    if (proto.emplace(j.parent_key, &j).second) order.push_back(j.parent_key);
+  }
+  if (order.empty()) return;
+
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const std::vector<std::uint8_t>>>
+      bytes_of;
+  std::vector<JobSpec> warm_jobs;
+  std::size_t reused = 0;
+  for (const std::uint64_t key : order) {
+    std::shared_ptr<const std::vector<std::uint8_t>> b;
+    if (options.warm_store) b = options.warm_store->lookup(key);
+    if (!b) {
+      b = warmstore::recall(key);
+      // A recall with a store configured means the disk entry is missing
+      // (or was just discarded as corrupt): heal it from memory.
+      if (b && options.warm_store) options.warm_store->put(key, b);
+    }
+    if (b) {
+      bytes_of.emplace(key, std::move(b));
+      ++reused;
+    } else {
+      JobSpec w = warmstore::warm_job_of(*proto.at(key));
+      w.id = static_cast<std::uint32_t>(warm_jobs.size());
+      warm_jobs.push_back(std::move(w));
+    }
+  }
+
+  if (!warm_jobs.empty()) {
+    // Misses warm as one batch of ordinary jobs — parallel on any backend,
+    // and never on the coordinator thread. A separate sink keeps warm
+    // results (and their payloads) out of the experiment's result slots.
+    ResultSink warm_sink;
+    backend.warmup_backend().run(warm_jobs, warm_sink);
+    for (const JobSpec& w : warm_jobs) {
+      RunResult r = warm_sink.at(w.id);
+      if (!r.payload) {
+        throw std::runtime_error("warm job for parent " +
+                                 campaign::key_hex(w.parent_key) +
+                                 " returned no snapshot payload");
+      }
+      warmstore::publish(w.parent_key, r.payload);
+      if (options.warm_store) options.warm_store->put(w.parent_key, r.payload);
+      bytes_of.emplace(w.parent_key, std::move(r.payload));
+    }
+  }
+
+  for (JobSpec& j : jobs) {
+    if (j.parent_key != 0 && !j.snapshot) j.snapshot = bytes_of.at(j.parent_key);
+  }
+  if (options.on_event) {
+    options.on_event(std::to_string(order.size()) + " parent(s): " +
+                     std::to_string(reused) + " reused, " +
+                     std::to_string(warm_jobs.size()) + " warmed");
+  }
+}
+
 std::vector<RunResult> run_experiment(const ExperimentSpec& spec,
                                       ExperimentBackend& backend,
-                                      ResultSink& sink) {
+                                      ResultSink& sink,
+                                      const RunOptions& options) {
   std::vector<JobSpec> jobs = spec.expand();
+  resolve_parent_snapshots(jobs, backend, options);
   backend.run(jobs, sink);
   if (spec.mode != RunMode::Sampled || spec.sampled.target_half_width <= 0.0)
     return sink.collect();
@@ -410,6 +489,12 @@ std::vector<RunResult> run_experiment(const ExperimentSpec& spec,
     backend.run(more, sink);
   }
   return sink.collect();
+}
+
+std::vector<RunResult> run_experiment(const ExperimentSpec& spec,
+                                      ExperimentBackend& backend,
+                                      ResultSink& sink) {
+  return run_experiment(spec, backend, sink, RunOptions{});
 }
 
 std::vector<RunResult> run_experiment(const ExperimentSpec& spec,
@@ -502,14 +587,38 @@ std::vector<std::pair<std::uint32_t, RunResult>> read_result_file(
                         path);
 }
 
-int run_worker(const std::string& job_path, const std::string& result_path) {
+int run_worker(const std::string& job_path, const std::string& result_path,
+               const std::string& store_dir) {
   try {
-    const std::vector<JobSpec> jobs = read_job_file(job_path);
+    std::vector<JobSpec> jobs = read_job_file(job_path);
+    std::optional<WarmStore> store;
+    if (!store_dir.empty()) {
+      store.emplace(store_dir);
+      // Pass 1: install every embedded parent snapshot before anything
+      // runs — batch-internal order must not matter, and one upload has to
+      // serve every later batch on this host.
+      for (const JobSpec& job : jobs) {
+        if (job.parent_key != 0 && job.snapshot)
+          store->put(job.parent_key, job.snapshot);
+      }
+      // Pass 2: resolve by-reference forks from the store. An unresolved
+      // fork stays by-ref and run_job re-warms it deterministically.
+      for (JobSpec& job : jobs) {
+        if (!job.warm_only && job.parent_key != 0 && !job.snapshot)
+          job.snapshot = store->lookup(job.parent_key);
+      }
+    }
     std::vector<std::pair<std::uint32_t, RunResult>> results;
     results.reserve(jobs.size());
     // Jobs run serially: the worker *process* is the unit of parallelism,
     // and serial execution keeps the worker bit-identical to run_job.
-    for (const JobSpec& job : jobs) results.emplace_back(job.id, run_job(job));
+    for (const JobSpec& job : jobs) {
+      results.emplace_back(job.id, run_job(job));
+      // A warm job's capture becomes a store entry immediately, so the
+      // scheduler can ship later forks of this parent by hash.
+      if (store && job.warm_only && job.parent_key != 0)
+        store->put(job.parent_key, results.back().second.payload);
+    }
     write_result_file(result_path, results);
     return 0;
   } catch (const std::exception& e) {

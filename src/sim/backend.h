@@ -22,6 +22,7 @@
 namespace mflush {
 
 class ParallelRunner;
+class WarmStore;
 
 /// Streaming result collection: an optional on_result callback fires as
 /// each job completes (completion order, serialized — never concurrently),
@@ -64,6 +65,15 @@ class ExperimentBackend {
   virtual ~ExperimentBackend() = default;
   [[nodiscard]] virtual std::string name() const = 0;
   virtual void run(const std::vector<JobSpec>& jobs, ResultSink& sink) = 0;
+
+  /// Backend that executes warm jobs (sampled-mode parent warm-ups). By
+  /// default the backend itself; decorators that must not intercept warm
+  /// work — e.g. the durable campaign wrapper, whose journal/cache only
+  /// tracks measured jobs (the warm store is the warm jobs' durability
+  /// layer) — forward to the wrapped backend.
+  [[nodiscard]] virtual ExperimentBackend& warmup_backend() noexcept {
+    return *this;
+  }
 
   /// Convenience: run into a fresh sink and return the ordered results.
   [[nodiscard]] std::vector<RunResult> run_collect(
@@ -120,6 +130,10 @@ class WorkerBackend final : public ExperimentBackend {
     /// without it a transient worker crash is retried away invisibly.
     /// Same contract as RemoteBackend::Options::on_event.
     std::function<void(const std::string&)> on_event;
+    /// Coordinator-side warm store shared with the loopback worker: fork
+    /// jobs referencing parents present in it ship the hash, not the
+    /// bytes. Null disables warm shipping (bytes embed inline as before).
+    WarmStore* warm_store = nullptr;
   };
 
   WorkerBackend();  ///< default Options
@@ -183,18 +197,49 @@ void record_argv0(const char* argv0);
 /// argv[0]). Empty string only when every source genuinely fails.
 [[nodiscard]] std::string default_worker_binary();
 
+/// Knobs threaded through run_experiment / run_experiment_durable.
+struct RunOptions {
+  /// Warm store consulted and filled by the sampled-mode warm phase. Null
+  /// still works — missing parents warm as parallel backend jobs and are
+  /// shared through the in-process registry — but nothing persists across
+  /// processes.
+  WarmStore* warm_store = nullptr;
+  /// Warm-phase narration ("N parent(s): H reused, W warmed"). The CLI
+  /// wires report::event_printer(std::cerr, "warm-store: ").
+  std::function<void(const std::string&)> on_event;
+};
+
+/// The sampled-mode warm phase: attach parent snapshot bytes to every
+/// by-reference fork job in `jobs` (parent_key set, snapshot null). Each
+/// distinct parent resolves, in order: the warm store (options.warm_store),
+/// the in-process registry (healing the store entry back when one is
+/// configured), and finally a warm job executed on
+/// backend.warmup_backend() — all misses warm concurrently as one batch.
+/// After this returns every by-ref job carries its snapshot. No-op for job
+/// vectors without parent references (FullRun, pre-resolved forks).
+void resolve_parent_snapshots(std::vector<JobSpec>& jobs,
+                              ExperimentBackend& backend,
+                              const RunOptions& options = {});
+
 /// Execute a full spec on a backend. FullRun specs are expand()ed and run
-/// as one batch. Sampled specs run round by round: after each round the
-/// 95% confidence half-width of every point's mean IPC is computed from
-/// its fork results, and points whose relative half-width still exceeds
-/// sampled.target_half_width get another round of forks (continuing the
-/// fork_advance stride off the same parent snapshot) until they converge
-/// or sampled.max_rounds is reached — the SMARTS-style stopping rule.
-/// Deterministic for any backend: the rule only consumes job results,
-/// which are themselves backend-independent.
+/// as one batch. Sampled specs first resolve parent snapshots (see
+/// resolve_parent_snapshots — warm-store lookups or parallel warm jobs,
+/// never coordinator-thread simulation), then run round by round: after
+/// each round the 95% confidence half-width of every point's mean IPC is
+/// computed from its fork results, and points whose relative half-width
+/// still exceeds sampled.target_half_width get another round of forks
+/// (continuing the fork_advance stride off the same parent snapshot) until
+/// they converge or sampled.max_rounds is reached — the SMARTS-style
+/// stopping rule. Deterministic for any backend: the rule only consumes
+/// job results, which are themselves backend-independent.
 ///
 /// Returns all results ordered by job id (sampled mode: round-0 forks for
 /// every point first, then continuation rounds in creation order).
+std::vector<RunResult> run_experiment(const ExperimentSpec& spec,
+                                      ExperimentBackend& backend,
+                                      ResultSink& sink,
+                                      const RunOptions& options);
+
 std::vector<RunResult> run_experiment(const ExperimentSpec& spec,
                                       ExperimentBackend& backend,
                                       ResultSink& sink);
@@ -211,7 +256,9 @@ std::vector<RunResult> run_experiment(const ExperimentSpec& spec,
 // bytes outright — a corrupt job must fail loudly, never half-run.
 namespace worker {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: JobSpec gained warm_only + parent_key (with a by-reference snapshot
+/// tag) and RunResult gained the warm-job payload.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Per-process unique scratch-file stem inside `dir` (pid + monotonic
 /// counter + leading job id), shared by the worker and remote backends so
@@ -243,7 +290,15 @@ decode_results(std::span<const std::uint8_t> bytes, const std::string& what);
 
 /// The `mflushsim --worker` entry point: read the job file, run every job,
 /// write the result file. Returns a process exit code (0 on success).
-int run_worker(const std::string& job_path, const std::string& result_path);
+///
+/// A non-empty `store_dir` opens the host-side WarmStore
+/// (`--worker-store`): embedded parent snapshots are installed into it
+/// before anything runs (so one upload serves every later batch on this
+/// host), by-reference forks resolve their bytes from it, and warm-job
+/// payloads are stored after capture. Without a store, by-ref forks fall
+/// back to run_job's deterministic in-process re-warm.
+int run_worker(const std::string& job_path, const std::string& result_path,
+               const std::string& store_dir = {});
 
 }  // namespace worker
 }  // namespace mflush

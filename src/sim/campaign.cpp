@@ -403,6 +403,13 @@ class DurableBackend final : public ExperimentBackend {
     return "durable+" + inner_.name();
   }
 
+  /// Warm jobs skip the journal/cache entirely — the warm store is their
+  /// durability layer — but still run on the *inner* backend's warm-up
+  /// executor, so a remote campaign warms on the pool.
+  [[nodiscard]] ExperimentBackend& warmup_backend() noexcept override {
+    return inner_.warmup_backend();
+  }
+
   void run(const std::vector<JobSpec>& jobs, ResultSink& sink) override {
     std::vector<JobSpec> todo;
     std::size_t hits = 0;
@@ -457,10 +464,11 @@ class DurableBackend final : public ExperimentBackend {
 
 std::vector<RunResult> run_experiment_durable(CampaignStore& store,
                                               ExperimentBackend& backend,
-                                              ResultSink& sink) {
+                                              ResultSink& sink,
+                                              const RunOptions& options) {
   DurableBackend durable(store, backend);
   std::vector<RunResult> results =
-      run_experiment(store.spec(), durable, sink);
+      run_experiment(store.spec(), durable, sink, options);
   store.event("finished (" + std::to_string(durable.executed) +
               " executed, " + std::to_string(durable.cache_hits) +
               " cached)");

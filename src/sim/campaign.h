@@ -51,13 +51,19 @@ namespace campaign {
 /// snapshot::kFormatVersion: bump on ANY change (a field added to
 /// JobSpec::save_content included), no migrations — old journals are
 /// rejected loudly and stale cache keys simply never match again.
-inline constexpr std::uint32_t kFormatVersion = 1;
+///
+/// v2: JobSpec content gained warm_only + parent_key, and fork jobs are
+/// canonicalized by their parent's content hash instead of the embedded
+/// snapshot bytes (the key no longer changes when a by-reference fork is
+/// resolved to inline bytes).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Stable content hash of a job's canonical serialization
 /// (JobSpec::save_content: config/workload/profiles, policy, seed, warmup,
-/// measure, fork_advance, embedded snapshot identity — everything except
-/// the result-slot id), domain-separated with a magic + kFormatVersion
-/// prefix so key semantics can never silently drift across format bumps.
+/// measure, fork_advance, snapshot identity — embedded bytes, or the
+/// parent content hash for by-reference forks — everything except the
+/// result-slot id), domain-separated with a magic + kFormatVersion prefix
+/// so key semantics can never silently drift across format bumps.
 [[nodiscard]] std::uint64_t job_key(const JobSpec& job);
 
 /// Fixed-width lowercase hex of a key — cache file stems and narration.
@@ -183,9 +189,12 @@ class CampaignStore {
 /// done as each result lands. Emits a final
 /// "campaign: finished (<executed> executed, <cached> cached)" event.
 /// Returns the full job-id-ordered result vector, bit-identical to an
-/// uninterrupted run_experiment of the same spec.
+/// uninterrupted run_experiment of the same spec. `options` carries the
+/// warm store / warm events for sampled specs (see RunOptions); warm jobs
+/// bypass the journal — the warm store is their durability layer.
 std::vector<RunResult> run_experiment_durable(CampaignStore& store,
                                               ExperimentBackend& backend,
-                                              ResultSink& sink);
+                                              ResultSink& sink,
+                                              const RunOptions& options = {});
 
 }  // namespace mflush

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,11 @@ struct RunResult {
   // of the whole run and the cycles it simulated (warm-up + measured).
   double wall_seconds = 0.0;
   Cycle simulated_cycles = 0;
+
+  /// Opaque result payload: set only by warm jobs (JobSpec::warm_only),
+  /// which return the captured parent snapshot here instead of measuring.
+  /// Travels through the worker result protocol; null for ordinary jobs.
+  std::shared_ptr<const std::vector<std::uint8_t>> payload;
 
   /// Simulated cycles per wall-clock second (0 when not timed).
   [[nodiscard]] double sim_cycles_per_sec() const noexcept {

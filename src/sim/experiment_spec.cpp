@@ -10,8 +10,8 @@
 
 #include "common/fsio.h"
 #include "sim/cmp.h"
-#include "sim/parallel.h"
 #include "sim/snapshot.h"
+#include "sim/warmstore.h"
 
 namespace mflush {
 namespace {
@@ -113,26 +113,72 @@ Workload resolve_workload(const std::string& token) {
       "' (catalog name or an even-length string of benchmark codes)");
 }
 
+// Every JobSpec field up to (but excluding) the snapshot tail, shared by
+// the wire form (save) and the canonical content form (save_content).
+void put_job_fields(ArchiveWriter& ar, const JobSpec& j) {
+  put_workload(ar, j.workload);
+  ar.put<std::uint64_t>(j.profiles.size());
+  for (const BenchmarkProfile& p : j.profiles) put_profile(ar, p);
+  put_policy(ar, j.policy);
+  ar.put(j.seed);
+  ar.put(j.warmup);
+  ar.put(j.measure);
+  ar.put(j.fork_advance);
+  ar.put<std::uint8_t>(j.warm_only ? 1 : 0);
+  ar.put(j.parent_key);
+}
+
+// Snapshot tail tags shared by save/save_content/load.
+constexpr std::uint8_t kSnapNone = 0;      // no snapshot
+constexpr std::uint8_t kSnapInline = 1;    // length-prefixed bytes follow
+constexpr std::uint8_t kSnapByParent = 2;  // resolve via parent_key
+
+/// Warm a catalog parent chip from scratch — the single definition every
+/// warm path shares (warm jobs, by-ref self-heal): bit-identity of forks
+/// rests on all of them producing the same capture.
+std::shared_ptr<const std::vector<std::uint8_t>> warm_parent_snapshot(
+    const JobSpec& job) {
+  if (!job.profiles.empty()) {
+    throw std::runtime_error(
+        "warm jobs require catalog workloads (snapshots cannot rebuild "
+        "ad-hoc profile chips)");
+  }
+  CmpSimulator parent(job.workload, job.policy, job.seed);
+  parent.run(job.warmup);
+  return std::make_shared<const std::vector<std::uint8_t>>(
+      snapshot::capture(parent));
+}
+
 }  // namespace
 
 // ------------------------------------------------------------------ JobSpec
 
 void JobSpec::save(ArchiveWriter& ar) const {
   ar.put(id);
-  save_content(ar);
+  put_job_fields(ar, *this);
+  // Wire form: attached bytes always travel (this is the upload); a by-ref
+  // fork ships the parent hash alone.
+  if (snapshot) {
+    ar.put(kSnapInline);
+    ar.put_vec(*snapshot);
+  } else {
+    ar.put(parent_key != 0 ? kSnapByParent : kSnapNone);
+  }
 }
 
 void JobSpec::save_content(ArchiveWriter& ar) const {
-  put_workload(ar, workload);
-  ar.put<std::uint64_t>(profiles.size());
-  for (const BenchmarkProfile& p : profiles) put_profile(ar, p);
-  put_policy(ar, policy);
-  ar.put(seed);
-  ar.put(warmup);
-  ar.put(measure);
-  ar.put(fork_advance);
-  ar.put<std::uint8_t>(snapshot ? 1 : 0);
-  if (snapshot) ar.put_vec(*snapshot);
+  put_job_fields(ar, *this);
+  // Canonical form: a parent hash pins the exact snapshot bytes, so the
+  // content is the same whether or not the bytes are attached — the
+  // campaign cache key stays stable across by-ref and resolved copies.
+  if (parent_key != 0) {
+    ar.put(kSnapByParent);
+  } else if (snapshot) {
+    ar.put(kSnapInline);
+    ar.put_vec(*snapshot);
+  } else {
+    ar.put(kSnapNone);
+  }
 }
 
 JobSpec JobSpec::load(ArchiveReader& ar) {
@@ -147,19 +193,51 @@ JobSpec JobSpec::load(ArchiveReader& ar) {
   j.warmup = ar.get<Cycle>();
   j.measure = ar.get<Cycle>();
   j.fork_advance = ar.get<Cycle>();
-  if (ar.get<std::uint8_t>() != 0) {
+  j.warm_only = ar.get<std::uint8_t>() != 0;
+  j.parent_key = ar.get<std::uint64_t>();
+  const auto tag = ar.get<std::uint8_t>();
+  if (tag == kSnapInline) {
     std::vector<std::uint8_t> bytes;
     ar.get_vec(bytes);
     j.snapshot =
         std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  } else if (tag != kSnapNone && tag != kSnapByParent) {
+    throw std::runtime_error("job archive: unknown snapshot tag " +
+                             std::to_string(tag));
   }
   return j;
 }
 
 RunResult run_job(const JobSpec& job) {
-  if (job.snapshot)
-    return run_point_from_snapshot(*job.snapshot, job.fork_advance,
-                                   job.measure);
+  if (job.warm_only) {
+    const auto t0 = std::chrono::steady_clock::now();
+    RunResult r;
+    r.workload = job.workload.name;
+    r.policy = job.policy.label();
+    r.payload = warm_parent_snapshot(job);
+    r.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    r.simulated_cycles = job.warmup;
+    // Share the bytes with every fork of this parent in the process.
+    warmstore::publish(job.parent_key, r.payload);
+    return r;
+  }
+  auto snap = job.snapshot;
+  if (!snap && job.parent_key != 0) {
+    // By-ref fork whose bytes were not resolved (no store on this host, or
+    // the entry vanished): the snapshot is a pure function of (workload,
+    // policy, seed, warmup), so re-warming here is deterministic and the
+    // fork's metrics are unchanged. Publish so siblings warm at most once
+    // per process.
+    snap = warmstore::recall(job.parent_key);
+    if (!snap) {
+      snap = warm_parent_snapshot(job);
+      warmstore::publish(job.parent_key, snap);
+    }
+  }
+  if (snap)
+    return run_point_from_snapshot(*snap, job.fork_advance, job.measure);
   if (!job.profiles.empty()) {
     const auto t0 = std::chrono::steady_clock::now();
     CmpSimulator sim(job.profiles, job.policy, job.seed);
@@ -230,36 +308,31 @@ std::vector<JobSpec> ExperimentSpec::expand() const {
     return jobs;
   }
 
-  // Sampled: warm one parent chip per point (in parallel — each parent is an
-  // independent deterministic simulation) and checkpoint it once; the forks
-  // share the snapshot bytes and skip the warm-up entirely.
+  // Sampled: one warmed parent per point, shared by its forks — but the
+  // warm-up itself is NOT run here. Fork jobs reference the parent by
+  // content hash; the warm phase of run_experiment resolves the hashes
+  // from a WarmStore or warms the misses as ordinary backend jobs, so
+  // expansion costs no simulation and warm-up parallelism (and
+  // distribution) belongs to the backend.
   const Cycle stride =
       sampled.fork_stride != 0 ? sampled.fork_stride : measure / 2;
   const std::size_t points = num_points();
   const std::size_t num_w = workloads.size();
   const std::size_t num_p = policies.size();
-  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> snaps(points);
-  ParallelRunner::shared().for_each_index(points, [&](std::size_t i) {
-    const Workload& w = workloads[(i / num_p) % num_w];
-    const PolicySpec& p = policies[i % num_p];
-    const std::uint64_t seed = seeds[i / (num_w * num_p)];
-    CmpSimulator parent(w, p, seed);
-    parent.run(warmup);
-    snaps[i] = std::make_shared<const std::vector<std::uint8_t>>(
-        snapshot::capture(parent));
-  });
-
   jobs.reserve(points * sampled.forks);
   for (std::size_t i = 0; i < points; ++i) {
+    JobSpec proto;
+    proto.workload = workloads[(i / num_p) % num_w];
+    proto.policy = policies[i % num_p];
+    proto.seed = seeds[i / (num_w * num_p)];
+    proto.warmup = warmup;
+    const std::uint64_t key = warmstore::warm_key(proto);
     for (std::uint32_t k = 0; k < sampled.forks; ++k) {
-      JobSpec j;
+      JobSpec j = proto;
       j.id = static_cast<std::uint32_t>(i * sampled.forks + k);
-      j.workload = workloads[(i / num_p) % num_w];
-      j.policy = policies[i % num_p];
-      j.seed = seeds[i / (num_w * num_p)];
       j.measure = measure;
       j.fork_advance = static_cast<Cycle>(k) * stride;
-      j.snapshot = snaps[i];
+      j.parent_key = key;
       jobs.push_back(std::move(j));
     }
   }

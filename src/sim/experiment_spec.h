@@ -58,13 +58,15 @@ struct SampledConfig {
 /// One self-contained simulation unit — everything a worker (thread or
 /// subprocess, local or remote) needs to produce one RunResult.
 ///
-/// Exactly one of three shapes:
+/// Exactly one of four shapes:
 ///  * catalog job: `workload` codes resolve against the SPEC2000 catalog;
 ///  * profile job: `profiles` non-empty — an ad-hoc chip built from custom
 ///    BenchmarkProfiles (workload.name is just the display label);
-///  * fork job: `snapshot` set — reconstruct the embedded pre-warmed chip,
-///    advance `fork_advance` cycles, then measure (workload/policy/seed/
-///    warmup travel inside the snapshot and are ignored here).
+///  * fork job: `snapshot` set (or resolvable via `parent_key`) —
+///    reconstruct the pre-warmed chip, advance `fork_advance` cycles, then
+///    measure;
+///  * warm job: `warm_only` set — warm `warmup` cycles and return the
+///    captured snapshot in RunResult::payload (no measurement).
 struct JobSpec {
   std::uint32_t id = 0;  ///< dense result-slot index within one experiment
   Workload workload;
@@ -74,20 +76,35 @@ struct JobSpec {
   Cycle warmup = 0;
   Cycle measure = 0;
   Cycle fork_advance = 0;
+  /// Warm job: build the chip, run `warmup` cycles, capture the snapshot
+  /// into RunResult::payload. Emitted by the warm phase of run_experiment
+  /// so sampled-mode parents warm as ordinary (parallel, distributable)
+  /// backend jobs instead of coordinator work.
+  bool warm_only = false;
+  /// Content hash of this job's warmed parent (warmstore::warm_key). On a
+  /// fork job it lets the snapshot travel by reference: a host whose warm
+  /// store already holds the parent resolves the hash locally instead of
+  /// receiving the bytes again; a host without the entry re-warms
+  /// deterministically. On a warm job it names the store entry the
+  /// captured snapshot is published under. 0 = no warm-store identity.
+  std::uint64_t parent_key = 0;
   std::shared_ptr<const std::vector<std::uint8_t>> snapshot;
 
-  /// Serialize/deserialize for the worker job-file protocol. The snapshot
-  /// bytes (when present) are embedded inline.
+  /// Serialize/deserialize for the worker job-file protocol. Attached
+  /// snapshot bytes are embedded inline (the upload); a by-reference fork
+  /// (`parent_key` set, bytes stripped) ships only the hash.
   void save(ArchiveWriter& ar) const;
   [[nodiscard]] static JobSpec load(ArchiveReader& ar);
 
   /// Canonical *content* serialization: every field that determines the
   /// job's RunResult — workload, profiles, policy, seed, intervals,
-  /// fork_advance, snapshot bytes — but NOT `id`, which is a result-slot
-  /// index, not content. Two jobs with equal content bytes produce
-  /// bit-identical metrics, which is what makes campaign::job_key
-  /// (sim/campaign.h) a safe cache key across specs and campaigns. Any
-  /// field added here must bump campaign::kFormatVersion.
+  /// fork_advance, snapshot identity — but NOT `id`, which is a
+  /// result-slot index, not content. A job with a parent_key is
+  /// canonicalized by the hash alone (the key pins the exact snapshot
+  /// bytes), so its content is stable whether or not the bytes happen to
+  /// be attached — which keeps campaign::job_key (sim/campaign.h) a safe
+  /// cache key across specs, campaigns, and by-ref/resolved copies of the
+  /// same fork. Any field added here must bump campaign::kFormatVersion.
   void save_content(ArchiveWriter& ar) const;
 };
 
@@ -120,11 +137,13 @@ struct ExperimentSpec {
   /// Expand into self-contained jobs, ids 0..n-1 in point order.
   ///
   /// FullRun: one job per point. Sampled: `sampled.forks` fork jobs per
-  /// point, each carrying a snapshot of the point's parent chip — the
-  /// parents are warmed here (in parallel on the shared pool) and
-  /// checkpointed once, so forks skip re-simulating the warm-up. The
-  /// stopping rule lives in run_experiment (sim/backend.h), which builds
-  /// additional fork rounds from the round-0 jobs' snapshot handles.
+  /// point, each referencing the point's warmed parent by content hash
+  /// (`parent_key` = warmstore::warm_key) — expansion itself runs **no**
+  /// warm-up simulation. The warm phase of run_experiment (sim/backend.h)
+  /// resolves the hashes against a WarmStore (or warms the missing parents
+  /// as ordinary backend jobs, in parallel) and attaches the bytes; the
+  /// stopping rule then builds additional fork rounds from the round-0
+  /// jobs' snapshot handles.
   [[nodiscard]] std::vector<JobSpec> expand() const;
 
   // --- serialization -----------------------------------------------------

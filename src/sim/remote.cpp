@@ -1,5 +1,7 @@
 #include "sim/remote.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <condition_variable>
 #include <cstdlib>
@@ -11,9 +13,12 @@
 #include <sstream>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/env.h"
+#include "sim/campaign.h"
 #include "sim/parallel.h"
+#include "sim/warmstore.h"
 
 namespace mflush {
 namespace remote {
@@ -201,8 +206,11 @@ void LocalTransport::run_batch(const HostSpec& host,
     throw TransportError(host.label() + ": injected transport failure on " +
                          what);
   }
-  const int code = proc::spawn_and_wait(
-      bin_, {"--worker", job_path, "--worker-out", result_path}, what);
+  std::vector<std::string> args = {"--worker", job_path, "--worker-out",
+                                   result_path};
+  if (!host.warm_store_dir.empty())
+    args.insert(args.end(), {"--worker-store", host.warm_store_dir});
+  const int code = proc::spawn_and_wait(bin_, args, what);
   if (code != 0) {
     throw TransportError("worker exited with code " + std::to_string(code) +
                          " on " + what + " (" + job_path + ")");
@@ -252,10 +260,12 @@ void SshTransport::run_batch(const HostSpec& host,
   push.insert(push.end(), {job_path, host.name + ":" + rjob});
   run_tool_or_throw("scp", push, host, "pushing " + what, timeout_s_);
 
+  std::string cmd = shq(remote_worker_bin(host)) + " --worker " + shq(rjob) +
+                    " --worker-out " + shq(rres);
+  if (!host.warm_store_dir.empty())
+    cmd += " --worker-store " + shq(host.warm_store_dir);
   std::vector<std::string> exec = kSshOpts;
-  exec.insert(exec.end(),
-              {host.name, shq(remote_worker_bin(host)) + " --worker " +
-                              shq(rjob) + " --worker-out " + shq(rres)});
+  exec.insert(exec.end(), {host.name, std::move(cmd)});
   run_tool_or_throw("ssh", exec, host, "running " + what, timeout_s_);
 
   std::vector<std::string> pull = {"-q"};
@@ -312,6 +322,17 @@ struct HostState {
   unsigned failures = 0;  // guarded by the scheduler mutex
   bool dead = false;      // guarded by the scheduler mutex
 
+  /// The host's warm store IS the coordinator's (local host + configured
+  /// store): nothing ever uploads, forks always ship by hash.
+  bool warm_shared = false;
+  /// Parents known durably present in the host-side store — only marked
+  /// after a batch that carried (or warmed) them *succeeded*, because the
+  /// worker installs embedded parents before running anything. Marking at
+  /// staging time would race: a second by-hash batch could reach the host
+  /// before the first batch's worker installed the bytes.
+  std::mutex warm_mutex;
+  std::unordered_set<std::uint64_t> warm_present;
+
   void ensure_prepared() {
     const std::lock_guard lk(prepare_mutex);
     if (prepared) return;
@@ -332,6 +353,8 @@ struct Scheduler {
   std::size_t total = 0;
   std::size_t next_batch_number = 0;  ///< for batches minted by splitting
   std::size_t live_hosts = 0;
+  std::size_t uploads = 0;       ///< parent snapshots shipped to hosts
+  std::size_t upload_bytes = 0;  ///< their total snapshot byte size
   bool aborted = false;
   std::exception_ptr first_error;
   std::function<void(const std::string&)> on_event;
@@ -344,13 +367,21 @@ struct Scheduler {
   }
 };
 
+/// A parent snapshot shipped inline to one host — recorded by
+/// run_batch_once, reported by the slot loop once the batch succeeds.
+struct UploadRecord {
+  std::uint64_t key = 0;
+  std::size_t bytes = 0;
+};
+
 /// One attempt of one batch: stage the job file, move it through the
 /// transport, validate and stream the results. Throws on any failure with
 /// the batch untouched; the scratch pair never outlives the attempt.
 void run_batch_once(HostState& host, const Batch& batch,
                     const std::vector<JobSpec>& all_jobs,
                     const std::filesystem::path& scratch, bool keep_files,
-                    ResultSink& sink) {
+                    WarmStore* coordinator_store,
+                    std::vector<UploadRecord>& uploads, ResultSink& sink) {
   host.ensure_prepared();
   const auto first =
       all_jobs.begin() + static_cast<std::ptrdiff_t>(batch.begin);
@@ -365,7 +396,30 @@ void run_batch_once(HostState& host, const Batch& batch,
 
   // The only copy of the slice, alive just while staging the job file
   // (the snapshot payloads inside are shared_ptr-shared, not duplicated).
-  worker::write_job_file(job_path, std::vector<JobSpec>(first, last));
+  // With a host-side warm store this copy is also where fork snapshots are
+  // stripped: a parent already present on the host (or embedded once
+  // earlier in this same batch) travels as its content hash alone.
+  std::vector<JobSpec> slice(first, last);
+  if (!host.spec.warm_store_dir.empty()) {
+    const std::lock_guard lk(host.warm_mutex);
+    std::unordered_set<std::uint64_t> in_batch;
+    for (JobSpec& j : slice) {
+      if (j.parent_key == 0 || !j.snapshot) continue;
+      if (host.warm_shared) {
+        // The host reads the coordinator's own store directory: make sure
+        // the entry exists (put-if-absent is ~free when it does), then
+        // always ship by hash.
+        coordinator_store->put(j.parent_key, j.snapshot);
+        j.snapshot = nullptr;
+      } else if (host.warm_present.contains(j.parent_key) ||
+                 !in_batch.insert(j.parent_key).second) {
+        j.snapshot = nullptr;
+      } else {
+        uploads.push_back({j.parent_key, j.snapshot->size()});
+      }
+    }
+  }
+  worker::write_job_file(job_path, slice);
   host.transport->run_batch(host.spec, job_path, result_path,
                             batch.describe(all_jobs));
 
@@ -397,13 +451,24 @@ void run_batch_once(HostState& host, const Batch& batch,
   }
   for (std::size_t i = 0; i < results.size(); ++i)
     sink.push(*answered[i], std::move(results[i].second));
+
+  // Success: every parent this batch referenced is now durably in the
+  // host-side store — the worker installs embedded copies before running
+  // and stores warm-job captures as they land — so later batches on this
+  // host ship hashes only.
+  if (!host.spec.warm_store_dir.empty() && !host.warm_shared) {
+    const std::lock_guard lk(host.warm_mutex);
+    for (const JobSpec& j : slice) {
+      if (j.parent_key != 0) host.warm_present.insert(j.parent_key);
+    }
+  }
 }
 
 void host_slot_loop(Scheduler& sched, HostState& host,
                     const std::vector<JobSpec>& all_jobs,
                     const std::filesystem::path& scratch, bool keep_files,
                     unsigned max_attempts, unsigned host_max_failures,
-                    ResultSink& sink) {
+                    WarmStore* coordinator_store, ResultSink& sink) {
   for (;;) {
     Batch batch;
     {
@@ -417,10 +482,12 @@ void host_slot_loop(Scheduler& sched, HostState& host,
     }
 
     ++batch.attempts;
+    std::vector<UploadRecord> uploads;
     std::exception_ptr error;
     std::string error_text;
     try {
-      run_batch_once(host, batch, all_jobs, scratch, keep_files, sink);
+      run_batch_once(host, batch, all_jobs, scratch, keep_files,
+                     coordinator_store, uploads, sink);
     } catch (const std::exception& e) {
       error = std::current_exception();
       error_text = e.what();
@@ -428,6 +495,13 @@ void host_slot_loop(Scheduler& sched, HostState& host,
 
     std::unique_lock lk(sched.m);
     if (!error) {
+      for (const UploadRecord& u : uploads) {
+        ++sched.uploads;
+        sched.upload_bytes += u.bytes;
+        sched.event(host.spec.label() + ": uploaded parent " +
+                    campaign::key_hex(u.key) + " (" +
+                    std::to_string(u.bytes) + " bytes)");
+      }
       ++sched.done;
       if (sched.finished()) sched.cv.notify_all();
       continue;
@@ -517,6 +591,41 @@ void RemoteBackend::run(const std::vector<JobSpec>& jobs, ResultSink& sink) {
       opts_.scratch_dir.empty() ? std::filesystem::temp_directory_path()
                                 : std::filesystem::path(opts_.scratch_dir);
 
+  // Warm-snapshot shipping: when the sweep references warmed parents,
+  // every host gets a warm store so each parent crosses to each host at
+  // most once. Session-scoped local stores (no coordinator store) are
+  // swept on exit.
+  std::vector<std::filesystem::path> session_stores;
+  struct StoreSweep {
+    std::vector<std::filesystem::path>& dirs;
+    bool keep;
+    ~StoreSweep() {
+      if (keep) return;
+      std::error_code ec;
+      for (const auto& d : dirs) std::filesystem::remove_all(d, ec);
+    }
+  } sweep{session_stores, opts_.keep_files};
+  const bool has_parents =
+      std::any_of(jobs.begin(), jobs.end(),
+                  [](const JobSpec& j) { return j.parent_key != 0; });
+  if (has_parents) {
+    for (HostSpec& h : hosts) {
+      if (!h.is_local()) {
+        h.warm_store_dir =
+            h.remote_dir + "/warmstore." + std::to_string(h.index);
+      } else if (opts_.warm_store != nullptr) {
+        h.warm_store_dir = opts_.warm_store->dir();
+      } else {
+        const auto dir =
+            scratch / ("mflush-warm-" + std::to_string(::getpid()) + "-h" +
+                       std::to_string(h.index));
+        std::filesystem::create_directories(dir);
+        session_stores.push_back(dir);
+        h.warm_store_dir = dir.string();
+      }
+    }
+  }
+
   std::size_t total_slots = 0;
   for (const HostSpec& h : hosts) total_slots += h.slots;
   const auto ranges =
@@ -540,6 +649,7 @@ void RemoteBackend::run(const std::vector<JobSpec>& jobs, ResultSink& sink) {
   for (const HostSpec& h : hosts) {
     auto state = std::make_unique<HostState>();
     state->spec = h;
+    state->warm_shared = h.is_local() && opts_.warm_store != nullptr;
     if (opts_.transport_factory) {
       state->transport = opts_.transport_factory(h);
     } else if (h.is_local()) {
@@ -560,12 +670,18 @@ void RemoteBackend::run(const std::vector<JobSpec>& jobs, ResultSink& sink) {
     for (unsigned s = 0; s < n; ++s) {
       slots.emplace_back([&, host] {
         host_slot_loop(sched, *host, jobs, scratch, opts_.keep_files,
-                       opts_.max_attempts, opts_.host_max_failures, sink);
+                       opts_.max_attempts, opts_.host_max_failures,
+                       opts_.warm_store, sink);
       });
     }
   }
   for (std::thread& t : slots) t.join();
 
+  if (sched.uploads > 0) {
+    sched.event("warm store: " + std::to_string(sched.uploads) +
+                " parent upload(s), " + std::to_string(sched.upload_bytes) +
+                " bytes shipped to the pool");
+  }
   if (sched.first_error) std::rethrow_exception(sched.first_error);
   if (sched.done != sched.total) {
     throw std::runtime_error(

@@ -49,6 +49,11 @@ struct HostSpec {
   unsigned fail_batches = 0;
   std::string remote_dir = "/tmp/mflush-remote";
   std::size_t index = 0;  ///< dense pool index, assigned by RemoteBackend
+  /// Host-side WarmStore directory (a path on the host itself), resolved
+  /// by RemoteBackend when the sweep references warmed parents — not part
+  /// of the hosts grammar. Empty = no warm shipping for this host; every
+  /// fork embeds its snapshot bytes inline.
+  std::string warm_store_dir;
 
   [[nodiscard]] bool is_local() const noexcept {
     return name == "local" || name == "localhost";
@@ -193,8 +198,16 @@ class RemoteBackend final : public ExperimentBackend {
         const remote::HostSpec&)>
         transport_factory;
     /// Serialized scheduler narration (batch failures, re-queues, host
-    /// retirements) — wire report::event_printer(std::cerr) for the CLI.
+    /// retirements, parent snapshot uploads) — wire
+    /// report::event_printer(std::cerr) for the CLI.
     std::function<void(const std::string&)> on_event;
+    /// Coordinator-side warm store. Local hosts share it directly (their
+    /// workers read the same directory, so no bytes ever ride the job
+    /// file); without it, each local host gets a session-scoped scratch
+    /// store and ssh hosts one under their remote_dir — either way a
+    /// parent's snapshot is uploaded at most once per host, and later
+    /// batches ship the 8-byte hash instead.
+    WarmStore* warm_store = nullptr;
   };
 
   RemoteBackend();  ///< default Options

@@ -218,6 +218,16 @@ std::string summarize(const RunResult& r) {
   return os.str();
 }
 
+std::string summarize(const WarmStore::Stats& stats) {
+  std::ostringstream os;
+  os << "warm store: " << stats.hits << " hit(s), " << stats.misses
+     << " miss(es), " << stats.stored << " entr"
+     << (stats.stored == 1 ? "y" : "ies") << " written ("
+     << stats.bytes_written << " bytes), " << stats.corrupt_discarded
+     << " corrupt discarded";
+  return os.str();
+}
+
 namespace {
 
 std::string footer_of(double wall, Cycle simulated) {

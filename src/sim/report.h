@@ -9,6 +9,7 @@
 #include "sim/backend.h"
 #include "sim/cmp.h"
 #include "sim/experiment.h"
+#include "sim/warmstore.h"
 
 /// Bench-output helpers: paper-style tables over RunResults — fed either a
 /// pre-shaped workload-row grid or, for backend-driven sweeps, the flat
@@ -71,6 +72,11 @@ void print_wasted_energy(std::ostream& os,
 /// own throughput (wall-clock and simulated cycles per second) when the
 /// run was timed.
 [[nodiscard]] std::string summarize(const RunResult& r);
+
+/// One-line warm-store summary ("warm store: N hit(s), ...") for the end
+/// of a sampled run — reuse, new entries written (with byte volume), and
+/// corrupt entries healed.
+[[nodiscard]] std::string summarize(const WarmStore::Stats& stats);
 
 /// One-line simulator-throughput footer over a set of finished runs:
 /// total wall-clock work, simulated cycles, and aggregate cycles/second.

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/experiment_spec.h"
+
+/// Content-addressed store of warmed parent snapshots.
+///
+/// Warm-up dominates sampled campaigns, and the warmed state of a parent
+/// chip is a pure function of (workload, profiles, policy, seed, warmup
+/// cycles) plus the snapshot format — so it is cacheable by content hash
+/// exactly like PR 6's result cache. A WarmStore is an on-disk directory of
+/// `<16-hex-key>.mfws` entries (checksummed archives written via
+/// fsio::write_file_atomic) shared across specs, campaigns, backends, and —
+/// through the worker protocol's `--worker-store` — remote hosts: a host
+/// whose store already holds a parent receives the 8-byte hash instead of
+/// the multi-megabyte snapshot.
+///
+/// Versioning follows the tree-wide no-migrations rule: warm_key folds in
+/// both warmstore::kFormatVersion and snapshot::kFormatVersion, so any
+/// layout change anywhere in the chain makes old entries *miss* (and
+/// re-warm) rather than misread. A corrupt entry (torn write, bit flip) is
+/// detected by its trailing FNV-1a checksum, discarded, and transparently
+/// re-warmed — see ROADMAP "Warm-store key derivation & versioning".
+namespace mflush {
+
+namespace warmstore {
+
+/// v1: entry = magic, store version, snapshot version, key echo,
+/// length-prefixed snapshot bytes, trailing FNV-1a. Bump on ANY change to
+/// this layout or to the key derivation below.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Content hash naming a fork job's warmed parent: FNV-1a over a domain
+/// magic ("MFLUSWKY"), kFormatVersion, snapshot::kFormatVersion, and the
+/// canonical parent JobSpec content (workload/profile bytes, policy, seed,
+/// warmup — policy is deliberately included: warm-up simulation is
+/// policy-dependent and snapshot::restore rejects a policy mismatch).
+/// Measure/fork_advance/id do not participate — every fork of a point maps
+/// to the same key.
+[[nodiscard]] std::uint64_t warm_key(const JobSpec& job);
+
+/// The warm job that produces `fork`'s parent snapshot: same workload,
+/// profiles, policy, seed, and warmup, `warm_only` set, measure and
+/// fork_advance zeroed, `parent_key` = warm_key(fork). `id` is 0 — the
+/// caller assigns result slots.
+[[nodiscard]] JobSpec warm_job_of(const JobSpec& fork);
+
+/// Process-wide in-memory registry of parent snapshot bytes, keyed by
+/// warm_key. This is the "map read-only state once per process" layer:
+/// every fork of a parent — across specs and rounds in the same process —
+/// shares one immutable byte vector. run_job feeds it (warm jobs publish
+/// their capture; by-ref forks publish self-heal re-warms) and the warm
+/// phase in run_experiment recalls it before warming anew. Put-if-absent;
+/// null keys/bytes are ignored.
+void publish(std::uint64_t key,
+             std::shared_ptr<const std::vector<std::uint8_t>> bytes);
+[[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> recall(
+    std::uint64_t key);
+
+}  // namespace warmstore
+
+/// One warm-store directory. Thread-safe; cheap to construct (lazy I/O).
+/// Instances keep a per-instance memo of entries they have read or written,
+/// so repeated lookups of a hot parent cost one disk read per process —
+/// but the *disk* is the source of truth shared between instances,
+/// processes, and hosts.
+class WarmStore {
+ public:
+  struct Options {
+    /// Narration sink for store events (corrupt-entry discards). Wire
+    /// report::event_printer(std::cerr, "warm-store: ") in the CLI.
+    std::function<void(const std::string&)> on_event;
+  };
+
+  /// Counters for report::summarize. hits/misses count lookup()s;
+  /// `stored` counts entries this instance wrote (put-if-absent skips are
+  /// not stores); corrupt_discarded counts damaged entries healed by
+  /// deletion.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stored = 0;
+    std::uint64_t corrupt_discarded = 0;
+    std::uint64_t bytes_written = 0;
+  };
+
+  /// Creates `dir` (and parents) if missing; throws on failure.
+  explicit WarmStore(std::string dir, Options options = {});
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::string path_of(std::uint64_t key) const;
+
+  /// Fetch a parent's snapshot bytes, or null on miss. A damaged entry is
+  /// a miss, not an error: it is deleted (so the parent re-warms and the
+  /// slot is rewritten) and counted in Stats::corrupt_discarded.
+  [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> lookup(
+      std::uint64_t key);
+
+  /// Durably store a parent's snapshot bytes (put-if-absent: an existing
+  /// entry — ours or a concurrent writer's — is left alone; atomic rename
+  /// makes the race safe either way). No-op for null key/bytes.
+  void put(std::uint64_t key,
+           std::shared_ptr<const std::vector<std::uint8_t>> bytes);
+
+  /// Whether an entry file exists on disk (no validation — lookup decides
+  /// whether it is usable).
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  std::string dir_;
+  Options opts_;
+  mutable std::mutex m_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const std::vector<std::uint8_t>>>
+      memo_;
+  Stats stats_;
+};
+
+}  // namespace mflush

@@ -34,11 +34,22 @@
 ///                             ssh destination (binary shipped once per
 ///                             host). Default: $MFLUSH_HOSTS (entries
 ///                             separated by commas), else one local host.
+///     --warm-store DIR        content-addressed store of warmed parent
+///                             snapshots for sampled specs: warm-up runs
+///                             once per distinct (workload, policy, seed,
+///                             warmup) parent and is reused across runs,
+///                             specs and backends keyed by content hash
+///                             (campaigns default to DIR/warm under the
+///                             campaign directory)
 ///     --worker JOBFILE        worker mode: run a job file, write the
 ///                             result file, exit (the worker/remote
 ///                             backend subprocess entry point)
 ///     --worker-out FILE       result path for --worker
 ///                             (default JOBFILE.result)
+///     --worker-store DIR      host-side warm store for --worker: embedded
+///                             parent snapshots are installed here and
+///                             by-hash forks resolve from here (set by
+///                             RemoteBackend, rarely by hand)
 ///     --worker-bin PATH       worker binary for --backend worker/remote
 ///                             (default: this executable)
 ///     --list-workloads        print the Fig. 1 workload catalog and exit
@@ -58,6 +69,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -73,6 +85,7 @@
 #include "sim/remote.h"
 #include "sim/report.h"
 #include "sim/snapshot.h"
+#include "sim/warmstore.h"
 #include "sim/workloads.h"
 
 namespace {
@@ -86,8 +99,10 @@ void usage(const char* argv0) {
          "       [--warmup N] [--seed N] [--jobs N] [--spec FILE]\n"
          "       [--emit-spec FILE|-]\n"
          "       [--backend serial|inprocess|worker|remote] [--hosts FILE]\n"
-         "       [--campaign DIR [--resume]]\n"
-         "       [--worker JOBFILE [--worker-out FILE]] [--worker-bin PATH]\n"
+         "       [--campaign DIR [--resume]] [--warm-store DIR]\n"
+         "       [--worker JOBFILE [--worker-out FILE] [--worker-store "
+         "DIR]]\n"
+         "       [--worker-bin PATH]\n"
          "       [--list-workloads] [--list-policies]\n"
          "       [--save-snapshot PATH] [--load-snapshot PATH]\n"
          "       [--no-event-skip] [--csv] [--debug]\n\n"
@@ -101,7 +116,9 @@ void usage(const char* argv0) {
          "--campaign DIR journals every job durably and caches results by\n"
          "content, so a crashed or killed sweep continues with --resume\n"
          "(finished jobs replay from the cache, bit-identical) and an\n"
-         "overlapping later spec pays only for its new jobs.\n";
+         "overlapping later spec pays only for its new jobs. --warm-store\n"
+         "DIR reuses sampled-mode warm-up state across runs and specs by\n"
+         "content hash (campaigns default to DIR/warm).\n";
 }
 
 void print_results(const std::vector<RunResult>& results, bool csv) {
@@ -175,9 +192,11 @@ int main(int argc, char** argv) {
   std::string backend_arg = "inprocess";
   std::string worker_job;
   std::string worker_out;
+  std::string worker_store;
   std::string worker_bin;
   std::string hosts_file;
   std::string campaign_dir;
+  std::string warm_store_dir;
   bool resume = false;
   std::string save_snapshot;
   std::string load_snapshot;
@@ -230,12 +249,16 @@ int main(int argc, char** argv) {
       worker_job = value();
     } else if (arg == "--worker-out") {
       worker_out = value();
+    } else if (arg == "--worker-store") {
+      worker_store = value();
     } else if (arg == "--worker-bin") {
       worker_bin = value();
     } else if (arg == "--hosts") {
       hosts_file = value();
     } else if (arg == "--campaign") {
       campaign_dir = value();
+    } else if (arg == "--warm-store") {
+      warm_store_dir = value();
     } else if (arg == "--resume") {
       resume = true;
     } else if (arg == "--list-workloads") {
@@ -265,7 +288,8 @@ int main(int argc, char** argv) {
   // run needs is inside the job file.
   if (!worker_job.empty()) {
     return worker::run_worker(
-        worker_job, worker_out.empty() ? worker_job + ".result" : worker_out);
+        worker_job, worker_out.empty() ? worker_job + ".result" : worker_out,
+        worker_store);
   }
 
   try {
@@ -336,6 +360,25 @@ int main(int argc, char** argv) {
         store.emplace(
             CampaignStore::create(campaign_dir, spec, std::move(copts)));
       }
+    }
+
+    // -------------------------------------------------------- warm store
+    // Campaigns warm durably by default: the store rides inside the
+    // campaign directory unless --warm-store points elsewhere.
+    if (warm_store_dir.empty() && !campaign_dir.empty()) {
+      warm_store_dir =
+          (std::filesystem::path(campaign_dir) / "warm").string();
+    }
+    std::optional<WarmStore> warm;
+    RunOptions ropts;
+    if (spec.mode == RunMode::Sampled) {
+      if (!warm_store_dir.empty()) {
+        WarmStore::Options wopts;
+        wopts.on_event = report::event_printer(std::cerr, "warm-store: ");
+        warm.emplace(warm_store_dir, std::move(wopts));
+        ropts.warm_store = &*warm;
+      }
+      ropts.on_event = report::event_printer(std::cerr, "warm-store: ");
     }
 
     const std::size_t num_jobs =
@@ -413,6 +456,7 @@ int main(int argc, char** argv) {
       WorkerBackend::Options opts;
       opts.worker_binary = worker_bin;
       opts.max_processes = jobs;
+      opts.warm_store = ropts.warm_store;
       // Narrate retries to stderr: a transient worker crash must leave a
       // trace even though the sweep survives it.
       opts.on_event = report::event_printer(std::cerr);
@@ -430,6 +474,7 @@ int main(int argc, char** argv) {
         opts.hosts.push_back(local);
       }
       opts.on_event = report::event_printer(std::cerr);
+      opts.warm_store = ropts.warm_store;
       backend = std::make_unique<RemoteBackend>(std::move(opts));
     } else {
       std::cerr << "unknown backend: " << backend_arg
@@ -443,9 +488,11 @@ int main(int argc, char** argv) {
                         ? report::progress_printer(std::cerr,
                                                    adaptive ? 0 : num_jobs)
                         : ResultSink::OnResult{});
-    print_results(store ? run_experiment_durable(*store, *backend, sink)
-                        : run_experiment(spec, *backend, sink),
+    print_results(store
+                      ? run_experiment_durable(*store, *backend, sink, ropts)
+                      : run_experiment(spec, *backend, sink, ropts),
                   csv);
+    if (warm) std::cerr << report::summarize(warm->stats()) << '\n';
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -212,7 +212,10 @@ TEST(ExperimentSpec, ExpandLayoutIsSeedMajorPolicyMinor) {
   }
 }
 
-TEST(ExperimentSpec, SampledExpandEmbedsParentSnapshots) {
+TEST(ExperimentSpec, SampledExpandEmitsParentReferences) {
+  // Sampled expand emits by-reference fork jobs: no snapshot bytes, no
+  // warm-up simulation — the warm phase of run_experiment resolves the
+  // parent_key hashes (warm store, in-process registry, or warm jobs).
   ExperimentSpec spec;
   spec.workloads = {*workloads::by_name("2W1")};
   spec.policies = {PolicySpec::icount(), PolicySpec::mflush()};
@@ -226,12 +229,17 @@ TEST(ExperimentSpec, SampledExpandEmbedsParentSnapshots) {
   ASSERT_EQ(jobs.size(), 6u);  // 2 points x 3 forks
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     EXPECT_EQ(jobs[i].id, i);
-    ASSERT_NE(jobs[i].snapshot, nullptr);
+    EXPECT_EQ(jobs[i].snapshot, nullptr);
+    EXPECT_NE(jobs[i].parent_key, 0u);
+    EXPECT_FALSE(jobs[i].warm_only);
+    // Forks keep the warm-up length: it names the parent (key derivation)
+    // and lets a worker re-warm deterministically on a store miss.
+    EXPECT_EQ(jobs[i].warmup, 800u);
     EXPECT_EQ(jobs[i].fork_advance, (i % 3) * 400u);
   }
-  // Forks of one point share their parent's snapshot; points differ.
-  EXPECT_EQ(jobs[0].snapshot, jobs[2].snapshot);
-  EXPECT_NE(jobs[0].snapshot, jobs[3].snapshot);
+  // Forks of one point share their parent's key; points differ.
+  EXPECT_EQ(jobs[0].parent_key, jobs[2].parent_key);
+  EXPECT_NE(jobs[0].parent_key, jobs[3].parent_key);
 }
 
 }  // namespace

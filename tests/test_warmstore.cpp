@@ -1,0 +1,444 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/fsio.h"
+#include "core/factory.h"
+#include "sim/backend.h"
+#include "sim/campaign.h"
+#include "sim/cmp.h"
+#include "sim/experiment.h"
+#include "sim/snapshot.h"
+#include "sim/warmstore.h"
+#include "sim/workloads.h"
+
+namespace mflush {
+namespace {
+
+namespace fs = std::filesystem;
+
+// The in-process registry (warmstore::publish/recall) is process-wide and
+// shared by every test in this binary, so each test that cares about
+// cold-vs-reused behaviour picks a warmup length nobody else uses — a
+// different warmup means a different warm_key, so the registry cannot leak
+// warmed parents between tests.
+ExperimentSpec sampled_spec(Cycle warmup) {
+  ExperimentSpec spec;
+  spec.name = "warm-test";
+  spec.workloads = {*workloads::by_name("2W1")};
+  spec.policies = {PolicySpec::icount(), PolicySpec::mflush()};
+  spec.seeds = {1};
+  spec.warmup = warmup;
+  spec.measure = 600;
+  spec.mode = RunMode::Sampled;
+  spec.sampled.forks = 2;
+  spec.sampled.fork_stride = 300;
+  return spec;
+}
+
+void expect_identical_results(const std::vector<RunResult>& a,
+                              const std::vector<RunResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    EXPECT_EQ(a[i].workload, b[i].workload);
+    EXPECT_EQ(a[i].policy, b[i].policy);
+    // Full SimMetrics equality — the warm-store bit-identity contract.
+    EXPECT_TRUE(a[i].metrics == b[i].metrics);
+  }
+}
+
+class WarmStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("warmstore-") + info->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+// --------------------------------------------------------------------- keys
+
+TEST_F(WarmStoreTest, WarmKeyTracksParentContentOnly) {
+  const std::vector<JobSpec> jobs = sampled_spec(400).expand();
+  ASSERT_GE(jobs.size(), 3u);
+  const JobSpec& fork = jobs[0];
+
+  // Fork-local fields do not participate: every fork of a point, whatever
+  // its measure window or result slot, names the same parent.
+  JobSpec sib = fork;
+  sib.id = 999;
+  sib.measure += 500;
+  sib.fork_advance += 100;
+  EXPECT_EQ(warmstore::warm_key(fork), warmstore::warm_key(sib));
+
+  // Parent-defining fields each change the key.
+  JobSpec other = fork;
+  other.seed += 1;
+  EXPECT_NE(warmstore::warm_key(fork), warmstore::warm_key(other));
+  other = fork;
+  other.warmup += 1;
+  EXPECT_NE(warmstore::warm_key(fork), warmstore::warm_key(other));
+  other = fork;
+  other.policy = PolicySpec::mflush();  // fork is the icount point
+  EXPECT_NE(warmstore::warm_key(fork), warmstore::warm_key(other));
+  other = fork;
+  other.workload = *workloads::by_name("2W3");
+  EXPECT_NE(warmstore::warm_key(fork), warmstore::warm_key(other));
+}
+
+TEST_F(WarmStoreTest, WarmJobOfDescribesTheParent) {
+  const std::vector<JobSpec> jobs = sampled_spec(400).expand();
+  const JobSpec w = warmstore::warm_job_of(jobs[0]);
+  EXPECT_TRUE(w.warm_only);
+  EXPECT_EQ(w.parent_key, warmstore::warm_key(jobs[0]));
+  EXPECT_EQ(w.workload.name, jobs[0].workload.name);
+  EXPECT_EQ(w.policy, jobs[0].policy);
+  EXPECT_EQ(w.seed, jobs[0].seed);
+  EXPECT_EQ(w.warmup, jobs[0].warmup);
+  EXPECT_EQ(w.measure, 0u);
+  EXPECT_EQ(w.fork_advance, 0u);
+  EXPECT_EQ(w.snapshot, nullptr);
+}
+
+// -------------------------------------------------------------- round trips
+
+TEST_F(WarmStoreTest, PutLookupRoundTripsAcrossInstances) {
+  const std::uint64_t key = 0x0123456789abcdefull;
+  auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef, 0x00, 0x42});
+
+  WarmStore writer(dir_.string());
+  EXPECT_FALSE(writer.contains(key));
+  writer.put(key, bytes);
+  EXPECT_TRUE(writer.contains(key));
+  EXPECT_EQ(writer.stats().stored, 1u);
+  EXPECT_GT(writer.stats().bytes_written, bytes->size());
+
+  // A fresh instance has no memo: this is a real disk read.
+  WarmStore reader(dir_.string());
+  const auto got = reader.lookup(key);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, *bytes);
+  EXPECT_EQ(reader.stats().hits, 1u);
+  EXPECT_EQ(reader.lookup(key + 1), nullptr);
+  EXPECT_EQ(reader.stats().misses, 1u);
+
+  // Put-if-absent: an existing entry is never rewritten.
+  WarmStore again(dir_.string());
+  again.put(key, bytes);
+  EXPECT_EQ(again.stats().stored, 0u);
+  EXPECT_EQ(again.stats().bytes_written, 0u);
+}
+
+TEST_F(WarmStoreTest, JobAndResultArchivesCarryWarmFields) {
+  const std::string path = (dir_ / "jobs.mfj").string();
+  fs::create_directories(dir_);
+
+  JobSpec warm;
+  warm.id = 3;
+  warm.workload = *workloads::by_name("2W1");
+  warm.policy = PolicySpec::icount();
+  warm.seed = 7;
+  warm.warmup = 123;
+  warm.warm_only = true;
+  warm.parent_key = 0xfeedfacecafebeefull;
+
+  JobSpec by_ref = warm;
+  by_ref.id = 4;
+  by_ref.warm_only = false;
+  by_ref.measure = 456;
+  by_ref.fork_advance = 78;
+
+  JobSpec resolved = by_ref;
+  resolved.id = 5;
+  resolved.snapshot = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>{1, 2, 3});
+
+  worker::write_job_file(path, {warm, by_ref, resolved});
+  const std::vector<JobSpec> back = worker::read_job_file(path);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_TRUE(back[0].warm_only);
+  EXPECT_EQ(back[0].parent_key, warm.parent_key);
+  EXPECT_EQ(back[0].snapshot, nullptr);
+  EXPECT_FALSE(back[1].warm_only);
+  EXPECT_EQ(back[1].parent_key, by_ref.parent_key);
+  EXPECT_EQ(back[1].snapshot, nullptr);
+  ASSERT_NE(back[2].snapshot, nullptr);
+  EXPECT_EQ(*back[2].snapshot, *resolved.snapshot);
+
+  // Campaign keys must not depend on whether a by-ref fork was resolved to
+  // inline bytes: the cache written by one backend has to hit from another.
+  EXPECT_EQ(campaign::job_key(by_ref), campaign::job_key(resolved));
+
+  // The warm-job payload survives the result protocol.
+  RunResult r;
+  r.workload = "2W1";
+  r.policy = "icount";
+  r.payload = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>{9, 8, 7, 6});
+  const auto bytes = worker::encode_results({{3u, r}});
+  const auto results = worker::decode_results(bytes, "test");
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_NE(results[0].second.payload, nullptr);
+  EXPECT_EQ(*results[0].second.payload, *r.payload);
+}
+
+// ------------------------------------------------------------------- expand
+
+TEST_F(WarmStoreTest, ExpandPerformsNoWarmupSimulation) {
+  // Satellite regression: expanding a sampled spec must never warm up
+  // inline on the coordinator thread. With a 100M-cycle warmup any inline
+  // simulation would take minutes; pure expansion is milliseconds.
+  ExperimentSpec spec;
+  spec.workloads = {*workloads::by_name("2W1"), *workloads::by_name("2W3")};
+  spec.policies = {PolicySpec::icount(), PolicySpec::mflush()};
+  spec.seeds = {1};
+  spec.warmup = 100'000'000;
+  spec.measure = 1'000;
+  spec.mode = RunMode::Sampled;
+  spec.sampled.forks = 3;
+  spec.sampled.fork_stride = 500;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<JobSpec> jobs = spec.expand();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(seconds, 5.0);
+
+  ASSERT_EQ(jobs.size(), 12u);  // 4 points x 3 forks
+  std::set<std::uint64_t> parents;
+  for (const JobSpec& j : jobs) {
+    EXPECT_EQ(j.snapshot, nullptr);
+    EXPECT_NE(j.parent_key, 0u);
+    parents.insert(j.parent_key);
+  }
+  EXPECT_EQ(parents.size(), 4u);
+}
+
+// -------------------------------------------------------------- corruption
+
+TEST_F(WarmStoreTest, CorruptEntryIsDiscardedAndRewarmed) {
+  const ExperimentSpec spec = sampled_spec(777);
+  const std::vector<JobSpec> jobs = spec.expand();
+
+  // Seed the store by hand-warming each parent exactly as a warm job
+  // would (WarmStore::put does not feed the in-process registry, so the
+  // heal below must go through the disk path).
+  WarmStore seeded(dir_.string());
+  for (const JobSpec& j : jobs) {
+    if (seeded.contains(j.parent_key)) continue;
+    CmpSimulator sim(j.workload, j.policy, j.seed);
+    sim.run(j.warmup);
+    seeded.put(j.parent_key,
+               std::make_shared<const std::vector<std::uint8_t>>(
+                   snapshot::capture(sim)));
+  }
+  EXPECT_EQ(seeded.stats().stored, 2u);
+
+  // Flip a byte in the middle of one entry: the trailing checksum must
+  // catch it on the next read.
+  const std::string victim = seeded.path_of(jobs[0].parent_key);
+  auto raw = fsio::read_file_bytes(victim, "warm entry");
+  raw[raw.size() / 2] ^= 0xff;
+  fsio::write_file_atomic(victim, raw, /*durable=*/false);
+
+  std::vector<std::string> events;
+  WarmStore::Options wopts;
+  wopts.on_event = [&](const std::string& e) { events.push_back(e); };
+  WarmStore healed(dir_.string(), std::move(wopts));
+  RunOptions ropts;
+  ropts.warm_store = &healed;
+  SerialBackend serial;
+  ResultSink sink;
+  const auto results = run_experiment(spec, serial, sink, ropts);
+
+  EXPECT_EQ(healed.stats().corrupt_discarded, 1u);
+  EXPECT_EQ(healed.stats().hits, 1u);    // the intact parent
+  EXPECT_EQ(healed.stats().stored, 1u);  // the healed slot, rewritten
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].find("corrupt"), std::string::npos);
+
+  // The rewritten entry reads back cleanly from a third instance.
+  WarmStore after(dir_.string());
+  EXPECT_NE(after.lookup(jobs[0].parent_key), nullptr);
+  EXPECT_EQ(after.stats().corrupt_discarded, 0u);
+
+  // And the run itself never noticed: bit-identical to a plain serial run.
+  ResultSink ref_sink;
+  const auto expected = run_experiment(spec, serial, ref_sink);
+  expect_identical_results(results, expected);
+}
+
+TEST_F(WarmStoreTest, TruncatedEntryIsAMissNotAnError) {
+  const std::uint64_t key = 0x1111222233334444ull;
+  auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>(64, 0xab));
+  WarmStore writer(dir_.string());
+  writer.put(key, bytes);
+
+  const std::string path = writer.path_of(key);
+  auto raw = fsio::read_file_bytes(path, "warm entry");
+  raw.resize(raw.size() / 2);  // torn write
+  fsio::write_file_atomic(path, raw, /*durable=*/false);
+
+  WarmStore reader(dir_.string());
+  EXPECT_EQ(reader.lookup(key), nullptr);
+  EXPECT_EQ(reader.stats().corrupt_discarded, 1u);
+  EXPECT_EQ(reader.stats().misses, 1u);
+  EXPECT_FALSE(fs::exists(path)) << "a corrupt entry must be deleted";
+}
+
+// ----------------------------------------------------------------- sharing
+
+TEST_F(WarmStoreTest, StoreIsSharedAcrossOverlappingSpecs) {
+  SerialBackend serial;
+
+  // Spec A: the icount point only, cold store.
+  ExperimentSpec a = sampled_spec(654);
+  a.policies = {PolicySpec::icount()};
+  WarmStore store_a(dir_.string());
+  RunOptions ra;
+  ra.warm_store = &store_a;
+  ResultSink sink_a;
+  (void)run_experiment(a, serial, sink_a, ra);
+  EXPECT_EQ(store_a.stats().hits, 0u);
+  EXPECT_EQ(store_a.stats().stored, 1u);
+
+  // Spec B overlaps A on (workload, seed, warmup) for icount and adds
+  // mflush: the shared parent is a disk hit, only the new one warms.
+  const ExperimentSpec b = sampled_spec(654);
+  WarmStore store_b(dir_.string());
+  RunOptions rb;
+  rb.warm_store = &store_b;
+  ResultSink sink_b;
+  const auto results = run_experiment(b, serial, sink_b, rb);
+  EXPECT_EQ(store_b.stats().hits, 1u);
+  EXPECT_EQ(store_b.stats().misses, 1u);
+  EXPECT_EQ(store_b.stats().stored, 1u);
+
+  ResultSink ref_sink;
+  const auto expected = run_experiment(b, serial, ref_sink);
+  expect_identical_results(results, expected);
+}
+
+// ----------------------------------------------------------- cross-backend
+
+TEST_F(WarmStoreTest, ColdAndHotStoreRunsMatchSerial) {
+  const ExperimentSpec spec = sampled_spec(481);
+  SerialBackend serial;
+
+  // Genuinely cold reference first: nothing has warmed 481-cycle parents.
+  ResultSink ref_sink;
+  const auto expected = run_experiment(spec, serial, ref_sink);
+
+  InProcessBackend inproc;
+  WarmStore cold(dir_.string());
+  RunOptions rc;
+  rc.warm_store = &cold;
+  ResultSink cold_sink;
+  const auto cold_results = run_experiment(spec, inproc, cold_sink, rc);
+  expect_identical_results(cold_results, expected);
+  EXPECT_EQ(cold.stats().stored, 2u);
+
+  WarmStore hot(dir_.string());
+  RunOptions rh;
+  rh.warm_store = &hot;
+  ResultSink hot_sink;
+  const auto hot_results = run_experiment(spec, inproc, hot_sink, rh);
+  expect_identical_results(hot_results, expected);
+  EXPECT_EQ(hot.stats().hits, 2u);
+  EXPECT_EQ(hot.stats().stored, 0u);
+}
+
+TEST_F(WarmStoreTest, WorkerBackendWarmsInSubprocessesAndShipsByHash) {
+  if (default_worker_binary().empty()) {
+    GTEST_SKIP() << "mflushsim worker binary not found";
+  }
+  const ExperimentSpec spec = sampled_spec(482);
+  const std::vector<JobSpec> jobs = spec.expand();
+
+  // Independent reference: hand-warm each parent and fork from the bytes
+  // directly, touching none of the warm-store machinery.
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> parents;
+  std::vector<RunResult> expected;
+  for (const JobSpec& j : jobs) {
+    if (!parents.contains(j.parent_key)) {
+      CmpSimulator sim(j.workload, j.policy, j.seed);
+      sim.run(j.warmup);
+      parents.emplace(j.parent_key, snapshot::capture(sim));
+    }
+    expected.push_back(run_point_from_snapshot(parents.at(j.parent_key),
+                                               j.fork_advance, j.measure));
+  }
+
+  // Cold run: the warm phase fans warm jobs through worker subprocesses
+  // (payloads return over the result protocol), forks then ship by hash
+  // into the shared host-side store.
+  WarmStore store(dir_.string());
+  WorkerBackend::Options wo;
+  wo.max_processes = 2;
+  wo.warm_store = &store;
+  WorkerBackend worker(std::move(wo));
+  std::vector<std::string> events;
+  RunOptions rw;
+  rw.warm_store = &store;
+  rw.on_event = [&](const std::string& e) { events.push_back(e); };
+  ResultSink sink;
+  const auto results = run_experiment(spec, worker, sink, rw);
+
+  expect_identical_results(results, expected);
+  EXPECT_EQ(store.stats().misses, 2u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], "2 parent(s): 0 reused, 2 warmed");
+  // The worker subprocesses stored their captures into the shared dir
+  // themselves (the coordinator's put-if-absent found them already there),
+  // so a fresh instance reads both entries straight from disk. The entries
+  // are not byte-compared against the hand-warmed captures — padding holes
+  // in put_vec'd structs make snapshot bytes canonical only per process —
+  // but restoring them must fork to bit-identical metrics.
+  WarmStore disk(dir_.string());
+  for (const JobSpec& j : jobs) {
+    const auto entry = disk.lookup(j.parent_key);
+    ASSERT_NE(entry, nullptr);
+    const RunResult fork =
+        run_point_from_snapshot(*entry, j.fork_advance, j.measure);
+    EXPECT_TRUE(fork.metrics == expected[j.id].metrics);
+  }
+
+  // Hot rerun on a fresh instance: every parent is reused from disk.
+  WarmStore hot(dir_.string());
+  WorkerBackend::Options wo2;
+  wo2.max_processes = 2;
+  wo2.warm_store = &hot;
+  WorkerBackend worker2(std::move(wo2));
+  std::vector<std::string> hot_events;
+  RunOptions rh;
+  rh.warm_store = &hot;
+  rh.on_event = [&](const std::string& e) { hot_events.push_back(e); };
+  ResultSink hot_sink;
+  const auto hot_results = run_experiment(spec, worker2, hot_sink, rh);
+
+  expect_identical_results(hot_results, expected);
+  EXPECT_EQ(hot.stats().hits, 2u);
+  EXPECT_EQ(hot.stats().stored, 0u);
+  ASSERT_EQ(hot_events.size(), 1u);
+  EXPECT_EQ(hot_events[0], "2 parent(s): 2 reused, 0 warmed");
+}
+
+}  // namespace
+}  // namespace mflush
