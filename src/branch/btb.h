@@ -37,18 +37,22 @@ class Btb {
     misses_ = ar.get<std::uint64_t>();
   }
 
- private:
+  /// Public (and with explicit padding) because entries_ is serialized by
+  /// raw memcpy: the layout is part of the snapshot format, and the lint's
+  /// layout probe must be able to offsetof it.
   struct Entry {
     Addr tag = 0;
     Addr target = 0;
     std::uint64_t lru = 0;  ///< larger = more recently used
     bool valid = false;
+    std::uint8_t _pad[7] = {};  ///< explicit tail padding: canonical bytes
   };
 
+ private:
   [[nodiscard]] std::size_t set_of(Addr pc) const noexcept;
 
-  std::uint32_t ways_;
-  std::uint32_t num_sets_;
+  std::uint32_t ways_;      // lint: transient — ctor geometry
+  std::uint32_t num_sets_;  // lint: transient — ctor geometry
   std::vector<Entry> entries_;  ///< sets * ways, row-major
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;

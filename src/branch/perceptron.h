@@ -61,9 +61,9 @@ class PerceptronPredictor {
   [[nodiscard]] std::size_t table_index(Addr pc) const noexcept;
   [[nodiscard]] std::size_t local_index(Addr pc) const noexcept;
 
-  std::uint32_t history_bits_;
-  std::int32_t theta_;
-  std::uint32_t local_bits_;
+  std::uint32_t history_bits_;  // lint: transient — ctor geometry
+  std::int32_t theta_;          // lint: transient — ctor threshold
+  std::uint32_t local_bits_;    // lint: transient — ctor geometry
 
   /// weights[perceptron][0] = bias, then history_bits global + local_bits
   /// local weights.

@@ -38,4 +38,29 @@ namespace mflush::env {
   return v;
 }
 
+/// Parse `var` as a boolean flag. Returns `fallback` when the variable is
+/// unset; accepts exactly "0"/"false" and "1"/"true" (throws on anything
+/// else — "MFLUSH_NO_EVENT_SKIP=yes" silently meaning *unset* is precisely
+/// the failure mode this header exists to kill).
+[[nodiscard]] inline bool flag_or(const char* var, bool fallback) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr) return fallback;
+  const std::string_view s(raw);
+  if (s == "1" || s == "true") return true;
+  if (s == "0" || s == "false") return false;
+  throw std::runtime_error(std::string(var) +
+                           ": expected 0/1/true/false, got '" +
+                           std::string(s) + "'");
+}
+
+/// Read `var` as a string. Returns `fallback` when the variable is unset.
+/// Strings have no malformed form; any content validation (paths, host
+/// lists) stays at the call site — the point of routing through here is
+/// that *every* env read is findable and lint-enforced.
+[[nodiscard]] inline std::string str_or(const char* var,
+                                        const std::string& fallback = {}) {
+  const char* raw = std::getenv(var);
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
 }  // namespace mflush::env

@@ -34,8 +34,25 @@ class RunningStat {
 
   void reset() noexcept { *this = RunningStat{}; }
 
-  void save(ArchiveWriter& ar) const { ar.put(*this); }
-  void load(ArchiveReader& ar) { *this = ar.get<RunningStat>(); }
+  // Field-wise in declaration order: all members are 8-byte scalars, so
+  // the stream bytes are identical to the former whole-object memcpy —
+  // without exposing the private layout to raw put()/get().
+  void save(ArchiveWriter& ar) const {
+    ar.put(n_);
+    ar.put(mean_);
+    ar.put(m2_);
+    ar.put(sum_);
+    ar.put(min_);
+    ar.put(max_);
+  }
+  void load(ArchiveReader& ar) {
+    n_ = ar.get<std::uint64_t>();
+    mean_ = ar.get<double>();
+    m2_ = ar.get<double>();
+    sum_ = ar.get<double>();
+    min_ = ar.get<double>();
+    max_ = ar.get<double>();
+  }
 
  private:
   std::uint64_t n_ = 0;
@@ -106,7 +123,7 @@ class Histogram {
   }
 
  private:
-  double bin_width_;
+  double bin_width_;  // lint: transient — ctor config
   std::vector<std::uint64_t> bins_;
   std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;

@@ -16,7 +16,7 @@ FlushPolicy::FlushPolicy(DetectionMoment dm, Cycle trigger)
 
 void FlushPolicy::on_load_issued(ThreadId tid, std::uint64_t token,
                                  std::uint32_t /*l2_bank*/, Cycle now) {
-  outstanding_.emplace(token, Outstanding{tid, now, false});
+  outstanding_.emplace(token, Outstanding{.tid = tid, .issue = now});
 }
 
 void FlushPolicy::on_load_l2_miss(ThreadId /*tid*/, std::uint64_t token,

@@ -56,25 +56,33 @@ class FlushPolicy final : public FetchPolicy {
   void save_state(ArchiveWriter& ar) const override;
   void load_state(ArchiveReader& ar) override;
 
- private:
+  /// Public (and with explicit padding) because outstanding_ entries are
+  /// serialized by raw memcpy inside TokenTable: the layout is part of the
+  /// snapshot format, and the lint's layout probe must be able to
+  /// offsetof it.
   struct Outstanding {
     ThreadId tid = 0;
+    std::uint8_t _pad0[4] = {};  ///< explicit padding: canonical bytes
     Cycle issue = 0;
     bool l2_miss_known = false;  ///< NonSpec trigger armed
+    std::uint8_t _pad1[7] = {};  ///< explicit tail padding
   };
 
+ private:
   [[nodiscard]] bool thread_flushed(ThreadId tid) const noexcept {
     return flush_token_[tid] != 0;
   }
 
-  DetectionMoment dm_;
-  Cycle trigger_;
-  std::string name_;
+  DetectionMoment dm_;  // lint: transient — ctor config
+  Cycle trigger_;       // lint: transient — ctor config
+  std::string name_;    // lint: transient — ctor config
   TokenTable<Outstanding> outstanding_;
   std::array<std::uint64_t, kMaxContexts> flush_token_{};
   Counters counters_{};
   // per-cycle scratch (kept across cycles so on_cycle never allocates)
+  // lint: transient — per-cycle scratch, cleared at each use
   std::vector<std::pair<Cycle, std::uint64_t>> by_age_;
+  // lint: transient — per-cycle scratch, cleared at each use
   std::vector<std::uint64_t> fire_;
 };
 

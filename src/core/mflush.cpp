@@ -53,7 +53,7 @@ Cycle MflushPolicy::barrier_for_bank(std::uint32_t bank) const {
 
 void MflushPolicy::on_load_issued(ThreadId tid, std::uint64_t token,
                                   std::uint32_t /*l2_bank*/, Cycle now) {
-  outstanding_.emplace(token, Outstanding{tid, now, kNeverCycle, false});
+  outstanding_.emplace(token, Outstanding{.tid = tid, .issue = now});
 }
 
 void MflushPolicy::on_load_l2_path(ThreadId /*tid*/, std::uint64_t token,

@@ -90,14 +90,20 @@ class MflushPolicy final : public FetchPolicy {
   void save_state(ArchiveWriter& ar) const override;
   void load_state(ArchiveReader& ar) override;
 
- private:
+  /// Public (and with explicit padding) because outstanding_ entries are
+  /// serialized by raw memcpy inside TokenTable: the layout is part of the
+  /// snapshot format, and the lint's layout probe must be able to
+  /// offsetof it.
   struct Outstanding {
     ThreadId tid = 0;
+    std::uint8_t _pad0[4] = {};  ///< explicit padding: canonical bytes
     Cycle issue = 0;
     Cycle barrier_deadline = kNeverCycle;  ///< set once the load is L2-bound
     bool l2_path = false;
+    std::uint8_t _pad1[7] = {};  ///< explicit tail padding
   };
 
+ private:
   /// Per-bank MCReg history: a ring of the last `history_len` observed
   /// L2 hit latencies (history_len == 1 reproduces the paper's register).
   struct McRegFile {
@@ -106,14 +112,16 @@ class MflushPolicy final : public FetchPolicy {
     std::uint32_t valid = 0;
   };
 
-  MflushConfig cfg_;
+  MflushConfig cfg_;  // lint: transient — ctor config
   std::vector<McRegFile> mcreg_;
   TokenTable<Outstanding> outstanding_;
   std::array<std::uint64_t, kMaxContexts> flush_token_{};
   std::array<bool, kMaxContexts> gated_{};
   Counters counters_{};
   // per-cycle scratch (kept across cycles so on_cycle never allocates)
+  // lint: transient — per-cycle scratch, cleared at each use
   std::vector<std::pair<Cycle, std::uint64_t>> by_age_;
+  // lint: transient — per-cycle scratch, cleared at each use
   std::vector<std::uint64_t> fire_;
 };
 

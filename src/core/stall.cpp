@@ -12,7 +12,7 @@ StallPolicy::StallPolicy(Cycle trigger)
 
 void StallPolicy::on_load_issued(ThreadId tid, std::uint64_t token,
                                  std::uint32_t /*l2_bank*/, Cycle now) {
-  outstanding_.emplace(token, Outstanding{tid, now});
+  outstanding_.emplace(token, Outstanding{.tid = tid, .issue = now});
 }
 
 void StallPolicy::on_load_resolved(ThreadId tid, std::uint64_t token,

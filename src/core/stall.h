@@ -41,18 +41,25 @@ class StallPolicy final : public FetchPolicy {
   void save_state(ArchiveWriter& ar) const override;
   void load_state(ArchiveReader& ar) override;
 
- private:
+  /// Public (and with explicit padding) because outstanding_ entries are
+  /// serialized by raw memcpy inside TokenTable: the layout is part of the
+  /// snapshot format, and the lint's layout probe must be able to
+  /// offsetof it.
   struct Outstanding {
     ThreadId tid = 0;
+    std::uint8_t _pad0[4] = {};  ///< explicit padding: canonical bytes
     Cycle issue = 0;
   };
 
-  Cycle trigger_;
-  std::string name_;
+ private:
+  Cycle trigger_;     // lint: transient — ctor config
+  std::string name_;  // lint: transient — ctor config
   TokenTable<Outstanding> outstanding_;
   std::array<std::uint64_t, kMaxContexts> stall_token_{};
   // per-cycle scratch (kept across cycles so on_cycle never allocates)
+  // lint: transient — per-cycle scratch, cleared at each use
   std::vector<std::pair<Cycle, std::uint64_t>> by_age_;
+  // lint: transient — per-cycle scratch, cleared at each use
   std::vector<std::uint64_t> fire_;
 };
 

@@ -86,13 +86,16 @@ class SharedBus {
     return !per_core_[core].empty();
   }
 
- private:
+  /// Public because per_core_ queues are serialized by raw memcpy: the
+  /// layout is part of the snapshot format, and the lint's layout probe
+  /// must be able to offsetof it (two 8-byte scalars — no padding).
   struct Queued {
     std::uint64_t payload;
     Cycle enqueued;
   };
 
-  std::uint32_t latency_;
+ private:
+  std::uint32_t latency_;  // lint: transient — ctor config
   std::vector<std::deque<Queued>> per_core_;
   std::uint32_t rr_next_ = 0;  ///< round-robin arbitration pointer
   Cycle busy_until_ = 0;       ///< bus occupancy (one transfer at a time)

@@ -73,14 +73,18 @@ class SetAssocCache {
     misses_ = ar.get<std::uint64_t>();
   }
 
- private:
+  /// Public (and with explicit padding) because lines_ is serialized by
+  /// raw memcpy: the layout is part of the snapshot format, and the lint's
+  /// layout probe must be able to offsetof it.
   struct Line {
     Addr tag = 0;
     std::uint64_t lru = 0;
     bool valid = false;
     bool dirty = false;
+    std::uint8_t _pad[6] = {};  ///< explicit tail padding: canonical bytes
   };
 
+ private:
   /// Set index on the cycle-loop hot path. Line size is always a power of
   /// two, so the division is a shift; when the set count is also a power of
   /// two (every L1 geometry) the modulo collapses to a precomputed mask.
@@ -92,11 +96,13 @@ class SetAssocCache {
         pow2_sets_ ? (line_index & set_mask_) : (line_index % sets_));
   }
 
-  CacheGeometry geom_;
-  std::uint32_t sets_;
-  std::uint32_t line_shift_ = 6;  ///< log2(line_bytes)
-  Addr set_mask_ = 0;             ///< sets_ - 1 when pow2_sets_
-  bool pow2_sets_ = false;
+  CacheGeometry geom_;    // lint: transient — ctor geometry
+  std::uint32_t sets_;    // lint: transient — ctor geometry
+  // log2(line_bytes)
+  std::uint32_t line_shift_ = 6;  // lint: transient — ctor geometry
+  // sets_ - 1 when pow2_sets_
+  Addr set_mask_ = 0;        // lint: transient — ctor geometry
+  bool pow2_sets_ = false;   // lint: transient — ctor geometry
   std::vector<Line> lines_;  ///< sets * ways row-major
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;

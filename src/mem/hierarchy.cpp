@@ -151,7 +151,8 @@ void MemoryHierarchy::process_l1(const Req& r, Cycle now) {
 
 void MemoryHierarchy::start_line_fetch(const Req& r, Addr line, Cycle now) {
   Mshr& mshr = mshr_[r.core];
-  MshrWaiter waiter{r.token, r.tid, r.issue, r.kind};
+  MshrWaiter waiter{
+      .token = r.token, .tid = r.tid, .issue_cycle = r.issue, .kind = r.kind};
 
   if (r.kind == MemKind::Load) {
     // The moment the access leaves for the L2: MFLUSH reads MCReg here.

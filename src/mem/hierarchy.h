@@ -143,13 +143,18 @@ class MemoryHierarchy {
   [[nodiscard]] const SharedBus& bus() const noexcept { return bus_; }
   [[nodiscard]] const MainMemory& memory() const noexcept { return memory_; }
 
- private:
+  // The two transaction records below are public (and carry explicit
+  // padding) because they are serialized by raw memcpy: their layout is
+  // part of the snapshot format, and the lint's layout probe must be able
+  // to offsetof them.
+
   /// Core-side access waiting on the L1 pipeline (and TLB walk).
   struct Req {
     CoreId core = 0;
     ThreadId tid = 0;
     Addr addr = 0;
     MemKind kind = MemKind::Load;
+    std::uint8_t _pad[7] = {};  ///< explicit padding: canonical bytes
     std::uint64_t token = 0;
     Cycle issue = 0;
     Cycle ready_at = 0;
@@ -164,15 +169,17 @@ class MemoryHierarchy {
     bool is_writeback = false;
     bool is_ifetch = false;
     bool in_use = false;
+    std::uint8_t _pad[5] = {};  ///< explicit tail padding: canonical bytes
   };
 
+ private:
   void process_l1(const Req& r, Cycle now);
   void start_line_fetch(const Req& r, Addr line, Cycle now);
   void complete_line_fetch(std::uint64_t payload, Cycle now, bool l2_hit);
   void push_writeback(CoreId core, Addr line, Cycle now);
   std::uint64_t alloc_fetch_slot();
 
-  SimConfig cfg_;
+  SimConfig cfg_;  // lint: transient — ctor config
 
   std::vector<SetAssocCache> l1i_;
   std::vector<SetAssocCache> l1d_;
@@ -198,11 +205,12 @@ class MemoryHierarchy {
   std::vector<std::vector<L2PathEvent>> l2_events_;
   std::vector<std::vector<L2PathEvent>> l2_miss_events_;
 
-  // scratch buffers reused across ticks
-  std::vector<std::uint64_t> scratch_mem_done_;
-  std::vector<L2ServiceResult> scratch_l2_done_;
-  std::vector<std::uint64_t> scratch_bus_done_;
-  std::vector<Req> scratch_l1_due_;
+  // Scratch buffers reused across ticks; drained within a single tick,
+  // so they carry no cross-cycle state.
+  std::vector<std::uint64_t> scratch_mem_done_;    // lint: transient — scratch
+  std::vector<L2ServiceResult> scratch_l2_done_;   // lint: transient — scratch
+  std::vector<std::uint64_t> scratch_bus_done_;    // lint: transient — scratch
+  std::vector<Req> scratch_l1_due_;                // lint: transient — scratch
 
   std::uint64_t next_token_ = 1;
   std::uint64_t next_order_ = 0;

@@ -113,12 +113,17 @@ class L2Cache {
     busy_cycles_ = ar.get<std::uint64_t>();
   }
 
- private:
+  /// Public (and with explicit padding) because bank queues are serialized
+  /// by raw memcpy: the layout is part of the snapshot format, and the
+  /// lint's layout probe must be able to offsetof it.
   struct BankRequest {
     Addr addr = 0;
     std::uint64_t payload = 0;
     bool is_writeback = false;
+    std::uint8_t _pad[7] = {};  ///< explicit tail padding: canonical bytes
   };
+
+ private:
   struct Bank {
     std::deque<BankRequest> queue;
     BankRequest current{};
@@ -126,9 +131,10 @@ class L2Cache {
     bool busy = false;
   };
 
-  std::uint32_t line_bytes_;
-  std::uint32_t line_shift_;  ///< log2(line_bytes): hot-path divide -> shift
-  std::uint32_t bank_latency_;
+  std::uint32_t line_bytes_;    // lint: transient — ctor geometry
+  // log2(line_bytes): hot-path divide -> shift
+  std::uint32_t line_shift_;    // lint: transient — ctor geometry
+  std::uint32_t bank_latency_;  // lint: transient — ctor config
   std::vector<SetAssocCache> slices_;  ///< one tag slice per bank
   std::vector<Bank> banks_;
   std::uint64_t hits_ = 0;

@@ -71,13 +71,16 @@ class MainMemory {
     writes_ = ar.get<std::uint64_t>();
   }
 
- private:
+  /// Public because in_flight_ is serialized by raw memcpy: the layout is
+  /// part of the snapshot format, and the lint's layout probe must be able
+  /// to offsetof it (two 8-byte scalars — no padding).
   struct Pending {
     Cycle done_at;
     std::uint64_t payload;
   };
 
-  std::uint32_t latency_;
+ private:
+  std::uint32_t latency_;  // lint: transient — ctor config
   std::deque<Pending> in_flight_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;

@@ -13,11 +13,17 @@ namespace mflush {
 enum class MemKind : std::uint8_t { Load, Store, IFetch };
 
 /// One requester waiting on an outstanding line.
+///
+/// Explicit zero-initialized padding: waiter lists are serialized by raw
+/// memcpy, so implicit holes would put uninitialized bytes in the snapshot
+/// and break canonical-bytes equality across processes.
 struct MshrWaiter {
   std::uint64_t token = 0;
   ThreadId tid = 0;
+  std::uint8_t _pad0[4] = {};
   Cycle issue_cycle = 0;
   MemKind kind = MemKind::Load;
+  std::uint8_t _pad1[7] = {};
 };
 
 /// Miss Status Holding Registers: per-core, unified I+D, 16 entries

@@ -48,20 +48,24 @@ class Tlb {
     misses_ = ar.get<std::uint64_t>();
   }
 
- private:
+  static constexpr std::uint32_t kNull = 0xffffffff;
+
+  /// Public because nodes_ is serialized by raw memcpy: the layout is part
+  /// of the snapshot format, and the lint's layout probe must be able to
+  /// offsetof it (8 + 4 + 4 bytes — no padding).
   struct Node {
     Addr page = 0;
     std::uint32_t prev = kNull;
     std::uint32_t next = kNull;
   };
-  static constexpr std::uint32_t kNull = 0xffffffff;
 
+ private:
   void move_to_front(std::uint32_t idx) noexcept;
   void detach(std::uint32_t idx) noexcept;
   void attach_front(std::uint32_t idx) noexcept;
 
-  std::uint32_t capacity_;
-  std::uint32_t page_shift_;
+  std::uint32_t capacity_;    // lint: transient — ctor geometry
+  std::uint32_t page_shift_;  // lint: transient — ctor geometry
   std::vector<Node> nodes_;
   std::unordered_map<Addr, std::uint32_t> map_;
   std::uint32_t head_ = kNull;  ///< MRU

@@ -41,7 +41,7 @@ class IssueQueue {
 
  private:
   std::vector<UopHandle> entries_;
-  std::uint32_t cap_;
+  std::uint32_t cap_;  // lint: transient — ctor capacity
 };
 
 }  // namespace mflush

@@ -43,7 +43,7 @@ class Rob {
 
  private:
   std::vector<UopHandle> buf_;
-  std::uint32_t cap_;
+  std::uint32_t cap_;  // lint: transient — ctor capacity
   std::uint32_t head_ = 0;
   std::uint32_t size_ = 0;
 };

@@ -181,14 +181,17 @@ class SmtCore final : public CoreControl {
     return const_cast<SmtCore*>(this)->queue_for(cls);
   }
 
-  CoreId id_;
-  SimConfig cfg_;
-  std::uint32_t fe_depth_;  ///< fetch+decode+rename stage count
+  CoreId id_;      // lint: transient — ctor identity
+  SimConfig cfg_;  // lint: transient — ctor config
+  // fetch+decode+rename stage count
+  std::uint32_t fe_depth_;  // lint: transient — ctor config
   MemoryHierarchy& mem_;
   std::unique_ptr<FetchPolicy> policy_;
+  // lint: transient — rebound by the owning chip on restore
   std::vector<TraceSource*> traces_;
 
   BranchUnit branch_;
+  // lint: transient — rebuilt deterministically from the trace seed
   BasicBlockDictionary bbdict_;
   UopPool pool_;
   PhysRegFile int_regs_;
@@ -198,7 +201,7 @@ class SmtCore final : public CoreControl {
   IssueQueue iq_int_;
   IssueQueue iq_fp_;
   IssueQueue iq_mem_;
-  FuBudget fu_;
+  FuBudget fu_;  // lint: transient — per-cycle budget, reset each tick
 
   std::vector<FrontEndQueue> frontend_;
   std::vector<ThreadFetchState> fstate_;
@@ -221,9 +224,9 @@ class SmtCore final : public CoreControl {
   std::vector<UopHandle> lsq_unissued_;
   std::unordered_map<std::uint64_t, UopHandle> load_by_token_;
 
-  std::vector<ExecEntry> scratch_due_;
-  std::vector<UopHandle> scratch_ready_;
-  std::vector<UopHandle> scratch_issue_;
+  std::vector<ExecEntry> scratch_due_;     // lint: transient — scratch
+  std::vector<UopHandle> scratch_ready_;   // lint: transient — scratch
+  std::vector<UopHandle> scratch_issue_;   // lint: transient — scratch
 
   Cycle now_ = 0;
   CoreStats stats_;

@@ -22,6 +22,10 @@ struct MicroOp {
   ThreadId tid = 0;
 
   PipeStage stage = PipeStage::Fetch;
+  // Explicit zero-initialized padding throughout: the pool is serialized
+  // by raw memcpy, so implicit holes would put uninitialized bytes in the
+  // snapshot and break canonical-bytes equality across processes.
+  std::uint8_t _pad0[3] = {};
   Cycle fetch_cycle = 0;
 
   PhysReg src_phys[2] = {kNoPhysReg, kNoPhysReg};
@@ -31,18 +35,22 @@ struct MicroOp {
   bool wrong_path = false;
   bool issued = false;
   bool completed = false;
+  std::uint8_t _pad1[5] = {};
   Cycle ready_at = kNeverCycle;  ///< execution completion time (non-loads)
 
   // Control state (branches/calls/returns).
   bool pred_taken = false;
+  std::uint8_t _pad2[7] = {};
   Addr pred_target = 0;
   bool mispredicted = false;  ///< known at fetch (trace-driven), acted at exec
+  std::uint8_t _pad3[7] = {};
   BranchUnit::Checkpoint bp_checkpoint{};
 
   // Memory state (loads).
   std::uint64_t mem_token = 0;  ///< hierarchy token once issued
 
   bool in_use = false;
+  std::uint8_t _pad4[7] = {};
 
   [[nodiscard]] bool is_load() const noexcept {
     return ins.cls == InstrClass::Load;

@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/env.h"
 #include "common/fsio.h"
 #include "sim/campaign.h"
 #include "sim/parallel.h"
@@ -348,7 +349,8 @@ std::string worker_binary_near(const std::string& exe) {
 }
 
 std::string default_worker_binary() {
-  if (const char* env = std::getenv("MFLUSH_WORKER_BIN")) return env;
+  if (std::string bin = env::str_or("MFLUSH_WORKER_BIN"); !bin.empty())
+    return bin;
   std::error_code ec;
   const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
   if (!ec) {

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdlib>
 #include <stdexcept>
 
+#include "common/env.h"
 #include "trace/spec2000.h"
 
 namespace mflush {
@@ -14,10 +14,8 @@ namespace {
 /// Process-wide default for the event-skip machinery: MFLUSH_NO_EVENT_SKIP=1
 /// forces every simulator into the lockstep loop (the ctest A/B toggle).
 bool default_event_skip() {
-  static const bool enabled = [] {
-    const char* v = std::getenv("MFLUSH_NO_EVENT_SKIP");
-    return v == nullptr || v[0] == '\0' || v[0] == '0';
-  }();
+  static const bool enabled =
+      !env::flag_or("MFLUSH_NO_EVENT_SKIP", false);
   return enabled;
 }
 

@@ -120,16 +120,18 @@ class CmpSimulator {
   void build(const std::vector<BenchmarkProfile>& profiles);
   void run_lockstep(Cycle end);
 
-  SimConfig cfg_;
-  Workload workload_;
-  PolicySpec policy_;
+  SimConfig cfg_;        // lint: transient — ctor config; loader rebuilds chip
+  Workload workload_;    // lint: transient — ctor config
+  PolicySpec policy_;    // lint: transient — ctor config
   MemoryHierarchy mem_;
   std::vector<std::unique_ptr<SyntheticTraceSource>> sources_;
   std::vector<std::unique_ptr<SmtCore>> cores_;
   std::vector<CoreClock> clocks_;  ///< one local clock per core
   Cycle now_ = 0;
   Cycle idle_skipped_ = 0;  ///< core-cycles skipped by the event kernel
+  // lint: transient — run mode, not state: skip on/off is metric-invariant
   bool event_skip_ = true;
+  // lint: transient — set by build() in the ctor, before any load_state
   bool profile_built_ = false;
 };
 

@@ -68,7 +68,10 @@ struct SampledConfig {
 ///  * warm job: `warm_only` set — warm `warmup` cycles and return the
 ///    captured snapshot in RunResult::payload (no measurement).
 struct JobSpec {
-  std::uint32_t id = 0;  ///< dense result-slot index within one experiment
+  /// Dense result-slot index within one experiment.
+  // lint: content-exempt — wire identity; the content key must be the
+  // same for identical work regardless of slot position
+  std::uint32_t id = 0;
   Workload workload;
   std::vector<BenchmarkProfile> profiles;
   PolicySpec policy;

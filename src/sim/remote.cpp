@@ -160,8 +160,8 @@ std::vector<HostSpec> read_hosts_file(const std::string& path) {
 }
 
 std::vector<HostSpec> hosts_from_env() {
-  const char* env = std::getenv("MFLUSH_HOSTS");
-  if (env == nullptr) return {};
+  const std::string env = env::str_or("MFLUSH_HOSTS");
+  if (env.empty()) return {};
   if (std::string_view(env).find('#') != std::string_view::npos) {
     // Comments are line-scoped and an env var is one line: a mid-string
     // '#' would silently comment out every later comma-separated entry,

@@ -26,7 +26,10 @@ namespace mflush::snapshot {
 
 /// v2: per-core local clocks (CmpSimulator sleep state) + WakeupWheel
 /// release cycles joined the stream.
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// v3: canonical bytes — every raw-memcpy'd record carries explicit
+/// zero-initialized padding and RunningStat is serialized field-wise, so
+/// equal warmed state yields byte-identical snapshots across processes.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// Serialize the full simulator state (header + state + checksum).
 [[nodiscard]] std::vector<std::uint8_t> capture(const CmpSimulator& sim);

@@ -20,6 +20,10 @@ struct TraceInstr {
   LogReg dst = kNoLogReg;
   std::array<LogReg, 2> src{kNoLogReg, kNoLogReg};
   bool taken = false;  ///< control: actual direction
+  // Explicit tail padding: TraceInstr is embedded in the memcpy-serialized
+  // MicroOp pool, so an implicit hole would put uninitialized bytes in the
+  // snapshot and break canonical-bytes equality across processes.
+  std::uint8_t _pad[3] = {};
 
   [[nodiscard]] bool has_dst() const noexcept { return dst != kNoLogReg; }
   [[nodiscard]] bool is_memory() const noexcept {

@@ -16,7 +16,8 @@ TEST(Mshr, AllocateFindRelease) {
   ASSERT_TRUE(slot.has_value());
   EXPECT_EQ(m.find(0x1000), slot);
   EXPECT_EQ(m.line_of_slot(*slot), 0x1000u);
-  m.attach(*slot, MshrWaiter{7, 0, 10, MemKind::Load});
+  m.attach(*slot, MshrWaiter{.token = 7, .tid = 0, .issue_cycle = 10,
+                             .kind = MemKind::Load});
   const auto waiters = m.release(*slot);
   ASSERT_EQ(waiters.size(), 1u);
   EXPECT_EQ(waiters[0].token, 7u);
@@ -45,7 +46,8 @@ TEST(Mshr, CoalescingMultipleWaiters) {
   Mshr m(4);
   const auto slot = *m.allocate(0x1000);
   for (std::uint64_t t = 1; t <= 5; ++t)
-    m.attach(slot, MshrWaiter{t, 0, t, MemKind::Load});
+    m.attach(slot, MshrWaiter{.token = t, .tid = 0, .issue_cycle = t,
+                              .kind = MemKind::Load});
   EXPECT_EQ(m.waiters(slot).size(), 5u);
   EXPECT_EQ(m.release(slot).size(), 5u);
 }

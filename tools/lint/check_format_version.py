@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Format-version gate: fail when a serialized layout changes without a bump.
+
+The binary archive has no framing — field order IS the format — so any
+change to a serialized layout silently invalidates every stored artifact
+(snapshots, warm-store entries, campaign journals, worker wire messages)
+unless the matching format-version constant is bumped and old artifacts are
+rejected at load time.
+
+This gate compares two git revisions (typically the PR base and HEAD):
+
+  1. parse every C++ source under src/ at both revisions (tools/lint/cpplite
+     structural parser — same engine as mflush_lint);
+  2. build a per-domain *layout signature*: for every type with a
+     save/load(-like) pair, the ordered list of serialized members plus the
+     normalized bodies of its serialization methods; for every type reached
+     by raw memcpy (put/put_vec/put_deque/put_map), the full ordered member
+     layout including explicit padding;
+  3. map each type to the version domain that owns its bytes (see
+     DOMAINS below) and compare signatures;
+  4. fail if a domain's signature changed but its version constant did not.
+
+Usage:
+    python3 tools/lint/check_format_version.py --base origin/main
+    python3 tools/lint/check_format_version.py --base HEAD~1 --head HEAD
+
+With no --head the working tree is used, so the gate runs identically in CI
+(fetch-depth 0, base = merge target) and locally before committing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cpplite  # noqa: E402
+import mflush_lint  # noqa: E402
+
+# Domain -> (version header, constant name). A domain owns the bytes of the
+# artifacts stamped with that constant.
+DOMAINS = {
+    "snapshot": ("src/sim/snapshot.h", "kFormatVersion"),
+    "campaign": ("src/sim/campaign.h", "kFormatVersion"),
+    "warmstore": ("src/sim/warmstore.h", "kFormatVersion"),
+    "worker": ("src/sim/backend.h", "kProtocolVersion"),
+    "trace": ("src/trace/trace_io.h", "kTraceVersion"),
+}
+
+# File-path ownership. First match wins; default is the snapshot stream
+# (chip state save_state/load_state chains all feed snapshot::capture).
+_PATH_DOMAINS = [
+    ("src/sim/warmstore", "warmstore"),
+    ("src/sim/campaign", "campaign"),
+    ("src/sim/backend", "worker"),
+    ("src/sim/remote", "worker"),
+    ("src/trace/trace_io", "trace"),
+    # JobSpec and its value types ride the worker wire protocol; its
+    # save_content (the content-address key) is special-cased to the
+    # campaign domain in _signatures below.
+    ("src/sim/experiment_spec", "worker"),
+]
+
+_SAVE_METHODS = ("save", "load", "save_state", "load_state", "save_content")
+
+
+def domain_of(path: str) -> str:
+    rel = path.replace("\\", "/")
+    for prefix, dom in _PATH_DOMAINS:
+        if rel.startswith(prefix):
+            return dom
+    return "snapshot"
+
+
+def _norm(text: str) -> str:
+    return re.sub(r"\s+", " ", text).strip()
+
+
+def _git(root: str, *args: str) -> str:
+    return subprocess.run(
+        ["git", "-C", root, *args],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+
+
+def _tree_at(root: str, rev: str | None) -> mflush_lint.TreeModel:
+    """Parse all src/ C++ sources at `rev` (None = working tree)."""
+    model = mflush_lint.TreeModel()
+    if rev is None:
+        for path in mflush_lint.collect_sources([os.path.join(root, "src")]):
+            rel = os.path.relpath(path, root)
+            model.add(cpplite.parse_file(rel, open(path).read()))
+        return model
+    listing = _git(root, "ls-tree", "-r", "--name-only", rev, "--", "src")
+    for rel in sorted(listing.splitlines()):
+        if not rel.endswith((".h", ".hpp", ".cpp", ".cc")):
+            continue
+        text = _git(root, "show", f"{rev}:{rel}")
+        model.add(cpplite.parse_file(rel, text))
+    return model
+
+
+def _signatures(model: mflush_lint.TreeModel) -> dict[str, dict[str, str]]:
+    """domain -> {qualified type name -> layout signature}."""
+    sigs: dict[str, dict[str, str]] = {d: {} for d in DOMAINS}
+
+    def put(dom: str, key: str, sig: str) -> None:
+        sigs[dom][key] = sigs[dom].get(key, "") + sig
+
+    # Types with explicit serialization methods: serialized member list
+    # (transient members are not in the stream) + normalized method bodies
+    # with delegated helpers expanded.
+    for ci in model.classes.values():
+        methods = model.methods_of(ci)
+        save_ish = {n: m for n, m in methods.items() if n in _SAVE_METHODS}
+        if not save_ish:
+            continue
+        dom = domain_of(ci.file)
+        members = ";".join(
+            f"{m.name}:{_norm(m.type)}"
+            for m in mflush_lint._checked_members(ci)
+        )
+        for name in sorted(save_ish):
+            body = _norm(
+                mflush_lint._expand_helpers(save_ish[name].body, model.helpers)
+            )
+            # The content key deliberately omits wire identity and is
+            # consumed by the campaign result cache, not the worker wire.
+            mdom = "campaign" if name == "save_content" else dom
+            put(mdom, ci.qualified, f"[{name}]{body}")
+        put(dom, ci.qualified, f"[members]{members}")
+    for pair in model.free_pairs.values():
+        ci = model.resolve(pair.target_type)
+        dom = domain_of(ci.file) if ci else "snapshot"
+        for method in (pair.save, pair.load):
+            if method is None:
+                continue
+            body = _norm(mflush_lint._expand_helpers(method.body, model.helpers))
+            put(dom, f"free:{pair.suffix}", f"[{method.name}]{body}")
+
+    # Raw-memcpy'd types: every byte of the object lands in the stream, so
+    # the signature is the full ordered member layout, padding included.
+    for qname in mflush_lint.collect_memcpy_types(model):
+        ci = model.classes.get(qname)
+        if ci is None:
+            continue
+        layout = ";".join(f"{m.name}:{_norm(m.type)}" for m in ci.members)
+        put(domain_of(ci.file), qname, f"[memcpy]{layout}")
+    return sigs
+
+
+def _version_at(root: str, rev: str | None, dom: str) -> int | None:
+    header, const = DOMAINS[dom]
+    try:
+        if rev is None:
+            text = open(os.path.join(root, header)).read()
+        else:
+            text = _git(root, "show", f"{rev}:{header}")
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    m = re.search(rf"\b{const}\s*=\s*(\d+)", text)
+    return int(m.group(1)) if m else None
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--base", required=True, help="base git revision")
+    ap.add_argument(
+        "--head", default=None, help="head revision (default: working tree)"
+    )
+    ap.add_argument("--root", default=None, help="repo root (default: cwd)")
+    args = ap.parse_args(argv)
+    root = os.path.abspath(args.root or os.getcwd())
+
+    try:
+        base_model = _tree_at(root, args.base)
+    except subprocess.CalledProcessError as e:
+        print(f"check_format_version: cannot read base {args.base!r}: "
+              f"{e.stderr.strip()}", file=sys.stderr)
+        return 2
+    head_model = _tree_at(root, args.head)
+    base_sigs = _signatures(base_model)
+    head_sigs = _signatures(head_model)
+
+    failures = 0
+    for dom in DOMAINS:
+        old, new = base_sigs[dom], head_sigs[dom]
+        if old == new:
+            continue
+        v_old = _version_at(root, args.base, dom)
+        v_new = _version_at(root, args.head, dom)
+        changed = sorted(
+            k for k in old.keys() | new.keys() if old.get(k) != new.get(k)
+        )
+        if v_old is None:
+            continue  # domain born in this change; its version is fresh
+        if v_old == v_new:
+            header, const = DOMAINS[dom]
+            print(
+                f"check_format_version: serialized layout of domain "
+                f"'{dom}' changed but {header}:{const} is still {v_new}.\n"
+                f"  changed types: {', '.join(changed)}\n"
+                f"  Bump {const} (old artifacts must be rejected, not "
+                f"misread) or revert the layout change."
+            )
+            failures += 1
+        else:
+            print(
+                f"check_format_version: domain '{dom}' layout changed, "
+                f"version bumped {v_old} -> {v_new} "
+                f"({len(changed)} type(s)) — ok"
+            )
+    if failures == 0:
+        print("check_format_version: all serialized-layout domains clean")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

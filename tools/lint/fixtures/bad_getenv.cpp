@@ -1,0 +1,13 @@
+// Fixture: raw std::getenv call outside common/env.h. Expected findings:
+// 1 (raw getenv).
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+std::string worker_binary() {
+  const char* v = std::getenv("MFLUSH_WORKER_BIN");
+  return v ? std::string(v) : std::string();
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: `dropped_` is serialized in neither save() nor load() and is not
+// annotated transient. Expected findings: 2 (missing from save, missing
+// from load).
+#pragma once
+
+#include <cstdint>
+
+#include "tools/lint/fixtures/archive_stub.h"
+
+namespace fixture {
+
+class MissingField {
+ public:
+  void save(ArchiveWriter& ar) const { ar.put(kept_); }
+  void load(ArchiveReader& ar) { kept_ = ar.get<std::uint64_t>(); }
+
+ private:
+  std::uint64_t kept_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: Holey has a 7-byte compiler-inserted hole between `flag` and
+// `value`, and is serialized by raw memcpy via put_vec — the hole's garbage
+// bytes land in the stream. Expected findings: 1 (padding hole).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tools/lint/fixtures/archive_stub.h"
+
+namespace fixture {
+
+struct Holey {
+  std::uint8_t flag = 0;
+  std::uint64_t value = 0;
+};
+
+class PaddedOwner {
+ public:
+  void save(ArchiveWriter& ar) const { ar.put_vec(entries_); }
+  void load(ArchiveReader& ar) { ar.get_vec(entries_); }
+
+ private:
+  std::vector<Holey> entries_;
+};
+
+}  // namespace fixture

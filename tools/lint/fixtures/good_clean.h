@@ -1,0 +1,35 @@
+// Fixture: a fully clean serializable class. Expected findings: none.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tools/lint/fixtures/archive_stub.h"
+
+namespace fixture {
+
+/// Raw-memcpy'd record with explicit zero-initialized padding: 8 + 4 + 4.
+struct Rec {
+  std::uint64_t key = 0;
+  std::uint32_t count = 0;
+  std::uint8_t _pad[4] = {};
+};
+
+class Good {
+ public:
+  void save(ArchiveWriter& ar) const {
+    ar.put_vec(recs_);
+    ar.put(total_);
+  }
+  void load(ArchiveReader& ar) {
+    ar.get_vec(recs_);
+    total_ = ar.get<std::uint64_t>();
+  }
+
+ private:
+  std::uint32_t capacity_ = 0;  // lint: transient — ctor config
+  std::vector<Rec> recs_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fixture

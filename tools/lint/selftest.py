@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""mflush-lint self-test: run the linter over intentional-violation fixtures
+and assert that each check fires exactly where it should (and nowhere on the
+clean fixture). Registered in ctest as lint.selftest.
+
+Usage: python3 tools/lint/selftest.py [--cxx g++]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+LINT = os.path.join(ROOT, "tools", "lint", "mflush_lint.py")
+FIXDIR = os.path.join("tools", "lint", "fixtures")
+
+# fixture file -> (expected exit code, substrings every run must print,
+#                  substrings that must NOT appear)
+CASES = {
+    "good_clean.h": (0, [], ["finding"]),
+    "bad_missing_field.h": (
+        1,
+        [
+            "member `dropped_` is not referenced in save()",
+            "member `dropped_` is not referenced in load()",
+        ],
+        ["kept_"],
+    ),
+    "bad_reordered.h": (
+        1,
+        [
+            "save/load reference members in different orders",
+            "save: a_, b_; load: b_, a_",
+        ],
+        [],
+    ),
+    "bad_padded.h": (
+        1,
+        ["struct Holey", "padding", "flag", "value"],
+        ["class PaddedOwner"],
+    ),
+    "bad_getenv.cpp": (
+        1,
+        ["getenv", "common/env.h"],
+        [],
+    ),
+}
+
+
+def run_case(fixture: str, cxx: str) -> list[str]:
+    expect_rc, must, must_not = CASES[fixture]
+    proc = subprocess.run(
+        [
+            sys.executable,
+            LINT,
+            "--root",
+            ROOT,
+            "--src",
+            os.path.join(FIXDIR, fixture),
+            "--cxx",
+            cxx,
+        ],
+        capture_output=True,
+        text=True,
+    )
+    out = proc.stdout + proc.stderr
+    errors = []
+    if proc.returncode != expect_rc:
+        errors.append(
+            f"{fixture}: exit {proc.returncode}, expected {expect_rc}\n{out}"
+        )
+    for s in must:
+        if s not in out:
+            errors.append(f"{fixture}: expected output to contain {s!r}\n{out}")
+    for s in must_not:
+        # The trailing summary line always contains "finding(s)"; the clean
+        # fixture asserts on the zero count instead.
+        if fixture == "good_clean.h" and s == "finding":
+            if "0 finding(s)" not in out:
+                errors.append(f"{fixture}: expected 0 findings\n{out}")
+            continue
+        if s in out:
+            errors.append(f"{fixture}: output must not contain {s!r}\n{out}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--cxx", default=os.environ.get("CXX", "c++"))
+    args = ap.parse_args(argv)
+
+    failures: list[str] = []
+    for fixture in sorted(CASES):
+        errs = run_case(fixture, args.cxx)
+        status = "ok" if not errs else "FAIL"
+        print(f"lint-selftest: {fixture}: {status}")
+        failures.extend(errs)
+    for f in failures:
+        print(f"lint-selftest: {f}", file=sys.stderr)
+    print(
+        f"lint-selftest: {len(CASES)} fixtures, {len(failures)} failure(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
