@@ -423,10 +423,13 @@ void resolve_parent_snapshots(std::vector<JobSpec>& jobs,
   }
 
   for (JobSpec& j : jobs) {
-    if (j.parent_key != 0 && !j.snapshot) j.snapshot = bytes_of.at(j.parent_key);
+    if (j.parent_key != 0 && !j.snapshot)
+      j.snapshot = bytes_of.at(j.parent_key);
   }
   if (options.on_event) {
-    options.on_event(std::to_string(order.size()) + " parent(s): " +
+    const std::string tag =
+        options.label.empty() ? "" : "[" + options.label + "] ";
+    options.on_event(tag + std::to_string(order.size()) + " parent(s): " +
                      std::to_string(reused) + " reused, " +
                      std::to_string(warm_jobs.size()) + " warmed");
   }
@@ -590,7 +593,7 @@ std::vector<std::pair<std::uint32_t, RunResult>> read_result_file(
 }
 
 int run_worker(const std::string& job_path, const std::string& result_path,
-               const std::string& store_dir) {
+               const std::string& store_dir, bool write_parts) {
   try {
     std::vector<JobSpec> jobs = read_job_file(job_path);
     std::optional<WarmStore> store;
@@ -620,6 +623,13 @@ int run_worker(const std::string& job_path, const std::string& result_path,
       // scheduler can ship later forks of this parent by hash.
       if (store && job.warm_only && job.parent_key != 0)
         store->put(job.parent_key, results.back().second.payload);
+      // Streaming transports watch for these one-entry part files; the
+      // atomic rename inside write_result_file is what makes existence
+      // imply completeness on the coordinator side.
+      if (write_parts && !job.warm_only) {
+        write_result_file(result_path + ".r" + std::to_string(job.id),
+                          {results.back()});
+      }
     }
     write_result_file(result_path, results);
     return 0;

@@ -207,6 +207,10 @@ struct RunOptions {
   /// Warm-phase narration ("N parent(s): H reused, W warmed"). The CLI
   /// wires report::event_printer(std::cerr, "warm-store: ").
   std::function<void(const std::string&)> on_event;
+  /// Tenant tag prefixed onto warm-phase event lines ("[label] N
+  /// parent(s): ..."): mflushd sets the campaign id here so concurrent
+  /// tenants' warm narration stays attributable. Empty = classic lines.
+  std::string label;
 };
 
 /// The sampled-mode warm phase: attach parent snapshot bytes to every
@@ -297,8 +301,15 @@ decode_results(std::span<const std::uint8_t> bytes, const std::string& what);
 /// host), by-reference forks resolve their bytes from it, and warm-job
 /// payloads are stored after capture. Without a store, by-ref forks fall
 /// back to run_job's deterministic in-process re-warm.
+/// With `write_parts` (`--worker-parts`), every measured job's result is
+/// additionally written — atomically, as a one-entry result archive — to
+/// `result_path + ".r<job_id>"` the moment the job finishes, so a
+/// coordinator sharing the filesystem (LocalTransport) can stream results
+/// before the batch completes. The part entry is the same RunResult the
+/// final file carries, encoded by the same writer: byte-identical. The
+/// final result file remains authoritative; parts are never the only copy.
 int run_worker(const std::string& job_path, const std::string& result_path,
-               const std::string& store_dir = {});
+               const std::string& store_dir = {}, bool write_parts = false);
 
 }  // namespace worker
 }  // namespace mflush

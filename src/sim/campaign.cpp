@@ -35,19 +35,19 @@ constexpr std::size_t kMaxRecordBytes = 1u << 20;
 [[nodiscard]] std::string spec_path(const std::string& dir) {
   return (fs::path(dir) / "spec.mfc").string();
 }
-[[nodiscard]] std::string cache_dir(const std::string& dir) {
+[[nodiscard]] std::string default_cache_dir(const std::string& dir) {
   return (fs::path(dir) / "cache").string();
 }
-[[nodiscard]] std::string cache_path(const std::string& dir,
-                                     std::uint64_t key) {
-  return (fs::path(dir) / "cache" / (key_hex(key) + ".mfcr")).string();
+[[nodiscard]] std::string cache_entry_path(const std::string& cache_dir,
+                                           std::uint64_t key) {
+  return (fs::path(cache_dir) / (key_hex(key) + ".mfcr")).string();
 }
 
 /// Remove write-temp debris a crashed writer left in the cache (the rename
 /// never happened, so the entries are garbage by construction).
-void sweep_temp_debris(const std::string& dir) {
+void sweep_temp_debris(const std::string& cache_dir) {
   std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(cache_dir(dir), ec)) {
+  for (const auto& entry : fs::directory_iterator(cache_dir, ec)) {
     if (entry.path().filename().string().find(".tmp.") != std::string::npos)
       fs::remove(entry.path(), ec);
   }
@@ -146,6 +146,9 @@ Frontier replay(std::span<const std::uint8_t> bytes) {
 CampaignStore::CampaignStore(std::string dir, ExperimentSpec spec,
                              Options options)
     : dir_(std::move(dir)),
+      cache_dir_(options.cache_dir.empty()
+                     ? campaign::default_cache_dir(dir_)
+                     : options.cache_dir),
       spec_(std::move(spec)),
       opts_(std::move(options)),
       kill_after_(
@@ -153,6 +156,7 @@ CampaignStore::CampaignStore(std::string dir, ExperimentSpec spec,
 
 CampaignStore::CampaignStore(CampaignStore&& other) noexcept
     : dir_(std::move(other.dir_)),
+      cache_dir_(std::move(other.cache_dir_)),
       spec_(std::move(other.spec_)),
       opts_(std::move(other.opts_)),
       frontier_(std::move(other.frontier_)),
@@ -173,9 +177,10 @@ CampaignStore CampaignStore::create(const std::string& dir,
                                     Options options) {
   namespace fs = std::filesystem;
   spec.validate();
-  fs::create_directories(campaign::cache_dir(dir));
 
   CampaignStore store(dir, spec, std::move(options));
+  fs::create_directories(dir);
+  fs::create_directories(store.cache_dir_);
   const std::string journal = campaign::journal_path(dir);
   const std::vector<std::uint8_t> spec_bytes = spec.to_bytes();
   if (fs::exists(journal)) {
@@ -206,7 +211,7 @@ CampaignStore CampaignStore::create(const std::string& dir,
   }
   fsio::write_file_atomic(campaign::spec_path(dir), spec_bytes,
                           /*durable=*/true);
-  campaign::sweep_temp_debris(dir);
+  campaign::sweep_temp_debris(store.cache_dir_);
   store.open_journal(/*fresh=*/true, 0);
   return store;
 }
@@ -224,6 +229,7 @@ CampaignStore CampaignStore::resume(const std::string& dir,
       fsio::read_file_bytes(campaign::spec_path(dir), "campaign spec");
   CampaignStore store(dir, ExperimentSpec::from_bytes(spec_bytes),
                       std::move(options));
+  fs::create_directories(store.cache_dir_);
 
   const auto journal_bytes =
       fsio::read_file_bytes(campaign::journal_path(dir), "campaign journal");
@@ -234,7 +240,7 @@ CampaignStore CampaignStore::resume(const std::string& dir,
                 std::to_string(journal_bytes.size()) +
                 " — truncating to the last consistent record");
   }
-  campaign::sweep_temp_debris(dir);
+  campaign::sweep_temp_debris(store.cache_dir_);
   // A headerless journal (crash before the header fsync) starts over; an
   // intact one is truncated to its consistent prefix so appends land
   // directly after the last good record.
@@ -341,7 +347,7 @@ void CampaignStore::record_done(const JobSpec& job, const RunResult& result) {
   // done record, so a durable done record always points at a durable file.
   const std::vector<std::uint8_t> bytes =
       worker::encode_results({{0, result}});
-  fsio::write_file_atomic(campaign::cache_path(dir_, key), bytes,
+  fsio::write_file_atomic(campaign::cache_entry_path(cache_dir_, key), bytes,
                           /*durable=*/true);
 
   campaign::JournalRecord rec;
@@ -369,7 +375,7 @@ void CampaignStore::record_failed(const JobSpec& job, unsigned attempts) {
 
 std::optional<RunResult> CampaignStore::cached(const JobSpec& job) const {
   const std::uint64_t key = campaign::job_key(job);
-  const std::string path = campaign::cache_path(dir_, key);
+  const std::string path = campaign::cache_entry_path(cache_dir_, key);
   std::error_code ec;
   if (!std::filesystem::exists(path, ec)) return std::nullopt;
   try {

@@ -20,7 +20,9 @@
 ///   DIR/journal.wal   append-only, checksummed, fsync-per-record journal
 ///                     of job state transitions
 ///   DIR/cache/        content-addressed result store, one file per
-///                     completed job keyed by job_key() hex
+///                     completed job keyed by job_key() hex (relocatable
+///                     via Options::cache_dir — mflushd shares one cache
+///                     across every tenant's campaign)
 ///
 /// The journal is a classic write-ahead log at file granularity: every
 /// record is length-prefixed and carries its own FNV-1a checksum, appended
@@ -115,6 +117,14 @@ class CampaignStore {
     /// Serialized narration ("campaign: ..." lines): resume frontier,
     /// torn-tail truncation, cache-hit counts.
     std::function<void(const std::string&)> on_event;
+    /// Where content-addressed result entries live. Empty (the default)
+    /// keeps the classic private DIR/cache. mflushd points every tenant's
+    /// campaign at one shared directory so overlapping submissions dedup
+    /// against each other: entries are keyed by job content and published
+    /// by atomic rename, so concurrent same-key writers are benign (last
+    /// rename wins with identical bytes) and a reader either sees a whole
+    /// entry or a miss.
+    std::string cache_dir;
   };
 
   /// Start a campaign in `dir` (created if missing). If `dir` already
@@ -141,6 +151,9 @@ class CampaignStore {
 
   [[nodiscard]] const ExperimentSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] const std::string& cache_dir() const noexcept {
+    return cache_dir_;
+  }
   [[nodiscard]] const campaign::Frontier& frontier() const noexcept {
     return frontier_;
   }
@@ -170,6 +183,7 @@ class CampaignStore {
   void append(const std::vector<campaign::JournalRecord>& records);
 
   std::string dir_;
+  std::string cache_dir_;
   ExperimentSpec spec_;
   Options opts_;
   campaign::Frontier frontier_;

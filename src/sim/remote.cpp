@@ -3,6 +3,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -207,7 +209,7 @@ void LocalTransport::run_batch(const HostSpec& host,
                          what);
   }
   std::vector<std::string> args = {"--worker", job_path, "--worker-out",
-                                   result_path};
+                                   result_path, "--worker-parts"};
   if (!host.warm_store_dir.empty())
     args.insert(args.end(), {"--worker-store", host.warm_store_dir});
   const int code = proc::spawn_and_wait(bin_, args, what);
@@ -374,6 +376,23 @@ struct UploadRecord {
   std::size_t bytes = 0;
 };
 
+/// Job ids already streamed into the sink this run. Incremental partial
+/// streaming means a failed batch may have delivered some of its results
+/// before dying — and its retry (or split halves) will produce them
+/// again. Results are deterministic, but ResultSink::push throws on a
+/// duplicate slot, so every push is gated by claim(): exactly one copy of
+/// each job's result enters the sink no matter how many attempts touched
+/// it.
+struct Delivered {
+  std::mutex m;
+  std::unordered_set<std::uint32_t> ids;
+
+  [[nodiscard]] bool claim(std::uint32_t id) {
+    const std::lock_guard lk(m);
+    return ids.insert(id).second;
+  }
+};
+
 /// One attempt of one batch: stage the job file, move it through the
 /// transport, validate and stream the results. Throws on any failure with
 /// the batch untouched; the scratch pair never outlives the attempt.
@@ -381,7 +400,8 @@ void run_batch_once(HostState& host, const Batch& batch,
                     const std::vector<JobSpec>& all_jobs,
                     const std::filesystem::path& scratch, bool keep_files,
                     WarmStore* coordinator_store,
-                    std::vector<UploadRecord>& uploads, ResultSink& sink) {
+                    std::vector<UploadRecord>& uploads, Delivered& delivered,
+                    ResultSink& sink) {
   host.ensure_prepared();
   const auto first =
       all_jobs.begin() + static_cast<std::ptrdiff_t>(batch.begin);
@@ -392,7 +412,22 @@ void run_batch_once(HostState& host, const Batch& batch,
       std::to_string(batch.attempts);
   const std::string job_path = stem + ".mfj";
   const std::string result_path = stem + ".mfr";
-  const ScratchGuard guard({job_path, result_path}, keep_files);
+
+  // Per-job partial results (transports that stream them): the worker
+  // writes `result_path.r<id>` atomically as each measured job finishes.
+  // The attempt-unique stem keeps one attempt's parts from ever being
+  // read as another's.
+  const bool streaming = host.transport->streams_partials();
+  std::vector<std::pair<const JobSpec*, std::string>> parts;
+  std::vector<std::string> guard_paths = {job_path, result_path};
+  if (streaming) {
+    for (auto it = first; it != last; ++it) {
+      if (it->warm_only) continue;
+      parts.emplace_back(&*it, result_path + ".r" + std::to_string(it->id));
+      guard_paths.push_back(parts.back().second);
+    }
+  }
+  const ScratchGuard guard(std::move(guard_paths), keep_files);
 
   // The only copy of the slice, alive just while staging the job file
   // (the snapshot payloads inside are shared_ptr-shared, not duplicated).
@@ -420,8 +455,58 @@ void run_batch_once(HostState& host, const Batch& batch,
     }
   }
   worker::write_job_file(job_path, slice);
+
+  // While the worker runs, stream any per-job part that appears. Each
+  // part is one atomically-renamed one-entry MFLUSRES file, so existence
+  // implies completeness; a part that fails to decode is ignored (the
+  // authoritative batch file catches up below, or the attempt fails).
+  // Every push is claim()-gated — the final loop below claims whatever
+  // the watcher did not.
+  std::atomic<bool> worker_done{false};
+  std::thread watcher;
+  if (!parts.empty()) {
+    watcher = std::thread([&] {
+      std::vector<bool> seen(parts.size(), false);
+      std::size_t remaining = parts.size();
+      while (remaining > 0) {
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+          if (seen[i]) continue;
+          std::error_code ec;
+          if (!std::filesystem::exists(parts[i].second, ec)) continue;
+          seen[i] = true;
+          --remaining;
+          const JobSpec& job = *parts[i].first;
+          try {
+            auto part = worker::read_result_file(parts[i].second);
+            if (part.size() != 1 || part.front().first != job.id)
+              throw std::runtime_error("part/job mismatch");
+            if (delivered.claim(job.id))
+              sink.push(job, std::move(part.front().second));
+          } catch (const std::exception&) {
+            // Not an attempt failure: the batch file stays authoritative.
+          }
+        }
+        if (worker_done.load()) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+  struct WatcherJoin {
+    std::atomic<bool>& done;
+    std::thread& t;
+    ~WatcherJoin() {
+      done.store(true);
+      if (t.joinable()) t.join();
+    }
+  } watcher_join{worker_done, watcher};
+
   host.transport->run_batch(host.spec, job_path, result_path,
                             batch.describe(all_jobs));
+
+  // Quiesce the watcher before touching the final file: from here on this
+  // thread owns all pushes for the batch.
+  worker_done.store(true);
+  if (watcher.joinable()) watcher.join();
 
   auto results = worker::read_result_file(result_path);
   const std::size_t expected = batch.end - batch.begin;
@@ -431,9 +516,12 @@ void run_batch_once(HostState& host, const Batch& batch,
                              std::to_string(expected) + " jobs in " +
                              batch.describe(all_jobs));
   }
-  // Validate the whole answer set before streaming any of it: a malformed
+  // Validate the whole answer set before pushing from it: a malformed
   // result file must fail the attempt cleanly, never half-poison the sink
-  // ahead of the retry.
+  // ahead of the retry. (Parts the watcher already streamed were each
+  // validated individually — an id-matching one-entry archive — and
+  // results are deterministic, so a part surviving a failed attempt is
+  // still the correct result for its job.)
   std::unordered_map<std::uint32_t, const JobSpec*> by_id;
   for (auto it = first; it != last; ++it) by_id.emplace(it->id, &*it);
   std::vector<const JobSpec*> answered;
@@ -449,8 +537,10 @@ void run_batch_once(HostState& host, const Batch& batch,
     answered.push_back(it->second);
     by_id.erase(it);
   }
-  for (std::size_t i = 0; i < results.size(); ++i)
-    sink.push(*answered[i], std::move(results[i].second));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (delivered.claim(answered[i]->id))
+      sink.push(*answered[i], std::move(results[i].second));
+  }
 
   // Success: every parent this batch referenced is now durably in the
   // host-side store — the worker installs embedded copies before running
@@ -468,7 +558,8 @@ void host_slot_loop(Scheduler& sched, HostState& host,
                     const std::vector<JobSpec>& all_jobs,
                     const std::filesystem::path& scratch, bool keep_files,
                     unsigned max_attempts, unsigned host_max_failures,
-                    WarmStore* coordinator_store, ResultSink& sink) {
+                    WarmStore* coordinator_store, Delivered& delivered,
+                    ResultSink& sink) {
   for (;;) {
     Batch batch;
     {
@@ -487,7 +578,7 @@ void host_slot_loop(Scheduler& sched, HostState& host,
     std::string error_text;
     try {
       run_batch_once(host, batch, all_jobs, scratch, keep_files,
-                     coordinator_store, uploads, sink);
+                     coordinator_store, uploads, delivered, sink);
     } catch (const std::exception& e) {
       error = std::current_exception();
       error_text = e.what();
@@ -632,6 +723,7 @@ void RemoteBackend::run(const std::vector<JobSpec>& jobs, ResultSink& sink) {
       remote::batch_ranges(jobs.size(), opts_.batch_jobs, total_slots);
 
   Scheduler sched;
+  Delivered delivered;
   sched.total = ranges.size();
   sched.next_batch_number = ranges.size();
   sched.live_hosts = hosts.size();
@@ -671,7 +763,7 @@ void RemoteBackend::run(const std::vector<JobSpec>& jobs, ResultSink& sink) {
       slots.emplace_back([&, host] {
         host_slot_loop(sched, *host, jobs, scratch, opts_.keep_files,
                        opts_.max_attempts, opts_.host_max_failures,
-                       opts_.warm_store, sink);
+                       opts_.warm_store, delivered, sink);
       });
     }
   }

@@ -114,6 +114,16 @@ class Transport {
   virtual void run_batch(const HostSpec& host, const std::string& job_path,
                          const std::string& result_path,
                          const std::string& what) = 0;
+
+  /// Whether run_batch makes per-job partial results visible at
+  /// `result_path + ".r<job_id>"` *while the batch runs* (one-entry
+  /// MFLUSRES archives, written atomically as each measured job lands).
+  /// The scheduler then streams each job into the ResultSink the moment
+  /// its part validates instead of waiting for the whole batch file —
+  /// which stays authoritative: parts are an optimization, never the only
+  /// copy. Transports whose results only exist locally after the batch
+  /// completes (ssh: the file is pulled at the end) report false.
+  [[nodiscard]] virtual bool streams_partials() const { return false; }
 };
 
 /// Loopback transport: the batch runs as a `mflushsim --worker` subprocess
@@ -130,6 +140,10 @@ class LocalTransport final : public Transport {
   void run_batch(const HostSpec& host, const std::string& job_path,
                  const std::string& result_path,
                  const std::string& what) override;
+
+  /// The worker writes straight into the coordinator's scratch dir, so
+  /// its per-job part files are observable live (--worker-parts).
+  [[nodiscard]] bool streams_partials() const override { return true; }
 
  private:
   std::string bin_;

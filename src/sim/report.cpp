@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -72,10 +73,13 @@ std::function<void(const std::string&)> event_printer(std::ostream& os) {
 
 std::function<void(const std::string&)> event_printer(std::ostream& os,
                                                       std::string prefix) {
-  // Every event source serializes its on_event calls (the remote scheduler
-  // under its lock, CampaignStore under the journal mutex), so the stream
-  // needs no extra synchronization here.
+  // Each source serializes its own on_event calls, but mflushd runs many
+  // sources (campaign runners, the mux, per-tenant warm stores) into one
+  // stream concurrently — a process-wide mutex keeps every line atomic so
+  // interleaved tenants stay attributable.
+  static std::mutex stream_mutex;
   return [&os, prefix = std::move(prefix)](const std::string& line) {
+    const std::lock_guard lk(stream_mutex);
     os << prefix << line << '\n';
   };
 }
@@ -219,12 +223,18 @@ std::string summarize(const RunResult& r) {
 }
 
 std::string summarize(const WarmStore::Stats& stats) {
+  return summarize(stats, std::string());
+}
+
+std::string summarize(const WarmStore::Stats& stats,
+                      const std::string& label) {
   std::ostringstream os;
-  os << "warm store: " << stats.hits << " hit(s), " << stats.misses
-     << " miss(es), " << stats.stored << " entr"
-     << (stats.stored == 1 ? "y" : "ies") << " written ("
-     << stats.bytes_written << " bytes), " << stats.corrupt_discarded
-     << " corrupt discarded";
+  os << "warm store";
+  if (!label.empty()) os << '[' << label << ']';
+  os << ": " << stats.hits << " hit(s), " << stats.misses << " miss(es), "
+     << stats.stored << " entr" << (stats.stored == 1 ? "y" : "ies")
+     << " written (" << stats.bytes_written << " bytes), "
+     << stats.corrupt_discarded << " corrupt discarded";
   return os.str();
 }
 

@@ -83,6 +83,15 @@ WarmStore::WarmStore(std::string dir, Options options)
   std::filesystem::create_directories(dir_);
 }
 
+void WarmStore::event(const std::string& line) const {
+  if (!opts_.on_event) return;
+  if (opts_.label.empty()) {
+    opts_.on_event(line);
+  } else {
+    opts_.on_event("[" + opts_.label + "] " + line);
+  }
+}
+
 std::string WarmStore::path_of(std::uint64_t key) const {
   return (std::filesystem::path(dir_) / (campaign::key_hex(key) + ".mfws"))
       .string();
@@ -140,10 +149,8 @@ std::shared_ptr<const std::vector<std::uint8_t>> WarmStore::lookup(
     std::filesystem::remove(path, ec);
     ++stats_.corrupt_discarded;
     ++stats_.misses;
-    if (opts_.on_event) {
-      opts_.on_event("entry " + campaign::key_hex(key) + " corrupt (" +
-                     e.what() + ") -- discarded for re-warm");
-    }
+    event("entry " + campaign::key_hex(key) + " corrupt (" + e.what() +
+          ") -- discarded for re-warm");
     return nullptr;
   }
 }

@@ -1,0 +1,162 @@
+#include "sim/wire.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/sockio.h"
+
+namespace mflush::daemon {
+namespace {
+
+constexpr std::size_t kLenBytes = sizeof(std::uint32_t);
+constexpr std::size_t kSumBytes = sizeof(std::uint64_t);
+
+bool valid_type(std::uint8_t t) noexcept {
+  return t >= static_cast<std::uint8_t>(MsgType::kSubmit) &&
+         t <= static_cast<std::uint8_t>(MsgType::kOk);
+}
+
+Extract bad(std::string error) {
+  Extract e;
+  e.status = ExtractStatus::kBad;
+  e.error = std::move(error);
+  return e;
+}
+
+}  // namespace
+
+const char* type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kSubmit:
+      return "SUBMIT";
+    case MsgType::kStatus:
+      return "STATUS";
+    case MsgType::kCancel:
+      return "CANCEL";
+    case MsgType::kList:
+      return "LIST";
+    case MsgType::kShutdown:
+      return "SHUTDOWN";
+    case MsgType::kSubmitted:
+      return "SUBMITTED";
+    case MsgType::kStatusReply:
+      return "STATUS_REPLY";
+    case MsgType::kResult:
+      return "RESULT";
+    case MsgType::kDone:
+      return "DONE";
+    case MsgType::kError:
+      return "ERROR";
+    case MsgType::kOk:
+      return "OK";
+  }
+  return "?";
+}
+
+void Message::save(ArchiveWriter& ar) const {
+  ar.put(static_cast<std::uint8_t>(type));
+  ar.put_string(campaign);
+  ar.put_string(text);
+  ar.put(job_id);
+  ar.put(total);
+  ar.put(done);
+  ar.put(executed);
+  ar.put(cached);
+  ar.put(follow);
+  ar.put_vec(blob);
+}
+
+Message Message::load(ArchiveReader& ar) {
+  Message m;
+  const auto t = ar.get<std::uint8_t>();
+  if (!valid_type(t))
+    throw std::runtime_error("unknown message type " + std::to_string(t));
+  m.type = static_cast<MsgType>(t);
+  m.campaign = ar.get_string();
+  m.text = ar.get_string();
+  m.job_id = ar.get<std::uint32_t>();
+  m.total = ar.get<std::uint64_t>();
+  m.done = ar.get<std::uint64_t>();
+  m.executed = ar.get<std::uint64_t>();
+  m.cached = ar.get<std::uint64_t>();
+  m.follow = ar.get<std::uint8_t>();
+  ar.get_vec(m.blob);
+  return m;
+}
+
+std::vector<std::uint8_t> encode_frame(const Message& msg) {
+  ArchiveWriter payload;
+  payload.put(kFrameMagic);
+  payload.put(kProtocolVersion);
+  msg.save(payload);
+  const std::vector<std::uint8_t>& body = payload.bytes();
+  if (body.size() > kMaxFrameBytes)
+    throw std::runtime_error("MFLUSNET frame exceeds " +
+                             std::to_string(kMaxFrameBytes) + " bytes");
+
+  ArchiveWriter frame;
+  frame.put(static_cast<std::uint32_t>(body.size()));
+  frame.put_bytes(body.data(), body.size());
+  frame.put(fnv1a(body));
+  return frame.take();
+}
+
+Extract try_extract(std::span<const std::uint8_t> buffer) {
+  Extract out;
+  if (buffer.size() < kLenBytes) return out;  // kNeedMore
+  std::uint32_t len = 0;
+  std::memcpy(&len, buffer.data(), kLenBytes);
+  if (len == 0 || len > kMaxFrameBytes)
+    return bad("MFLUSNET frame length " + std::to_string(len) +
+               " out of range");
+  const std::size_t whole = kLenBytes + static_cast<std::size_t>(len) +
+                            kSumBytes;
+  if (buffer.size() < whole) return out;  // kNeedMore
+
+  const std::span<const std::uint8_t> body = buffer.subspan(kLenBytes, len);
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, buffer.data() + kLenBytes + len, kSumBytes);
+  if (fnv1a(body) != stored) return bad("MFLUSNET frame checksum mismatch");
+
+  ArchiveReader ar(body);
+  try {
+    if (ar.get<std::uint64_t>() != kFrameMagic)
+      return bad("bad MFLUSNET frame magic");
+    const auto version = ar.get<std::uint32_t>();
+    if (version != kProtocolVersion)
+      return bad("MFLUSNET protocol version " + std::to_string(version) +
+                 " (this build speaks " + std::to_string(kProtocolVersion) +
+                 ")");
+    out.msg = Message::load(ar);
+    if (!ar.done()) return bad("MFLUSNET frame has trailing bytes");
+  } catch (const std::exception& e) {
+    return bad(std::string("MFLUSNET frame malformed: ") + e.what());
+  }
+  out.status = ExtractStatus::kFrame;
+  out.consumed = whole;
+  return out;
+}
+
+void send_frame(int fd, const Message& msg) {
+  sockio::write_all(fd, encode_frame(msg));
+}
+
+std::optional<Message> read_frame(int fd, std::vector<std::uint8_t>& buffer) {
+  for (;;) {
+    Extract e = try_extract(buffer);
+    if (e.status == ExtractStatus::kBad) throw std::runtime_error(e.error);
+    if (e.status == ExtractStatus::kFrame) {
+      buffer.erase(buffer.begin(),
+                   buffer.begin() + static_cast<std::ptrdiff_t>(e.consumed));
+      return std::move(e.msg);
+    }
+    if (sockio::read_some(fd, buffer) == 0) {
+      if (buffer.empty()) return std::nullopt;
+      throw std::runtime_error("connection closed mid-frame (" +
+                               std::to_string(buffer.size()) +
+                               " byte(s) of partial frame)");
+    }
+  }
+}
+
+}  // namespace mflush::daemon

@@ -41,11 +41,41 @@
 ///                             specs and backends keyed by content hash
 ///                             (campaigns default to DIR/warm under the
 ///                             campaign directory)
+///     --serve ADDR            run mflushd, the campaign coordinator: listen
+///                             on ADDR (unix:PATH, a bare path, or
+///                             host:port), accept spec submissions over the
+///                             MFLUSNET wire protocol, and run each as a
+///                             durable campaign under --data DIR — all
+///                             tenants share one host pool, one warm store
+///                             and one result cache, so overlapping
+///                             submissions dedup. Killing the daemon loses
+///                             nothing: on restart every journaled campaign
+///                             resumes its delta. Requires --data; --hosts
+///                             and --jobs shape the pool as for --backend
+///                             remote (no hosts: in-process slots)
+///     --data DIR              mflushd state root: DIR/campaigns/<id>/,
+///                             DIR/cache (shared result cache), DIR/warm
+///     --connect ADDR          client mode: talk to the mflushd at ADDR;
+///                             combine with --submit / --status ID /
+///                             --cancel ID / --list / --shutdown
+///     --submit SPECFILE       submit the spec to the daemon; prints the
+///                             campaign id, with --follow streams results
+///                             back and exits 0 iff the campaign finishes
+///     --follow                with --submit: stay attached until done,
+///                             printing the same job-id-ordered report a
+///                             local run would
+///     --status ID             one-shot: print the campaign's progress
+///     --cancel ID             ask the daemon to cancel a running campaign
+///     --list                  print every campaign the daemon knows
+///     --shutdown              drain running campaigns, then stop the daemon
 ///     --worker JOBFILE        worker mode: run a job file, write the
 ///                             result file, exit (the worker/remote
 ///                             backend subprocess entry point)
 ///     --worker-out FILE       result path for --worker
 ///                             (default JOBFILE.result)
+///     --worker-parts          with --worker: also write each measured
+///                             job's result to FILE.r<id> as it lands
+///                             (streaming transports watch these)
 ///     --worker-store DIR      host-side warm store for --worker: embedded
 ///                             parent snapshots are installed here and
 ///                             by-hash forks resolve from here (set by
@@ -81,6 +111,7 @@
 #include "sim/backend.h"
 #include "sim/campaign.h"
 #include "sim/cmp.h"
+#include "sim/daemon.h"
 #include "sim/parallel.h"
 #include "sim/remote.h"
 #include "sim/report.h"
@@ -100,8 +131,12 @@ void usage(const char* argv0) {
          "       [--emit-spec FILE|-]\n"
          "       [--backend serial|inprocess|worker|remote] [--hosts FILE]\n"
          "       [--campaign DIR [--resume]] [--warm-store DIR]\n"
+         "       [--serve ADDR --data DIR [--hosts FILE] [--jobs N]]\n"
+         "       [--connect ADDR (--submit SPEC [--follow] | --status ID |\n"
+         "                        --cancel ID | --list | --shutdown)]\n"
          "       [--worker JOBFILE [--worker-out FILE] [--worker-store "
-         "DIR]]\n"
+         "DIR]\n"
+         "        [--worker-parts]]\n"
          "       [--worker-bin PATH]\n"
          "       [--list-workloads] [--list-policies]\n"
          "       [--save-snapshot PATH] [--load-snapshot PATH]\n"
@@ -118,7 +153,11 @@ void usage(const char* argv0) {
          "(finished jobs replay from the cache, bit-identical) and an\n"
          "overlapping later spec pays only for its new jobs. --warm-store\n"
          "DIR reuses sampled-mode warm-up state across runs and specs by\n"
-         "content hash (campaigns default to DIR/warm).\n";
+         "content hash (campaigns default to DIR/warm). --serve ADDR runs\n"
+         "mflushd, a coordinator that multiplexes submitted specs onto one\n"
+         "shared pool as durable campaigns under --data DIR; --connect\n"
+         "ADDR with --submit/--status/--cancel/--list/--shutdown talks to\n"
+         "it.\n";
 }
 
 void print_results(const std::vector<RunResult>& results, bool csv) {
@@ -197,6 +236,16 @@ int main(int argc, char** argv) {
   std::string hosts_file;
   std::string campaign_dir;
   std::string warm_store_dir;
+  std::string serve_addr;
+  std::string data_dir;
+  std::string connect_addr;
+  std::string submit_spec;
+  std::string status_id;
+  std::string cancel_id;
+  bool follow = false;
+  bool list_campaigns = false;
+  bool shutdown_daemon = false;
+  bool worker_parts = false;
   bool resume = false;
   std::string save_snapshot;
   std::string load_snapshot;
@@ -253,6 +302,26 @@ int main(int argc, char** argv) {
       worker_store = value();
     } else if (arg == "--worker-bin") {
       worker_bin = value();
+    } else if (arg == "--worker-parts") {
+      worker_parts = true;
+    } else if (arg == "--serve") {
+      serve_addr = value();
+    } else if (arg == "--data") {
+      data_dir = value();
+    } else if (arg == "--connect") {
+      connect_addr = value();
+    } else if (arg == "--submit") {
+      submit_spec = value();
+    } else if (arg == "--follow") {
+      follow = true;
+    } else if (arg == "--status") {
+      status_id = value();
+    } else if (arg == "--cancel") {
+      cancel_id = value();
+    } else if (arg == "--list") {
+      list_campaigns = true;
+    } else if (arg == "--shutdown") {
+      shutdown_daemon = true;
     } else if (arg == "--hosts") {
       hosts_file = value();
     } else if (arg == "--campaign") {
@@ -289,7 +358,85 @@ int main(int argc, char** argv) {
   if (!worker_job.empty()) {
     return worker::run_worker(
         worker_job, worker_out.empty() ? worker_job + ".result" : worker_out,
-        worker_store);
+        worker_store, worker_parts);
+  }
+
+  // ------------------------------------------------------- mflushd server
+  if (!serve_addr.empty()) {
+    if (data_dir.empty()) {
+      std::cerr << "error: --serve needs --data DIR (durable state root)\n";
+      return 2;
+    }
+    try {
+      daemon::ServeOptions o;
+      o.address = serve_addr;
+      o.data_dir = data_dir;
+      o.worker_binary = worker_bin;
+      o.slots = jobs;
+      if (!hosts_file.empty()) o.hosts = remote::read_hosts_file(hosts_file);
+      o.on_event = report::event_printer(std::cerr, "mflushd: ");
+      return daemon::serve(std::move(o));
+    } catch (const std::exception& e) {
+      std::cerr << "mflushd: error: " << e.what() << '\n';
+      return 1;
+    }
+  }
+
+  // ------------------------------------------------------- mflushd client
+  if (!connect_addr.empty()) {
+    try {
+      if (!submit_spec.empty()) {
+        const ExperimentSpec spec = ExperimentSpec::read_file(submit_spec);
+        const daemon::SubmitOutcome out = daemon::submit(
+            connect_addr, spec, follow,
+            report::event_printer(std::cerr, "mflushd client: "));
+        if (out.state == "finished") print_results(out.results, csv);
+        std::cerr << "mflushd client: campaign " << out.campaign << ' '
+                  << out.state << ": " << out.executed << " executed, "
+                  << out.cached << " cached, " << out.results.size()
+                  << " result(s)\n";
+        if (!follow) return 0;
+        return out.state == "finished" ? 0 : 1;
+      }
+      daemon::Message req;
+      if (!status_id.empty()) {
+        req.type = daemon::MsgType::kStatus;
+        req.campaign = status_id;
+      } else if (!cancel_id.empty()) {
+        req.type = daemon::MsgType::kCancel;
+        req.campaign = cancel_id;
+      } else if (list_campaigns) {
+        req.type = daemon::MsgType::kList;
+      } else if (shutdown_daemon) {
+        req.type = daemon::MsgType::kShutdown;
+      } else {
+        std::cerr << "error: --connect needs one of --submit/--status/"
+                     "--cancel/--list/--shutdown\n";
+        return 2;
+      }
+      const daemon::Message reply = daemon::request(connect_addr, req);
+      if (reply.type == daemon::MsgType::kError) {
+        std::cerr << "mflushd: " << reply.text << '\n';
+        return 1;
+      }
+      if (reply.type == daemon::MsgType::kStatusReply) {
+        std::cout << "campaign " << reply.campaign << ": " << reply.text
+                  << ", " << reply.done << '/' << reply.total << " done ("
+                  << reply.executed << " executed, " << reply.cached
+                  << " cached)\n";
+      } else if (!reply.text.empty()) {
+        std::cout << reply.text << '\n';
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+  }
+  if (!submit_spec.empty() || !status_id.empty() || !cancel_id.empty() ||
+      list_campaigns || shutdown_daemon) {
+    std::cerr << "error: client requests need --connect ADDR\n";
+    return 2;
   }
 
   try {

@@ -48,6 +48,7 @@ DOMAINS = {
     "campaign": ("src/sim/campaign.h", "kFormatVersion"),
     "warmstore": ("src/sim/warmstore.h", "kFormatVersion"),
     "worker": ("src/sim/backend.h", "kProtocolVersion"),
+    "daemon": ("src/sim/wire.h", "kProtocolVersion"),
     "trace": ("src/trace/trace_io.h", "kTraceVersion"),
 }
 
@@ -58,6 +59,8 @@ _PATH_DOMAINS = [
     ("src/sim/campaign", "campaign"),
     ("src/sim/backend", "worker"),
     ("src/sim/remote", "worker"),
+    ("src/sim/wire", "daemon"),
+    ("src/sim/daemon", "daemon"),
     ("src/trace/trace_io", "trace"),
     # JobSpec and its value types ride the worker wire protocol; its
     # save_content (the content-address key) is special-cased to the

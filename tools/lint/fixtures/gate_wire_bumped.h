@@ -1,0 +1,28 @@
+// Gate fixture (good head): the same layout change as
+// gate_wire_reordered.h, but with kProtocolVersion bumped — the gate must
+// accept this (new version, old frames rejected at decode time).
+#pragma once
+
+#include <cstdint>
+
+namespace mflush::daemon {
+
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+struct Message {
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+
+  void save(ArchiveWriter& ar) const {
+    ar.put(b);
+    ar.put(a);
+  }
+  static Message load(ArchiveReader& ar) {
+    Message m;
+    m.b = ar.get<std::uint64_t>();
+    m.a = ar.get<std::uint32_t>();
+    return m;
+  }
+};
+
+}  // namespace mflush::daemon

@@ -1,0 +1,28 @@
+// Gate fixture (bad head): gate_wire_v1.h with the serialized field order
+// swapped but kProtocolVersion left at 1 — the exact mistake the gate
+// exists to catch (old peers would misread every frame).
+#pragma once
+
+#include <cstdint>
+
+namespace mflush::daemon {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+struct Message {
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+
+  void save(ArchiveWriter& ar) const {
+    ar.put(b);
+    ar.put(a);
+  }
+  static Message load(ArchiveReader& ar) {
+    Message m;
+    m.b = ar.get<std::uint64_t>();
+    m.a = ar.get<std::uint32_t>();
+    return m;
+  }
+};
+
+}  // namespace mflush::daemon

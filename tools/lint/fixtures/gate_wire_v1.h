@@ -1,0 +1,30 @@
+// Gate fixture (base revision): a miniature wire message owned by the
+// 'daemon' format-version domain. selftest.py commits this file as
+// src/sim/wire.h in a scratch repository, then overwrites it with the
+// gate_wire_reordered / gate_wire_bumped variants and asserts that
+// check_format_version.py fails or passes accordingly.
+#pragma once
+
+#include <cstdint>
+
+namespace mflush::daemon {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+struct Message {
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+
+  void save(ArchiveWriter& ar) const {
+    ar.put(a);
+    ar.put(b);
+  }
+  static Message load(ArchiveReader& ar) {
+    Message m;
+    m.a = ar.get<std::uint32_t>();
+    m.b = ar.get<std::uint64_t>();
+    return m;
+  }
+};
+
+}  // namespace mflush::daemon

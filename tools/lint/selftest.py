@@ -10,11 +10,14 @@ from __future__ import annotations
 
 import argparse
 import os
+import shutil
 import subprocess
 import sys
+import tempfile
 
 ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
 LINT = os.path.join(ROOT, "tools", "lint", "mflush_lint.py")
+GATE = os.path.join(ROOT, "tools", "lint", "check_format_version.py")
 FIXDIR = os.path.join("tools", "lint", "fixtures")
 
 # fixture file -> (expected exit code, substrings every run must print,
@@ -87,6 +90,71 @@ def run_case(fixture: str, cxx: str) -> list[str]:
     return errors
 
 
+# Format-version gate fixtures: head fixture -> (expected exit code,
+# substrings the gate must print). The base revision is always
+# gate_wire_v1.h committed as src/sim/wire.h in a scratch repository.
+GATE_CASES = {
+    "gate_wire_v1.h": (0, ["all serialized-layout domains clean"]),
+    "gate_wire_reordered.h": (1, ["domain 'daemon'", "kProtocolVersion"]),
+    "gate_wire_bumped.h": (0, ["domain 'daemon'", "1 -> 2"]),
+}
+
+
+def run_gate_cases() -> list[str]:
+    """Exercise check_format_version.py end to end in a scratch git repo."""
+    if shutil.which("git") is None:
+        print("lint-selftest: gate: skipped (no git)")
+        return []
+    errors: list[str] = []
+    fixdir = os.path.join(ROOT, FIXDIR)
+    with tempfile.TemporaryDirectory(prefix="mflush-gate-") as tmp:
+        wire = os.path.join(tmp, "src", "sim", "wire.h")
+        os.makedirs(os.path.dirname(wire))
+
+        def git(*args: str) -> None:
+            subprocess.run(
+                ["git", "-C", tmp, *args],
+                check=True,
+                capture_output=True,
+                env={
+                    **os.environ,
+                    "GIT_AUTHOR_NAME": "selftest",
+                    "GIT_AUTHOR_EMAIL": "selftest@localhost",
+                    "GIT_COMMITTER_NAME": "selftest",
+                    "GIT_COMMITTER_EMAIL": "selftest@localhost",
+                },
+            )
+
+        git("init", "-q")
+        shutil.copyfile(os.path.join(fixdir, "gate_wire_v1.h"), wire)
+        git("add", "src/sim/wire.h")
+        git("commit", "-q", "-m", "base")
+
+        for fixture in sorted(GATE_CASES):
+            expect_rc, must = GATE_CASES[fixture]
+            shutil.copyfile(os.path.join(fixdir, fixture), wire)
+            proc = subprocess.run(
+                [sys.executable, GATE, "--base", "HEAD", "--root", tmp],
+                capture_output=True,
+                text=True,
+            )
+            out = proc.stdout + proc.stderr
+            if proc.returncode != expect_rc:
+                errors.append(
+                    f"gate/{fixture}: exit {proc.returncode}, expected "
+                    f"{expect_rc}\n{out}"
+                )
+            for s in must:
+                if s not in out:
+                    errors.append(
+                        f"gate/{fixture}: expected output to contain "
+                        f"{s!r}\n{out}"
+                    )
+            status = "ok" if proc.returncode == expect_rc else "FAIL"
+            print(f"lint-selftest: gate/{fixture}: {status}")
+    return errors
+
+
 def main(argv: list[str]) -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("--cxx", default=os.environ.get("CXX", "c++"))
@@ -98,10 +166,12 @@ def main(argv: list[str]) -> int:
         status = "ok" if not errs else "FAIL"
         print(f"lint-selftest: {fixture}: {status}")
         failures.extend(errs)
+    failures.extend(run_gate_cases())
     for f in failures:
         print(f"lint-selftest: {f}", file=sys.stderr)
     print(
-        f"lint-selftest: {len(CASES)} fixtures, {len(failures)} failure(s)"
+        f"lint-selftest: {len(CASES) + len(GATE_CASES)} fixtures, "
+        f"{len(failures)} failure(s)"
     )
     return 1 if failures else 0
 
