@@ -106,6 +106,24 @@ int main() {
   }
   const double bigchip_kips = static_cast<double>(big_cycles) / bigchip_s / 1e3;
 
+  // Banked-DRAM serial point (4 cores, MFLUSH): the wheel-scheduled
+  // completion path plus per-access bank/channel reservation — the cost of
+  // the memory-model seam's non-trivial branch. Separate JSON field so
+  // serial_kips (fixed-latency) stays comparable across runs.
+  double dram_s = 0.0;
+  {
+    const Workload wl = *workloads::by_name("8W3");
+    SimConfig cfg = SimConfig::paper_default(wl.num_cores(), 1);
+    cfg.mem.memory_model = MemModelKind::BankedDram;
+    CmpSimulator warm_sim(cfg, wl, PolicySpec::mflush());
+    warm_sim.run(big_cycles);  // untimed warm pass
+    dram_s = seconds_of([&] {
+      CmpSimulator sim(cfg, wl, PolicySpec::mflush());
+      sim.run(big_cycles);
+    });
+  }
+  const double dram_kips = static_cast<double>(big_cycles) / dram_s / 1e3;
+
   // Sampled-grid warm-store scenario: 6 points x 4 forks. The serial
   // warm-every-parent loop is the pre-warm-store baseline; the cold run
   // warms the same parents as parallel jobs while filling the store; the
@@ -181,6 +199,8 @@ int main() {
             << (identical ? "bit-identical" : "DIVERGED") << "\n"
             << "8W3 chip (serial): " << bigchip_s << " s, " << bigchip_kips
             << " KIPS\n"
+            << "8W3 chip (serial, banked DRAM): " << dram_s << " s, "
+            << dram_kips << " KIPS\n"
             << "sampled sweep (" << sweep.num_points() << " points, "
             << sweep_jobs.size() << " forks): warm-serial "
             << warm_serial_s << " s, cold " << sweep_cold_s << " s ("
@@ -199,6 +219,7 @@ int main() {
             << ",\"serial_kips\":" << serial_kips
             << ",\"parallel_kips\":" << parallel_kips
             << ",\"bigchip_serial_kips\":" << bigchip_kips
+            << ",\"dram_serial_kips\":" << dram_kips
             << ",\"speedup\":" << speedup << ",\"identical\":"
             << (identical ? "true" : "false")
             << ",\"sweep_points\":" << sweep.num_points()

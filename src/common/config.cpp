@@ -42,6 +42,26 @@ std::string SimConfig::validate() const {
   if (mem.l2_bytes / mem.l2_banks < mem.line_bytes * mem.l2_ways)
     return "l2 bank smaller than one set";
   if (mem.mshr_entries == 0) return "mshr_entries must be >= 1";
+  if (mem.memory_model != MemModelKind::Fixed &&
+      mem.memory_model != MemModelKind::BankedDram)
+    return "memory_model must be fixed or dram";
+  if (mem.memory_model == MemModelKind::Fixed && mem.memory_latency == 0)
+    return "memory_latency must be >= 1";
+  if (mem.memory_model == MemModelKind::BankedDram) {
+    const DramConfig& d = mem.dram;
+    if (!is_pow2(d.channels) || !is_pow2(d.banks_per_channel))
+      return "dram channel/bank counts must be powers of two";
+    if (!is_pow2(d.row_bytes) || d.row_bytes < mem.line_bytes)
+      return "dram row_bytes must be a power of two >= line_bytes";
+    if (d.t_row_hit == 0 || d.t_row_miss == 0 || d.t_row_conflict == 0)
+      return "dram latencies must be >= 1";
+    if (d.t_row_hit > d.t_row_miss || d.t_row_miss > d.t_row_conflict)
+      return "dram latencies must satisfy t_row_hit <= t_row_miss <= "
+             "t_row_conflict";
+    if (d.channel_gap == 0) return "dram channel_gap must be >= 1";
+    if (d.far_bytes != 0 && d.far_extra == 0)
+      return "dram far_extra must be >= 1 when a far range is set";
+  }
   return {};
 }
 

@@ -61,6 +61,47 @@ struct CoreConfig {
   bool model_wrong_path = true;  ///< fetch down mispredicted paths (bbdict)
 };
 
+/// Which timing model backs main memory (mem/memory.h seam).
+enum class MemModelKind : std::uint8_t {
+  /// Fixed-latency fully-pipelined FIFO — the paper's Fig. 1 memory and
+  /// the default; bit-identical to the pre-seam simulator.
+  Fixed = 0,
+  /// Banked DRAM: channels x banks, per-bank row buffers, a channel-level
+  /// ready-time arbiter, and an optional far-memory latency class.
+  BankedDram = 1,
+};
+
+/// Banked-DRAM timing knobs (MemModelKind::BankedDram only; the fixed
+/// model uses MemConfig::memory_latency alone).
+///
+/// Address mapping (line-granular, all counts powers of two):
+///   block   = line_addr / line_bytes
+///   channel = block % channels
+///   bank    = (block / channels) % banks_per_channel
+///   row     = block / (channels * banks_per_channel * lines_per_row)
+/// so consecutive lines interleave across channels then banks, and each
+/// bank sees consecutive in-bank blocks share a row buffer for
+/// row_bytes * channels * banks_per_channel contiguous bytes of footprint.
+struct DramConfig {
+  std::uint32_t channels = 2;          ///< independent channels
+  std::uint32_t banks_per_channel = 8;
+  std::uint32_t row_bytes = 2048;      ///< row-buffer size per bank
+  std::uint32_t t_row_hit = 80;        ///< open row matches (CAS only)
+  std::uint32_t t_row_miss = 250;      ///< bank idle: activate + CAS
+  std::uint32_t t_row_conflict = 400;  ///< other row open: precharge first
+  /// Per-access channel occupancy: command/data-bus time that serializes
+  /// accesses sharing a channel even when they hit different banks.
+  std::uint32_t channel_gap = 4;
+  /// Far-memory latency class: accesses whose line address falls in
+  /// [far_base, far_base + far_bytes) pay far_extra additional cycles
+  /// (CXL-style far tier). far_bytes == 0 disables the class.
+  Addr far_base = 0;
+  std::uint64_t far_bytes = 0;
+  std::uint32_t far_extra = 800;
+
+  bool operator==(const DramConfig&) const = default;
+};
+
 /// Cache hierarchy parameters (Fig. 1, "Cache Hierarchy Parameters").
 struct MemConfig {
   std::uint32_t line_bytes = 64;
@@ -90,6 +131,10 @@ struct MemConfig {
   std::uint32_t memory_latency = 250;  ///< main memory (pipelined)
 
   std::uint32_t mshr_entries = 16;     ///< per core, I+D unified
+
+  /// Main-memory timing model selection + DRAM knobs (the seam's axis).
+  MemModelKind memory_model = MemModelKind::Fixed;
+  DramConfig dram{};
 
   /// Unloaded L2 hit round trip as seen from load issue:
   /// l1_latency + bus_latency + l2_bank_latency = 3 + 4 + 15 = 22, matching

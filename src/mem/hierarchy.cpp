@@ -10,7 +10,7 @@ MemoryHierarchy::MemoryHierarchy(const SimConfig& cfg)
       bus_(cfg.num_cores, cfg.mem.bus_latency),
       l2_(cfg.mem.l2_bytes, cfg.mem.l2_ways, cfg.mem.line_bytes,
           cfg.mem.l2_banks, cfg.mem.l2_bank_latency),
-      memory_(cfg.mem.memory_latency) {
+      memory_(make_memory_model(cfg.mem)) {
   const std::uint32_t n = cfg.num_cores;
   l1i_.reserve(n);
   l1d_.reserve(n);
@@ -243,11 +243,12 @@ void MemoryHierarchy::tick(Cycle now) {
 
   // 1) memory returns -> L2 fills -> complete as misses
   scratch_mem_done_.clear();
-  memory_.tick(now, scratch_mem_done_);
+  memory_->tick(now, scratch_mem_done_);
   for (const std::uint64_t payload : scratch_mem_done_) {
     LineFetch& f = fetch_pool_[payload];
     const EvictInfo ev = l2_.fill(f.line, /*dirty=*/false);
-    if (ev.evicted && ev.victim_dirty) memory_.start_write();
+    if (ev.evicted && ev.victim_dirty)
+      memory_->start_write(ev.victim_line, now);
     complete_line_fetch(payload, now, /*l2_hit=*/false);
   }
 
@@ -301,7 +302,7 @@ void MemoryHierarchy::tick(Cycle now) {
               L2PathEvent{w.token, w.tid, r.bank, now});
         }
       }
-      memory_.start_read(r.payload, now);
+      memory_->start_read(f.line, r.payload, now);
     }
   }
 }
@@ -317,7 +318,7 @@ Cycle MemoryHierarchy::next_event_cycle(Cycle now) const {
   for (const auto& q : mshr_overflow_)
     if (!q.empty()) return now + 1;
 
-  Cycle e = memory_.next_event_cycle();
+  Cycle e = memory_->next_event_cycle();
   e = std::min(e, bus_.next_event_cycle(now));
   e = std::min(e, l2_.next_event_cycle(now));
   // now + 1 is the floor; skip the O(span) wheel scan once it is reached.
@@ -349,8 +350,12 @@ Cycle MemoryHierarchy::next_event_cycle_for(CoreId c, Cycle now) const {
       break;
     }
   }
+  // Earliest due memory completion for this core. next_done_if scans for
+  // the earliest MATCHING completion: with the DRAM model, completion
+  // times are not monotone in issue order, so "first in flight" would be
+  // an unsound (too late) horizon and strand a sleeping core.
   const Cycle mem_e =
-      memory_.next_event_cycle_if([this, c](std::uint64_t payload) {
+      memory_->next_done_if([this, c](std::uint64_t payload) {
         return fetch_pool_[payload].core == c;
       });
   e = std::min(e, mem_e);
@@ -365,7 +370,7 @@ void MemoryHierarchy::save_state(ArchiveWriter& ar) const {
   for (const Mshr& m : mshr_) m.save(ar);
   bus_.save(ar);
   l2_.save(ar);
-  memory_.save(ar);
+  memory_->save(ar);
   l1_wheel_.save(ar);
   for (const auto& q : mshr_overflow_) ar.put_deque(q);
   ar.put_vec(fetch_pool_);
@@ -393,7 +398,7 @@ void MemoryHierarchy::load_state(ArchiveReader& ar) {
   for (Mshr& m : mshr_) m.load(ar);
   bus_.load(ar);
   l2_.load(ar);
-  memory_.load(ar);
+  memory_->load(ar);
   l1_wheel_.load(ar);
   for (auto& q : mshr_overflow_) ar.get_deque(q);
   ar.get_vec(fetch_pool_);
@@ -421,7 +426,7 @@ void MemoryHierarchy::reset_stats() {
   for (auto& t : dtlb_) t.reset_stats();
   l2_.reset_stats();
   bus_.reset_stats();
-  memory_.reset_stats();
+  memory_->reset_stats();
 }
 
 }  // namespace mflush

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -59,7 +60,8 @@ struct MemStats {
 };
 
 /// The full memory system: per-core L1I/L1D + TLBs + MSHR, one shared bus,
-/// one shared banked L2, one main memory.
+/// one shared banked L2, one main memory (a MemoryModel behind a seam:
+/// fixed-latency FIFO by default, banked DRAM when configured).
 ///
 /// Protocol per cycle (driven by the CMP simulator):
 ///   hierarchy.tick(now);            // advance queues, produce completions
@@ -120,8 +122,11 @@ class MemoryHierarchy {
   /// Per-core event horizon: a lower bound on the next cycle at which
   /// tick() could deliver a completion or event to core `c`, from the
   /// core's in-flight transactions (L1 wheel, MSHR retry queue, bus, L2
-  /// banks, memory FIFO). Contention can only push real delivery later,
-  /// never earlier. kNeverCycle when the core has nothing in flight.
+  /// banks, memory model). Memory completions are queried via
+  /// MemoryModel::next_done_if — the earliest DUE matching access, not the
+  /// first in flight, because DRAM completion times are not monotone in
+  /// issue order. Contention can only push real delivery later, never
+  /// earlier. kNeverCycle when the core has nothing in flight.
   /// O(outstanding) scan — idle-time scheduling only, never the tick path.
   [[nodiscard]] Cycle next_event_cycle_for(CoreId c, Cycle now) const;
 
@@ -141,7 +146,9 @@ class MemoryHierarchy {
   [[nodiscard]] const Mshr& mshr(CoreId c) const { return mshr_[c]; }
   [[nodiscard]] const L2Cache& l2() const noexcept { return l2_; }
   [[nodiscard]] const SharedBus& bus() const noexcept { return bus_; }
-  [[nodiscard]] const MainMemory& memory() const noexcept { return memory_; }
+  [[nodiscard]] const MemoryModel& memory_model() const noexcept {
+    return *memory_;
+  }
 
   // The two transaction records below are public (and carry explicit
   // padding) because they are serialized by raw memcpy: their layout is
@@ -188,7 +195,7 @@ class MemoryHierarchy {
   std::vector<Mshr> mshr_;
   SharedBus bus_;
   L2Cache l2_;
-  MainMemory memory_;
+  std::unique_ptr<MemoryModel> memory_;
 
   /// L1 pipeline / TLB-walk delay line, bucketed by ready_at. Sized past
   /// l1_latency + tlb_miss_penalty so the far queue stays empty with

@@ -1,4 +1,17 @@
 #include "mem/memory.h"
 
-// MainMemory is header-only; this translation unit anchors the target.
-namespace mflush {}
+#include "mem/dram.h"
+
+namespace mflush {
+
+std::unique_ptr<MemoryModel> make_memory_model(const MemConfig& cfg) {
+  switch (cfg.memory_model) {
+    case MemModelKind::BankedDram:
+      return std::make_unique<BankedDramMemory>(cfg);
+    case MemModelKind::Fixed:
+      break;
+  }
+  return std::make_unique<FixedLatencyMemory>(cfg.memory_latency);
+}
+
+}  // namespace mflush

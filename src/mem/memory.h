@@ -2,73 +2,155 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/archive.h"
+#include "common/config.h"
 #include "common/types.h"
 
 namespace mflush {
 
-/// Main memory: fixed 250-cycle latency, fully pipelined (Fig. 1).
+/// Stat counters every memory model keeps. One audited path for the
+/// warm/measure boundary: reset() zeroes counters and ONLY counters —
+/// in-flight accesses are simulation state, never stats, so a reset while
+/// reads are outstanding must not drop them (tested in
+/// test_mem_components). save/load serialize every field; the row/far
+/// counters stay zero under the fixed-latency model.
+struct MemModelStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t row_hits = 0;       ///< open-row accesses (DRAM)
+  std::uint64_t row_misses = 0;     ///< accesses to an idle bank (DRAM)
+  std::uint64_t row_conflicts = 0;  ///< precharge-first accesses (DRAM)
+  std::uint64_t far_accesses = 0;   ///< accesses in the far latency class
+  std::uint64_t bank_busy_cycles = 0;  ///< summed per-access bank occupancy
+  std::uint64_t chan_busy_cycles = 0;  ///< summed channel-gap occupancy
+
+  void reset() noexcept { *this = MemModelStats{}; }
+
+  void save(ArchiveWriter& ar) const {
+    ar.put(reads);
+    ar.put(writes);
+    ar.put(row_hits);
+    ar.put(row_misses);
+    ar.put(row_conflicts);
+    ar.put(far_accesses);
+    ar.put(bank_busy_cycles);
+    ar.put(chan_busy_cycles);
+  }
+  void load(ArchiveReader& ar) {
+    reads = ar.get<std::uint64_t>();
+    writes = ar.get<std::uint64_t>();
+    row_hits = ar.get<std::uint64_t>();
+    row_misses = ar.get<std::uint64_t>();
+    row_conflicts = ar.get<std::uint64_t>();
+    far_accesses = ar.get<std::uint64_t>();
+    bank_busy_cycles = ar.get<std::uint64_t>();
+    chan_busy_cycles = ar.get<std::uint64_t>();
+  }
+};
+
+/// Main-memory timing model seam (selected by MemConfig::memory_model).
+///
+/// The hierarchy hands every L2 miss to start_read and every dirty L2
+/// victim to start_write with the line address; read payloads pop out of
+/// tick() at model-defined cycles. Contract:
+///  * completion cycles need NOT be monotone in issue order — the banked
+///    DRAM model reorders freely; horizon queries go through
+///    next_done_if (earliest-due-matching), never "first in flight";
+///  * next_event_cycle() is exact (the kernel jumps straight to it);
+///  * reset_stats() zeroes stat counters through MemModelStats::reset()
+///    and must not touch in-flight state;
+///  * save/load serialize all mutable state (in-flight + counters) —
+///    part of the snapshot stream, versioned by snapshot::kFormatVersion.
+class MemoryModel {
+ public:
+  virtual ~MemoryModel() = default;
+
+  /// Start a read of `line`; `payload` pops out of tick() when served.
+  virtual void start_read(Addr line, std::uint64_t payload, Cycle now) = 0;
+
+  /// Write-back of a dirty L2 victim: fire-and-forget (no completion),
+  /// but may occupy model resources and delay later reads.
+  virtual void start_write(Addr line, Cycle now) = 0;
+
+  /// Append every read payload served at or before `now` to `done`.
+  virtual void tick(Cycle now, std::vector<std::uint64_t>& done) = 0;
+
+  /// Next cycle at which tick() will deliver anything; kNeverCycle when
+  /// nothing is in flight. Feeds the event kernel's idle skip.
+  [[nodiscard]] virtual Cycle next_event_cycle() const = 0;
+
+  /// Earliest delivery among in-flight reads whose payload matches `pred`;
+  /// kNeverCycle when none. O(outstanding) scan — idle-time per-core
+  /// horizon queries only, never the per-cycle path (hence the type-erased
+  /// predicate: virtual dispatch forbids a template here, and the scan is
+  /// off the hot path by contract).
+  [[nodiscard]] virtual Cycle next_done_if(
+      const std::function<bool(std::uint64_t)>& pred) const = 0;
+
+  [[nodiscard]] virtual std::size_t outstanding() const = 0;
+  [[nodiscard]] virtual const MemModelStats& stats() const = 0;
+
+  /// Zero the stat counters (start of a measured interval). In-flight
+  /// accesses are untouched — see MemModelStats.
+  virtual void reset_stats() = 0;
+
+  virtual void save(ArchiveWriter& ar) const = 0;
+  virtual void load(ArchiveReader& ar) = 0;
+};
+
+/// Fixed-latency fully-pipelined main memory (Fig. 1) — the default model,
+/// bit-identical to the pre-seam simulator.
 ///
 /// The fixed latency makes completion times monotone in issue order, so
 /// in-flight reads are a plain FIFO: start_read appends, tick pops the
 /// front while due — no priority queue, no per-operation log factor.
-class MainMemory {
+class FixedLatencyMemory final : public MemoryModel {
  public:
-  explicit MainMemory(std::uint32_t latency) : latency_(latency) {}
+  explicit FixedLatencyMemory(std::uint32_t latency) : latency_(latency) {}
 
-  /// Start a read; the payload pops out of `tick` after `latency` cycles.
-  void start_read(std::uint64_t payload, Cycle now) {
+  void start_read(Addr /*line*/, std::uint64_t payload, Cycle now) override {
     in_flight_.push_back(Pending{now + latency_, payload});
-    ++reads_;
+    ++stats_.reads;
   }
 
-  /// Writes are fire-and-forget (dirty L2 victims).
-  void start_write() noexcept { ++writes_; }
+  void start_write(Addr /*line*/, Cycle /*now*/) override { ++stats_.writes; }
 
-  void tick(Cycle now, std::vector<std::uint64_t>& done) {
+  void tick(Cycle now, std::vector<std::uint64_t>& done) override {
     while (!in_flight_.empty() && in_flight_.front().done_at <= now) {
       done.push_back(in_flight_.front().payload);
       in_flight_.pop_front();
     }
   }
 
-  /// Next cycle at which tick() will deliver anything; kNeverCycle when
-  /// nothing is in flight. Feeds the event kernel's idle skip.
-  [[nodiscard]] Cycle next_event_cycle() const noexcept {
+  [[nodiscard]] Cycle next_event_cycle() const override {
     return in_flight_.empty() ? kNeverCycle : in_flight_.front().done_at;
   }
 
-  /// Next delivery among in-flight reads whose payload matches `pred`;
-  /// kNeverCycle when none. The FIFO is done_at-monotone, so the first
-  /// match is the earliest (idle-time per-core horizon scans).
-  template <typename Pred>
-  [[nodiscard]] Cycle next_event_cycle_if(Pred&& pred) const {
+  /// The FIFO is done_at-monotone, so the first match IS the earliest.
+  [[nodiscard]] Cycle next_done_if(
+      const std::function<bool(std::uint64_t)>& pred) const override {
     for (const Pending& p : in_flight_)
       if (pred(p.payload)) return p.done_at;
     return kNeverCycle;
   }
 
-  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
-  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
-  [[nodiscard]] std::size_t outstanding() const noexcept {
+  [[nodiscard]] std::size_t outstanding() const override {
     return in_flight_.size();
   }
-  void reset_stats() noexcept {
-    reads_ = 0;
-    writes_ = 0;
-  }
+  [[nodiscard]] const MemModelStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.reset(); }
 
-  void save(ArchiveWriter& ar) const {
+  void save(ArchiveWriter& ar) const override {
     ar.put_deque(in_flight_);
-    ar.put(reads_);
-    ar.put(writes_);
+    stats_.save(ar);
   }
-  void load(ArchiveReader& ar) {
+  void load(ArchiveReader& ar) override {
     ar.get_deque(in_flight_);
-    reads_ = ar.get<std::uint64_t>();
-    writes_ = ar.get<std::uint64_t>();
+    stats_.load(ar);
   }
 
   /// Public because in_flight_ is serialized by raw memcpy: the layout is
@@ -82,8 +164,12 @@ class MainMemory {
  private:
   std::uint32_t latency_;  // lint: transient — ctor config
   std::deque<Pending> in_flight_;
-  std::uint64_t reads_ = 0;
-  std::uint64_t writes_ = 0;
+  MemModelStats stats_;
 };
+
+/// Build the model selected by cfg.memory_model (defined in memory.cpp so
+/// this header does not pull in the DRAM model).
+[[nodiscard]] std::unique_ptr<MemoryModel> make_memory_model(
+    const MemConfig& cfg);
 
 }  // namespace mflush

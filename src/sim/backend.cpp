@@ -54,6 +54,12 @@ void put_metrics(ArchiveWriter& ar, const SimMetrics& m) {
   ar.put(m.policy_stall_events);
   ar.put(m.policy_gate_cycles);
   m.l2_hit_time_hist.save(ar);
+  ar.put(m.dram_row_hits);
+  ar.put(m.dram_row_misses);
+  ar.put(m.dram_row_conflicts);
+  ar.put(m.dram_far_accesses);
+  ar.put(m.dram_bank_busy_cycles);
+  ar.put(m.dram_chan_busy_cycles);
   ar.put(m.energy.committed_units);
   ar.put(m.energy.flush_wasted_units);
   ar.put(m.energy.branch_wasted_units);
@@ -80,6 +86,12 @@ SimMetrics get_metrics(ArchiveReader& ar) {
   m.policy_stall_events = ar.get<std::uint64_t>();
   m.policy_gate_cycles = ar.get<std::uint64_t>();
   m.l2_hit_time_hist.load(ar);
+  m.dram_row_hits = ar.get<std::uint64_t>();
+  m.dram_row_misses = ar.get<std::uint64_t>();
+  m.dram_row_conflicts = ar.get<std::uint64_t>();
+  m.dram_far_accesses = ar.get<std::uint64_t>();
+  m.dram_bank_busy_cycles = ar.get<std::uint64_t>();
+  m.dram_chan_busy_cycles = ar.get<std::uint64_t>();
   m.energy.committed_units = ar.get<double>();
   m.energy.flush_wasted_units = ar.get<double>();
   m.energy.branch_wasted_units = ar.get<double>();

@@ -262,7 +262,7 @@ namespace worker {
 
 /// v2: JobSpec gained warm_only + parent_key (with a by-reference snapshot
 /// tag) and RunResult gained the warm-job payload.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Per-process unique scratch-file stem inside `dir` (pid + monotonic
 /// counter + leading job id), shared by the worker and remote backends so

@@ -58,7 +58,7 @@ namespace campaign {
 /// canonicalized by their parent's content hash instead of the embedded
 /// snapshot bytes (the key no longer changes when a by-reference fork is
 /// resolved to inline bytes).
-inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// Stable content hash of a job's canonical serialization
 /// (JobSpec::save_content: config/workload/profiles, policy, seed, warmup,

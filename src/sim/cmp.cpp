@@ -96,15 +96,19 @@ CmpSimulator::CmpSimulator(const Workload& workload, const PolicySpec& policy,
 
 CmpSimulator::CmpSimulator(const std::vector<BenchmarkProfile>& profiles,
                            const PolicySpec& policy, std::uint64_t seed)
-    : cfg_([&] {
-        SimConfig cfg = SimConfig::paper_default(
-            static_cast<std::uint32_t>(profiles.size()) / 2);
-        cfg.seed = seed;
-        return cfg;
-      }()),
-      policy_(policy),
-      mem_(cfg_),
-      profile_built_(true) {
+    : CmpSimulator(
+          [&] {
+            SimConfig cfg = SimConfig::paper_default(
+                static_cast<std::uint32_t>(profiles.size()) / 2);
+            cfg.seed = seed;
+            return cfg;
+          }(),
+          profiles, policy) {}
+
+CmpSimulator::CmpSimulator(const SimConfig& cfg,
+                           const std::vector<BenchmarkProfile>& profiles,
+                           const PolicySpec& policy)
+    : cfg_(cfg), policy_(policy), mem_(cfg_), profile_built_(true) {
   workload_.name = "custom";
   for (const auto& p : profiles)
     workload_.codes.push_back(p.code == '?' ? 'a' : p.code);
@@ -271,6 +275,14 @@ SimMetrics CmpSimulator::metrics() const {
   m.l2_hits_observed = ms.l2_load_hit_time.count();
   m.l2_misses_observed = ms.l2_load_miss_time.count();
   m.l2_hit_time_hist = ms.l2_load_hit_time;
+
+  const MemModelStats& ds = mem_.memory_model().stats();
+  m.dram_row_hits = ds.row_hits;
+  m.dram_row_misses = ds.row_misses;
+  m.dram_row_conflicts = ds.row_conflicts;
+  m.dram_far_accesses = ds.far_accesses;
+  m.dram_bank_busy_cycles = ds.bank_busy_cycles;
+  m.dram_chan_busy_cycles = ds.chan_busy_cycles;
   return m;
 }
 

@@ -43,6 +43,12 @@ class CmpSimulator {
   CmpSimulator(const std::vector<BenchmarkProfile>& profiles,
                const PolicySpec& policy, std::uint64_t seed = 1);
 
+  /// Profile chip with an explicit config (memory-model sweeps);
+  /// `cfg.num_cores` must match the profile count as in the primary ctor.
+  CmpSimulator(const SimConfig& cfg,
+               const std::vector<BenchmarkProfile>& profiles,
+               const PolicySpec& policy);
+
   /// Advance `cycles` cycles.
   ///
   /// Decoupled per-core clocks: a core whose next tick is a provable no-op

@@ -18,8 +18,14 @@ Cycle warmup_cycles(Cycle fallback) {
 
 RunResult run_point(const Workload& workload, const PolicySpec& policy,
                     std::uint64_t seed, Cycle warmup, Cycle measure) {
+  return run_point(SimConfig::paper_default(workload.num_cores(), seed),
+                   workload, policy, warmup, measure);
+}
+
+RunResult run_point(const SimConfig& cfg, const Workload& workload,
+                    const PolicySpec& policy, Cycle warmup, Cycle measure) {
   const auto t0 = std::chrono::steady_clock::now();
-  CmpSimulator sim(workload, policy, seed);
+  CmpSimulator sim(cfg, workload, policy);
   sim.run(warmup);
   sim.reset_stats();
   sim.run(measure);

@@ -54,6 +54,14 @@ struct RunResult {
                                   std::uint64_t seed, Cycle warmup,
                                   Cycle measure);
 
+/// Same, with an explicit chip config (memory-model sweeps). With
+/// `SimConfig::paper_default(workload.num_cores(), seed)` this is exactly
+/// the seed-form run_point above.
+[[nodiscard]] RunResult run_point(const SimConfig& cfg,
+                                  const Workload& workload,
+                                  const PolicySpec& policy, Cycle warmup,
+                                  Cycle measure);
+
 /// Fork a measured interval off a captured snapshot: reconstruct the
 /// simulator from `snapshot`, advance `fork_advance` cycles, reset stats,
 /// measure `measure` cycles. Deterministic: the same (snapshot,

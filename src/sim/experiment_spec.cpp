@@ -17,7 +17,7 @@ namespace mflush {
 namespace {
 
 constexpr std::uint64_t kSpecMagic = 0x4d464c5553504543ull;  // "MFLUSPEC"
-constexpr std::uint32_t kSpecVersion = 1;
+constexpr std::uint32_t kSpecVersion = 2;
 
 void put_workload(ArchiveWriter& ar, const Workload& w) {
   ar.put_string(w.name);
@@ -105,6 +105,36 @@ BenchmarkProfile get_profile(ArchiveReader& ar) {
   return p;
 }
 
+// DramConfig is written field-wise in declaration order; any knob
+// added/removed must bump the enclosing format version (spec/job).
+void put_dram(ArchiveWriter& ar, const DramConfig& d) {
+  ar.put(d.channels);
+  ar.put(d.banks_per_channel);
+  ar.put(d.row_bytes);
+  ar.put(d.t_row_hit);
+  ar.put(d.t_row_miss);
+  ar.put(d.t_row_conflict);
+  ar.put(d.channel_gap);
+  ar.put(d.far_base);
+  ar.put(d.far_bytes);
+  ar.put(d.far_extra);
+}
+
+DramConfig get_dram(ArchiveReader& ar) {
+  DramConfig d;
+  d.channels = ar.get<std::uint32_t>();
+  d.banks_per_channel = ar.get<std::uint32_t>();
+  d.row_bytes = ar.get<std::uint32_t>();
+  d.t_row_hit = ar.get<std::uint32_t>();
+  d.t_row_miss = ar.get<std::uint32_t>();
+  d.t_row_conflict = ar.get<std::uint32_t>();
+  d.channel_gap = ar.get<std::uint32_t>();
+  d.far_base = ar.get<Addr>();
+  d.far_bytes = ar.get<std::uint64_t>();
+  d.far_extra = ar.get<std::uint32_t>();
+  return d;
+}
+
 /// Throwing wrapper over the shared workloads::resolve front door.
 Workload resolve_workload(const std::string& token) {
   if (const auto w = workloads::resolve(token)) return *w;
@@ -126,12 +156,24 @@ void put_job_fields(ArchiveWriter& ar, const JobSpec& j) {
   ar.put(j.fork_advance);
   ar.put<std::uint8_t>(j.warm_only ? 1 : 0);
   ar.put(j.parent_key);
+  ar.put(static_cast<std::uint8_t>(j.mem_model));
+  put_dram(ar, j.dram);
 }
 
 // Snapshot tail tags shared by save/save_content/load.
 constexpr std::uint8_t kSnapNone = 0;      // no snapshot
 constexpr std::uint8_t kSnapInline = 1;    // length-prefixed bytes follow
 constexpr std::uint8_t kSnapByParent = 2;  // resolve via parent_key
+
+/// The chip config a job's simulator is built with: paper defaults for
+/// the chip size, the job's seed, and the job's memory model — the single
+/// spec→SimConfig mapping every run path shares.
+SimConfig job_config(const JobSpec& job, std::uint32_t num_cores) {
+  SimConfig cfg = SimConfig::paper_default(num_cores, job.seed);
+  cfg.mem.memory_model = job.mem_model;
+  cfg.mem.dram = job.dram;
+  return cfg;
+}
 
 /// Warm a catalog parent chip from scratch — the single definition every
 /// warm path shares (warm jobs, by-ref self-heal): bit-identity of forks
@@ -143,7 +185,8 @@ std::shared_ptr<const std::vector<std::uint8_t>> warm_parent_snapshot(
         "warm jobs require catalog workloads (snapshots cannot rebuild "
         "ad-hoc profile chips)");
   }
-  CmpSimulator parent(job.workload, job.policy, job.seed);
+  CmpSimulator parent(job_config(job, job.workload.num_cores()),
+                      job.workload, job.policy);
   parent.run(job.warmup);
   return std::make_shared<const std::vector<std::uint8_t>>(
       snapshot::capture(parent));
@@ -195,6 +238,8 @@ JobSpec JobSpec::load(ArchiveReader& ar) {
   j.fork_advance = ar.get<Cycle>();
   j.warm_only = ar.get<std::uint8_t>() != 0;
   j.parent_key = ar.get<std::uint64_t>();
+  j.mem_model = static_cast<MemModelKind>(ar.get<std::uint8_t>());
+  j.dram = get_dram(ar);
   const auto tag = ar.get<std::uint8_t>();
   if (tag == kSnapInline) {
     std::vector<std::uint8_t> bytes;
@@ -240,7 +285,10 @@ RunResult run_job(const JobSpec& job) {
     return run_point_from_snapshot(*snap, job.fork_advance, job.measure);
   if (!job.profiles.empty()) {
     const auto t0 = std::chrono::steady_clock::now();
-    CmpSimulator sim(job.profiles, job.policy, job.seed);
+    CmpSimulator sim(
+        job_config(job,
+                   static_cast<std::uint32_t>(job.profiles.size()) / 2),
+        job.profiles, job.policy);
     sim.run(job.warmup);
     sim.reset_stats();
     sim.run(job.measure);
@@ -253,8 +301,8 @@ RunResult run_job(const JobSpec& job) {
     r.simulated_cycles = job.warmup + job.measure;
     return r;
   }
-  return run_point(job.workload, job.policy, job.seed, job.warmup,
-                   job.measure);
+  return run_point(job_config(job, job.workload.num_cores()), job.workload,
+                   job.policy, job.warmup, job.measure);
 }
 
 // ----------------------------------------------------------- ExperimentSpec
@@ -282,6 +330,16 @@ void ExperimentSpec::validate() const {
     if (sampled.max_rounds == 0)
       throw std::runtime_error("experiment spec: max_rounds must be > 0");
   }
+  // DRAM knobs share SimConfig's validation (the single source of the
+  // constraints); probe with a minimal chip so a bad spec fails at parse
+  // time, not inside a worker.
+  if (mem_model != MemModelKind::Fixed) {
+    SimConfig probe = SimConfig::paper_default(1);
+    probe.mem.memory_model = mem_model;
+    probe.mem.dram = dram;
+    if (const std::string err = probe.validate(); !err.empty())
+      throw std::runtime_error("experiment spec: " + err);
+  }
 }
 
 std::vector<JobSpec> ExperimentSpec::expand() const {
@@ -301,6 +359,8 @@ std::vector<JobSpec> ExperimentSpec::expand() const {
           j.seed = seed;
           j.warmup = warmup;
           j.measure = measure;
+          j.mem_model = mem_model;
+          j.dram = dram;
           jobs.push_back(std::move(j));
         }
       }
@@ -326,6 +386,8 @@ std::vector<JobSpec> ExperimentSpec::expand() const {
     proto.policy = policies[i % num_p];
     proto.seed = seeds[i / (num_w * num_p)];
     proto.warmup = warmup;
+    proto.mem_model = mem_model;
+    proto.dram = dram;
     const std::uint64_t key = warmstore::warm_key(proto);
     for (std::uint32_t k = 0; k < sampled.forks; ++k) {
       JobSpec j = proto;
@@ -356,6 +418,8 @@ std::vector<std::uint8_t> ExperimentSpec::to_bytes() const {
   ar.put(sampled.fork_stride);
   ar.put(sampled.target_half_width);
   ar.put(sampled.max_rounds);
+  ar.put(static_cast<std::uint8_t>(mem_model));
+  put_dram(ar, dram);
   ar.put(fnv1a(ar.bytes()));
   return ar.take();
 }
@@ -397,6 +461,8 @@ ExperimentSpec ExperimentSpec::from_bytes(
   spec.sampled.fork_stride = ar.get<Cycle>();
   spec.sampled.target_half_width = ar.get<double>();
   spec.sampled.max_rounds = ar.get<std::uint32_t>();
+  spec.mem_model = static_cast<MemModelKind>(ar.get<std::uint8_t>());
+  spec.dram = get_dram(ar);
   if (!ar.done())
     throw std::runtime_error("experiment spec: trailing bytes (corrupt?)");
   spec.validate();
@@ -425,6 +491,21 @@ std::string ExperimentSpec::to_text() const {
        << "fork_stride " << sampled.fork_stride << '\n'
        << "target_half_width " << sampled.target_half_width << '\n'
        << "max_rounds " << sampled.max_rounds << '\n';
+  }
+  // Memory-model block only when not the default fixed model, so existing
+  // fixed-memory spec files round-trip unchanged.
+  if (mem_model != MemModelKind::Fixed) {
+    os << "mem_model dram\n"
+       << "dram_channels " << dram.channels << '\n'
+       << "dram_banks_per_channel " << dram.banks_per_channel << '\n'
+       << "dram_row_bytes " << dram.row_bytes << '\n'
+       << "dram_t_row_hit " << dram.t_row_hit << '\n'
+       << "dram_t_row_miss " << dram.t_row_miss << '\n'
+       << "dram_t_row_conflict " << dram.t_row_conflict << '\n'
+       << "dram_channel_gap " << dram.channel_gap << '\n'
+       << "dram_far_base " << dram.far_base << '\n'
+       << "dram_far_bytes " << dram.far_bytes << '\n'
+       << "dram_far_extra " << dram.far_extra << '\n';
   }
   return os.str();
 }
@@ -509,6 +590,36 @@ ExperimentSpec ExperimentSpec::from_text(std::string_view text) {
       spec.sampled.target_half_width = v;
     } else if (key == "max_rounds") {
       spec.sampled.max_rounds = static_cast<std::uint32_t>(value_u64());
+    } else if (key == "mem_model") {
+      std::string m;
+      if (!(ls >> m)) fail("'mem_model' expects fixed or dram");
+      if (m == "fixed") {
+        spec.mem_model = MemModelKind::Fixed;
+      } else if (m == "dram") {
+        spec.mem_model = MemModelKind::BankedDram;
+      } else {
+        fail("unknown mem_model '" + m + "' (fixed or dram)");
+      }
+    } else if (key == "dram_channels") {
+      spec.dram.channels = static_cast<std::uint32_t>(value_u64());
+    } else if (key == "dram_banks_per_channel") {
+      spec.dram.banks_per_channel = static_cast<std::uint32_t>(value_u64());
+    } else if (key == "dram_row_bytes") {
+      spec.dram.row_bytes = static_cast<std::uint32_t>(value_u64());
+    } else if (key == "dram_t_row_hit") {
+      spec.dram.t_row_hit = static_cast<std::uint32_t>(value_u64());
+    } else if (key == "dram_t_row_miss") {
+      spec.dram.t_row_miss = static_cast<std::uint32_t>(value_u64());
+    } else if (key == "dram_t_row_conflict") {
+      spec.dram.t_row_conflict = static_cast<std::uint32_t>(value_u64());
+    } else if (key == "dram_channel_gap") {
+      spec.dram.channel_gap = static_cast<std::uint32_t>(value_u64());
+    } else if (key == "dram_far_base") {
+      spec.dram.far_base = value_u64();
+    } else if (key == "dram_far_bytes") {
+      spec.dram.far_bytes = value_u64();
+    } else if (key == "dram_far_extra") {
+      spec.dram.far_extra = static_cast<std::uint32_t>(value_u64());
     } else {
       fail("unknown key '" + key + "'");
     }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/archive.h"
+#include "common/config.h"
 #include "core/factory.h"
 #include "sim/experiment.h"
 #include "sim/workloads.h"
@@ -79,6 +80,10 @@ struct JobSpec {
   Cycle warmup = 0;
   Cycle measure = 0;
   Cycle fork_advance = 0;
+  /// Main-memory timing model + DRAM knobs the chip is built with (the
+  /// memory latency distribution as a sweep axis).
+  MemModelKind mem_model = MemModelKind::Fixed;
+  DramConfig dram{};
   /// Warm job: build the chip, run `warmup` cycles, capture the snapshot
   /// into RunResult::payload. Emitted by the warm phase of run_experiment
   /// so sampled-mode parents warm as ordinary (parallel, distributable)
@@ -101,7 +106,8 @@ struct JobSpec {
 
   /// Canonical *content* serialization: every field that determines the
   /// job's RunResult — workload, profiles, policy, seed, intervals,
-  /// fork_advance, snapshot identity — but NOT `id`, which is a
+  /// fork_advance, memory model + DRAM knobs, snapshot identity — but NOT
+  /// `id`, which is a
   /// result-slot index, not content. A job with a parent_key is
   /// canonicalized by the hash alone (the key pins the exact snapshot
   /// bytes), so its content is stable whether or not the bytes happen to
@@ -125,6 +131,10 @@ struct ExperimentSpec {
   Cycle measure = 120'000;
   RunMode mode = RunMode::FullRun;
   SampledConfig sampled;
+  /// Memory model every point's chip is built with (text keys: mem_model,
+  /// dram_*). Fixed (the default) reproduces the paper's 250-cycle memory.
+  MemModelKind mem_model = MemModelKind::Fixed;
+  DramConfig dram{};
 
   /// Points = seeds x workloads x policies (seed-major, policy-minor: the
   /// flat index of (s, w, p) is (s*W + w)*P + p, so a single-seed spec

@@ -50,6 +50,15 @@ struct SimMetrics {
   /// geometry mirrors MemStats::l2_load_hit_time.
   Histogram l2_hit_time_hist{5.0, 80};
 
+  // Main-memory model behaviour (MemModelStats; all zero under the
+  // default fixed-latency model — the latency-spread analysis inputs).
+  std::uint64_t dram_row_hits = 0;
+  std::uint64_t dram_row_misses = 0;
+  std::uint64_t dram_row_conflicts = 0;
+  std::uint64_t dram_far_accesses = 0;
+  std::uint64_t dram_bank_busy_cycles = 0;  ///< summed bank occupancy
+  std::uint64_t dram_chan_busy_cycles = 0;  ///< summed channel occupancy
+
   // Energy (Fig. 11 inputs).
   energy::EnergyReport energy{};
 

@@ -68,6 +68,17 @@ void put_config(ArchiveWriter& ar, const SimConfig& cfg) {
   ar.put(m.bus_latency);
   ar.put(m.memory_latency);
   ar.put(m.mshr_entries);
+  ar.put(static_cast<std::uint8_t>(m.memory_model));
+  ar.put(m.dram.channels);
+  ar.put(m.dram.banks_per_channel);
+  ar.put(m.dram.row_bytes);
+  ar.put(m.dram.t_row_hit);
+  ar.put(m.dram.t_row_miss);
+  ar.put(m.dram.t_row_conflict);
+  ar.put(m.dram.channel_gap);
+  ar.put(m.dram.far_base);
+  ar.put(m.dram.far_bytes);
+  ar.put(m.dram.far_extra);
   ar.put(cfg.seed);
   ar.put(cfg.prewarm_l2);
 }
@@ -127,6 +138,17 @@ SimConfig get_config(ArchiveReader& ar) {
   m.bus_latency = ar.get<std::uint32_t>();
   m.memory_latency = ar.get<std::uint32_t>();
   m.mshr_entries = ar.get<std::uint32_t>();
+  m.memory_model = static_cast<MemModelKind>(ar.get<std::uint8_t>());
+  m.dram.channels = ar.get<std::uint32_t>();
+  m.dram.banks_per_channel = ar.get<std::uint32_t>();
+  m.dram.row_bytes = ar.get<std::uint32_t>();
+  m.dram.t_row_hit = ar.get<std::uint32_t>();
+  m.dram.t_row_miss = ar.get<std::uint32_t>();
+  m.dram.t_row_conflict = ar.get<std::uint32_t>();
+  m.dram.channel_gap = ar.get<std::uint32_t>();
+  m.dram.far_base = ar.get<Addr>();
+  m.dram.far_bytes = ar.get<std::uint64_t>();
+  m.dram.far_extra = ar.get<std::uint32_t>();
   cfg.seed = ar.get<std::uint64_t>();
   cfg.prewarm_l2 = ar.get<bool>();
   return cfg;

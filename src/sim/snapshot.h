@@ -29,7 +29,7 @@ namespace mflush::snapshot {
 /// v3: canonical bytes — every raw-memcpy'd record carries explicit
 /// zero-initialized padding and RunningStat is serialized field-wise, so
 /// equal warmed state yields byte-identical snapshots across processes.
-inline constexpr std::uint32_t kFormatVersion = 3;
+inline constexpr std::uint32_t kFormatVersion = 4;
 
 /// Serialize the full simulator state (header + state + checksum).
 [[nodiscard]] std::vector<std::uint8_t> capture(const CmpSimulator& sim);

@@ -217,6 +217,45 @@ TEST(Backend, CrossBackendDeterminism) {
   expect_identical_runs(reference, worker.run_collect(jobs));
 }
 
+TEST(Backend, CrossBackendDeterminismUnderDramModel) {
+  // Same guarantee with the banked-DRAM memory model as the sweep axis:
+  // the model kind and knobs ride in each JobSpec, so every backend
+  // (including the worker subprocess, which rebuilds the chip from the
+  // job file alone) must construct the identical memory system.
+  ExperimentSpec spec;
+  spec.name = "xbackend-dram";
+  spec.workloads = {*workloads::by_name("2W1"), *workloads::by_name("2W3")};
+  spec.policies = {PolicySpec::flush_spec(30), PolicySpec::mflush()};
+  spec.warmup = 500;
+  spec.measure = 1'500;
+  spec.mem_model = MemModelKind::BankedDram;
+  // Full-range far class (trace addresses are salted above 2^40).
+  spec.dram.far_base = 0;
+  spec.dram.far_bytes = ~std::uint64_t{0};
+  const std::vector<JobSpec> jobs = spec.expand();
+
+  SerialBackend serial;
+  const std::vector<RunResult> reference = serial.run_collect(jobs);
+  // The DRAM model actually ran and the far class actually triggered
+  // (both flow through the metrics wire).
+  std::uint64_t touches = 0, far = 0;
+  for (const RunResult& r : reference) {
+    touches += r.metrics.dram_row_hits + r.metrics.dram_row_misses;
+    far += r.metrics.dram_far_accesses;
+  }
+  EXPECT_GT(touches, 0u);
+  EXPECT_GT(far, 0u);
+
+  InProcessBackend inprocess;
+  expect_identical_runs(reference, inprocess.run_collect(jobs));
+
+  if (default_worker_binary().empty()) {
+    GTEST_SKIP() << "mflushsim binary not found next to the test binary";
+  }
+  WorkerBackend worker;
+  expect_identical_runs(reference, worker.run_collect(jobs));
+}
+
 TEST(Backend, WorkerBackendRunsProfileAndForkJobs) {
   if (default_worker_binary().empty()) {
     GTEST_SKIP() << "mflushsim binary not found next to the test binary";

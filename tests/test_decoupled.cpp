@@ -59,11 +59,11 @@ void expect_core_stats_equal(const CoreStats& a, const CoreStats& b,
 #undef MFLUSH_CK
 }
 
-void expect_runs_identical(const Workload& w, const PolicySpec& p,
-                           Cycle warmup, Cycle measure) {
+void expect_runs_identical(const SimConfig& cfg, const Workload& w,
+                           const PolicySpec& p, Cycle warmup, Cycle measure) {
   const std::string what = w.name + "/" + p.label();
-  CmpSimulator skip(w, p, 1);
-  CmpSimulator lockstep(w, p, 1);
+  CmpSimulator skip(cfg, w, p);
+  CmpSimulator lockstep(cfg, w, p);
   skip.set_event_skip(true);
   lockstep.set_event_skip(false);
 
@@ -104,6 +104,25 @@ void expect_runs_identical(const Workload& w, const PolicySpec& p,
   EXPECT_EQ(a.stores, b.stores) << what;
   EXPECT_EQ(a.ifetches, b.ifetches) << what;
   EXPECT_EQ(a.l1_writebacks, b.l1_writebacks) << what;
+  // Memory-model counters (DRAM row-buffer behaviour) must match too.
+  EXPECT_EQ(ms.dram_row_hits, ml.dram_row_hits) << what;
+  EXPECT_EQ(ms.dram_row_misses, ml.dram_row_misses) << what;
+  EXPECT_EQ(ms.dram_row_conflicts, ml.dram_row_conflicts) << what;
+  EXPECT_EQ(ms.dram_far_accesses, ml.dram_far_accesses) << what;
+  EXPECT_EQ(ms.dram_bank_busy_cycles, ml.dram_bank_busy_cycles) << what;
+}
+
+void expect_runs_identical(const Workload& w, const PolicySpec& p,
+                           Cycle warmup, Cycle measure) {
+  expect_runs_identical(SimConfig::paper_default(w.num_cores(), 1), w, p,
+                        warmup, measure);
+}
+
+/// Paper-default chip with the banked-DRAM memory model swapped in.
+SimConfig dram_config(std::uint32_t num_cores, std::uint64_t seed = 1) {
+  SimConfig cfg = SimConfig::paper_default(num_cores, seed);
+  cfg.mem.memory_model = MemModelKind::BankedDram;
+  return cfg;
 }
 
 TEST(DecoupledClock, BitIdenticalToLockstepAcrossPolicyGrid) {
@@ -117,6 +136,39 @@ TEST(DecoupledClock, BitIdenticalToLockstepAcrossPolicyGrid) {
       expect_runs_identical(wl(w), p, 2'000, 6'000);
     }
   }
+}
+
+TEST(DecoupledClock, BitIdenticalToLockstepUnderDramModel) {
+  // The banked-DRAM model completes out of issue order, which is exactly
+  // what the per-core horizon machinery (next_done_if) must survive: an
+  // unsound horizon strands a sleeping core past a delivered wakeup and
+  // diverges from lockstep.
+  for (const std::string& w :
+       {std::string("2W3"), std::string("4W3"), std::string("aadddddd")}) {
+    const Workload work = wl(w);
+    for (const PolicySpec& p :
+         {PolicySpec::flush_spec(30), PolicySpec::stall(30),
+          PolicySpec::mflush()}) {
+      expect_runs_identical(dram_config(work.num_cores()), work, p, 2'000,
+                            6'000);
+    }
+  }
+}
+
+TEST(DecoupledClock, BitIdenticalToLockstepUnderDramFarClass) {
+  // Far latency class enabled over every thread's working set: the +800
+  // cycle tail pushes completions deep into the wheel's far queue.
+  const Workload work = wl("4W3");
+  SimConfig cfg = dram_config(work.num_cores());
+  // Trace addresses live in per-thread spaces salted above 2^40
+  // (trace/generator.cpp), so covering every line needs the full range.
+  cfg.mem.dram.far_base = 0;
+  cfg.mem.dram.far_bytes = ~std::uint64_t{0};
+  expect_runs_identical(cfg, work, PolicySpec::mflush(), 2'000, 6'000);
+  // Guard against the far class silently never triggering.
+  CmpSimulator probe(cfg, work, PolicySpec::mflush());
+  probe.run(8'000);
+  EXPECT_GT(probe.metrics().dram_far_accesses, 0u);
 }
 
 TEST(DecoupledClock, HeterogeneousChipActuallySkips) {
@@ -195,6 +247,32 @@ TEST(DecoupledClock, SnapshotResumeIdenticalInBothModes) {
     expect_core_stats_equal(decoupled->core(c).stats(),
                             lockstep->core(c).stats(),
                             "cross-mode core " + std::to_string(c));
+  }
+}
+
+TEST(DecoupledClock, SnapshotResumeContinuousUnderDram) {
+  // Snapshot taken mid-run with DRAM state live (open rows, bank/channel
+  // reservations, wheel-scheduled completions): resumed must stay
+  // bit-identical to the continuous run. Exercises the DRAM model's
+  // save/load and the config echo that rebuilds the right model kind.
+  const Workload work = wl("4W3");
+  CmpSimulator sim(dram_config(work.num_cores()), work,
+                   PolicySpec::flush_spec(30));
+  sim.run(10'000);
+
+  const std::vector<std::uint8_t> bytes = snapshot::capture(sim);
+  auto resumed = snapshot::make(bytes);
+  sim.run(10'000);
+  resumed->run(10'000);
+
+  const SimMetrics a = sim.metrics();
+  const SimMetrics b = resumed->metrics();
+  EXPECT_EQ(a, b) << "resumed DRAM run diverged from continuous";
+  EXPECT_GT(a.dram_row_hits + a.dram_row_misses + a.dram_row_conflicts, 0u)
+      << "DRAM model never exercised";
+  for (CoreId c = 0; c < sim.num_cores(); ++c) {
+    expect_core_stats_equal(sim.core(c).stats(), resumed->core(c).stats(),
+                            "dram resumed core " + std::to_string(c));
   }
 }
 

@@ -46,6 +46,24 @@ void expect_same_spec(const ExperimentSpec& a, const ExperimentSpec& b) {
   EXPECT_EQ(a.measure, b.measure);
   EXPECT_EQ(a.mode, b.mode);
   EXPECT_EQ(a.sampled, b.sampled);
+  EXPECT_EQ(a.mem_model, b.mem_model);
+  EXPECT_EQ(a.dram, b.dram);
+}
+
+ExperimentSpec dram_spec() {
+  ExperimentSpec spec = demo_spec();
+  spec.mem_model = MemModelKind::BankedDram;
+  spec.dram.channels = 4;
+  spec.dram.banks_per_channel = 4;
+  spec.dram.row_bytes = 4096;
+  spec.dram.t_row_hit = 60;
+  spec.dram.t_row_miss = 200;
+  spec.dram.t_row_conflict = 350;
+  spec.dram.channel_gap = 8;
+  spec.dram.far_base = 0x100000;
+  spec.dram.far_bytes = 0x40000;
+  spec.dram.far_extra = 900;
+  return spec;
 }
 
 // ------------------------------------------------------------- round trips
@@ -78,6 +96,48 @@ TEST(ExperimentSpec, TextRoundTripSampled) {
   spec.sampled.target_half_width = 0.05;
   spec.sampled.max_rounds = 2;
   expect_same_spec(spec, ExperimentSpec::from_text(spec.to_text()));
+}
+
+TEST(ExperimentSpec, DramKnobsSurviveBothFormats) {
+  const ExperimentSpec spec = dram_spec();
+  expect_same_spec(spec, ExperimentSpec::from_bytes(spec.to_bytes()));
+  expect_same_spec(spec, ExperimentSpec::from_text(spec.to_text()));
+}
+
+TEST(ExperimentSpec, DefaultSpecTextOmitsDramKeys) {
+  // Fixed-model specs keep the pre-seam text form: hand-written spec files
+  // from earlier versions parse unchanged, and to_text adds no noise.
+  const std::string text = demo_spec().to_text();
+  EXPECT_EQ(text.find("mem_model"), std::string::npos);
+  EXPECT_EQ(text.find("dram_"), std::string::npos);
+  const ExperimentSpec back = ExperimentSpec::from_text(text);
+  EXPECT_EQ(back.mem_model, MemModelKind::Fixed);
+  EXPECT_EQ(back.dram, DramConfig{});
+}
+
+TEST(ExperimentSpec, DramKnobsFlowIntoExpandedJobs) {
+  const ExperimentSpec spec = dram_spec();
+  const std::vector<JobSpec> jobs = spec.expand();
+  ASSERT_FALSE(jobs.empty());
+  for (const JobSpec& j : jobs) {
+    EXPECT_EQ(j.mem_model, MemModelKind::BankedDram);
+    EXPECT_EQ(j.dram, spec.dram);
+  }
+}
+
+TEST(ExperimentSpec, ValidateRejectsBadDramGeometry) {
+  ExperimentSpec spec = dram_spec();
+  spec.dram.channels = 3;  // not a power of two
+  EXPECT_THROW(spec.validate(), std::runtime_error);
+  spec = dram_spec();
+  spec.dram.row_bytes = 32;  // smaller than a line
+  EXPECT_THROW(spec.validate(), std::runtime_error);
+  spec = dram_spec();
+  spec.dram.t_row_hit = 500;  // hit slower than conflict
+  EXPECT_THROW(spec.validate(), std::runtime_error);
+  // The same knobs are ignored (and legal) under the fixed model.
+  spec.mem_model = MemModelKind::Fixed;
+  EXPECT_NO_THROW(spec.validate());
 }
 
 TEST(ExperimentSpec, FileRoundTripSniffsBothFormats) {
